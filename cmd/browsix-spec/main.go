@@ -1,0 +1,120 @@
+// Command browsix-spec regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	browsix-spec -table 1|2|3|4
+//	browsix-spec -fig 1|3a|3b|4|5|6|7|8|9|10
+//	browsix-spec -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/spec"
+)
+
+func main() {
+	table := flag.String("table", "", "regenerate a table (1-4)")
+	fig := flag.String("fig", "", "regenerate a figure (1, 3a, 3b, 4-10)")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+
+	h := spec.NewHarness()
+	emit := func(s string, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "browsix-spec:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+
+	var specRes, polyRes, asmRes *spec.SuiteResults
+	needSpec := func() *spec.SuiteResults {
+		if specRes == nil {
+			r, err := h.RunSPEC()
+			if err != nil {
+				emit("", err)
+			}
+			specRes = r
+		}
+		return specRes
+	}
+	needPoly := func() *spec.SuiteResults {
+		if polyRes == nil {
+			r, err := h.RunPolybench()
+			if err != nil {
+				emit("", err)
+			}
+			polyRes = r
+		}
+		return polyRes
+	}
+	needAsm := func() *spec.SuiteResults {
+		if asmRes == nil {
+			r, err := h.RunAsmJS()
+			if err != nil {
+				emit("", err)
+			}
+			asmRes = r
+		}
+		return asmRes
+	}
+
+	run := func(which string) {
+		switch which {
+		case "table1", "1":
+			emit(spec.Table1(needSpec()), nil)
+		case "table2", "2":
+			s, err := h.Table2()
+			emit(s, err)
+		case "table3", "3":
+			emit(spec.Table3(), nil)
+		case "table4", "4":
+			emit(spec.Table4(needSpec()), nil)
+		case "fig1":
+			emit(spec.Fig1(needPoly()), nil)
+		case "fig3a":
+			emit(spec.Fig3(needPoly(), "Figure 3a — PolybenchC"), nil)
+		case "fig3b":
+			emit(spec.Fig3(needSpec(), "Figure 3b — SPEC CPU"), nil)
+		case "fig4":
+			emit(spec.Fig4(needSpec()), nil)
+		case "fig5":
+			emit(spec.Fig5(needSpec(), needAsm()), nil)
+		case "fig6":
+			emit(spec.Fig6(needSpec(), needAsm()), nil)
+		case "fig7":
+			s, err := spec.Fig7()
+			emit(s, err)
+		case "fig8":
+			s, err := h.Fig8()
+			emit(s, err)
+		case "fig9":
+			emit(spec.Fig9(needSpec()), nil)
+		case "fig10":
+			emit(spec.Fig10(needSpec()), nil)
+		default:
+			fmt.Fprintf(os.Stderr, "browsix-spec: unknown selector %q\n", which)
+			os.Exit(2)
+		}
+	}
+
+	switch {
+	case *all:
+		for _, w := range []string{
+			"fig1", "fig3a", "fig3b", "table1", "table2", "fig4",
+			"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "table4",
+		} {
+			run(w)
+		}
+	case *table != "":
+		run("table" + *table)
+	case *fig != "":
+		run("fig" + *fig)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,75 @@
+// Command wasm2x86 compiles a mini-C program for each engine and dumps the
+// generated x86-64 listings (the paper's Figure 7 view). With no argument it
+// dumps the §5 matmul case study.
+//
+// Usage:
+//
+//	wasm2x86 [-func name] [-engine native|chrome|firefox|asmjs-chrome] [file.c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/spec"
+	"repro/internal/toolchain"
+)
+
+func main() {
+	fn := flag.String("func", "matmul", "function to disassemble ('' = whole module stats)")
+	engine := flag.String("engine", "", "engine to use (default: native and chrome)")
+	flag.Parse()
+
+	src := spec.MatmulSource(16, 18, 19)
+	if flag.NArg() > 0 {
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wasm2x86:", err)
+			os.Exit(1)
+		}
+		src = string(b)
+	}
+
+	var cfgs []*codegen.EngineConfig
+	switch *engine {
+	case "":
+		cfgs = []*codegen.EngineConfig{codegen.Native(), codegen.Chrome()}
+	case "native":
+		cfgs = []*codegen.EngineConfig{codegen.Native()}
+	case "chrome":
+		cfgs = []*codegen.EngineConfig{codegen.Chrome()}
+	case "firefox":
+		cfgs = []*codegen.EngineConfig{codegen.Firefox()}
+	case "asmjs-chrome":
+		cfgs = []*codegen.EngineConfig{codegen.AsmJSChrome()}
+	case "asmjs-firefox":
+		cfgs = []*codegen.EngineConfig{codegen.AsmJSFirefox()}
+	default:
+		fmt.Fprintf(os.Stderr, "wasm2x86: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	for _, cfg := range cfgs {
+		cm, err := toolchain.Build(src, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wasm2x86:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s: %d bytes of code, %d spills ===\n", cfg.Name, cm.Prog.CodeBytes, cm.TotalSpills)
+		if *fn == "" {
+			for _, st := range cm.Stats {
+				fmt.Printf("  %-20s %5d instructions %6d bytes %3d spills\n",
+					st.Name, st.Insts, st.CodeBytes, st.Spills)
+			}
+			continue
+		}
+		d, ok := cm.DisasmFunc(*fn)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wasm2x86: no function %q\n", *fn)
+			os.Exit(1)
+		}
+		fmt.Println(d)
+	}
+}

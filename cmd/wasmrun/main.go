@@ -1,0 +1,61 @@
+// Command wasmrun compiles and runs a mini-C program under the Browsix-Wasm
+// kernel, printing its output and the perf counters of the run.
+//
+// Usage:
+//
+//	wasmrun [-engine chrome] file.c [args...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/toolchain"
+)
+
+func main() {
+	engine := flag.String("engine", "chrome", "engine: native, chrome, firefox, asmjs-chrome, asmjs-firefox")
+	counters := flag.Bool("counters", true, "print perf counters after the run")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: wasmrun [-engine E] file.c [args...]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wasmrun:", err)
+		os.Exit(1)
+	}
+	var cfg *codegen.EngineConfig
+	switch *engine {
+	case "native":
+		cfg = codegen.Native()
+	case "chrome":
+		cfg = codegen.Chrome()
+	case "firefox":
+		cfg = codegen.Firefox()
+	case "asmjs-chrome":
+		cfg = codegen.AsmJSChrome()
+	case "asmjs-firefox":
+		cfg = codegen.AsmJSFirefox()
+	default:
+		fmt.Fprintf(os.Stderr, "wasmrun: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	argv := append([]string{flag.Arg(0)}, flag.Args()[1:]...)
+	res, err := toolchain.Run(string(src), cfg, argv, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wasmrun:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Stdout)
+	if *counters {
+		c := res.Proc.Inst.Counters
+		fmt.Fprintf(os.Stderr, "---\nengine=%s exit=%d time=%.3fms\n%s\nbrowsix-share=%.3f%%\n",
+			cfg.Name, res.ExitCode, c.Seconds()*1000, c.String(), res.Proc.BrowsixShare()*100)
+	}
+	os.Exit(res.ExitCode)
+}

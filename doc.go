@@ -1,0 +1,14 @@
+// Package repro reproduces "Not So Fast: Analyzing the Performance of
+// WebAssembly vs. Native Code" (Jangda, Powers, Berger, Guha; USENIX ATC
+// 2019) as a self-contained Go system: a WebAssembly toolchain, a mini-C
+// compiler standing in for Emscripten, modeled browser and native code
+// generators, an x86-64 simulator with hardware performance counters, a
+// Browsix-Wasm kernel, and the Browsix-SPEC harness that regenerates every
+// table and figure of the paper's evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results. The root-level benchmarks (bench_test.go)
+// regenerate each experiment:
+//
+//	go test -bench . -benchtime 1x
+package repro

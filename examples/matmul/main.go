@@ -1,0 +1,25 @@
+// The §5 case study end to end: Figure 7's code listings (Clang vs Chrome
+// matmul) followed by Figure 8's size sweep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/spec"
+)
+
+func main() {
+	listings, err := spec.Fig7()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(listings)
+
+	h := spec.NewHarness()
+	sweep, err := h.Fig8()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sweep)
+}

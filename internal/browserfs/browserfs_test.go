@@ -1,0 +1,103 @@
+package browserfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateReadWrite(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/b/c/f.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/a/b/c/f.txt")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	names, err := fs.ReadDir("/a/b/c")
+	if err != nil || len(names) != 1 || names[0] != "f.txt" {
+		t.Fatalf("readdir: %v %v", names, err)
+	}
+	if _, err := fs.Open("/a/b/missing"); err != ErrNotExist {
+		t.Errorf("want ErrNotExist, got %v", err)
+	}
+	if err := fs.Unlink("/a/b/c/f.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/a/b/c/f.txt"); err != ErrNotExist {
+		t.Errorf("want ErrNotExist after unlink, got %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/x", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/x", "/y"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/y")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("after rename: %q %v", got, err)
+	}
+}
+
+func TestAppendPolicies(t *testing.T) {
+	for _, policy := range []GrowthPolicy{GrowExact, GrowChunked} {
+		fs := NewWithPolicy(policy)
+		ino, err := fs.Create("/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var off int64
+		var want bytes.Buffer
+		for i := 0; i < 500; i++ {
+			chunk := []byte{byte(i), byte(i >> 8), byte(i * 3)}
+			ino.WriteAt(chunk, off, policy)
+			off += int64(len(chunk))
+			want.Write(chunk)
+		}
+		got := make([]byte, ino.Size())
+		ino.ReadAt(got, 0)
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("policy %d: content mismatch", policy)
+		}
+	}
+}
+
+func TestChunkedCopiesFewerBytes(t *testing.T) {
+	run := func(p GrowthPolicy) uint64 {
+		fs := NewWithPolicy(p)
+		ino, _ := fs.Create("/f")
+		var off int64
+		for i := 0; i < 4000; i++ {
+			ino.WriteAt(make([]byte, 16), off, p)
+			off += 16
+		}
+		return ino.GrowBytes
+	}
+	exact := run(GrowExact)
+	chunked := run(GrowChunked)
+	if exact < 100*chunked {
+		t.Errorf("exact policy copied %d bytes, chunked %d; expected >=100x gap (the paper's 25s->1.5s fix)", exact, chunked)
+	}
+}
+
+func TestSparseWriteQuick(t *testing.T) {
+	f := func(off uint16, val byte) bool {
+		fs := New()
+		ino, _ := fs.Create("/q")
+		ino.WriteAt([]byte{val}, int64(off), fs.Policy)
+		b := make([]byte, 1)
+		ino.ReadAt(b, int64(off))
+		return b[0] == val && ino.Size() == int(off)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

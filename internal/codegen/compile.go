@@ -1,0 +1,311 @@
+package codegen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/regalloc"
+	"repro/internal/wasm"
+	"repro/internal/x86"
+)
+
+// moduleCtx is shared emission state across a module's functions.
+type moduleCtx struct {
+	prog      *x86.Program
+	cfg       *EngineConfig
+	nextLabel int
+	funcLabel []int // module-function index -> entry label
+	tableSize int
+	rodata    []byte
+	roIndex   map[uint64]uint32
+	hostNames []string
+}
+
+// floatConst interns an 8-byte float constant in rodata, returning its
+// absolute address.
+func (c *moduleCtx) floatConst(v float64, w uint8) uint32 {
+	var bits uint64
+	if w == 4 {
+		bits = uint64(math.Float32bits(float32(v))) | 1<<63 // distinct key space
+	} else {
+		bits = math.Float64bits(v)
+	}
+	if a, ok := c.roIndex[bits]; ok {
+		return a
+	}
+	addr := uint32(x86.RodataBase) + uint32(len(c.rodata))
+	var buf [8]byte
+	if w == 4 {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(float32(v)))
+	} else {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	}
+	c.rodata = append(c.rodata, buf[:]...)
+	c.roIndex[bits] = addr
+	return addr
+}
+
+// maskConst interns the abs/neg bit masks.
+func (c *moduleCtx) maskConst(signFlip bool, w uint8) uint32 {
+	var v uint64
+	switch {
+	case signFlip && w == 8:
+		v = 0x8000000000000000
+	case signFlip && w == 4:
+		v = 0x80000000
+	case !signFlip && w == 8:
+		v = 0x7fffffffffffffff
+	default:
+		v = 0x7fffffff
+	}
+	key := v ^ 0xdeadbeef<<32 // avoid colliding with float keys
+	if a, ok := c.roIndex[key]; ok {
+		return a
+	}
+	addr := uint32(x86.RodataBase) + uint32(len(c.rodata))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	c.rodata = append(c.rodata, buf[:]...)
+	c.roIndex[key] = addr
+	return addr
+}
+
+func (c *moduleCtx) hostName(i int) string {
+	if i >= 0 && i < len(c.hostNames) {
+		return c.hostNames[i]
+	}
+	return fmt.Sprintf("host%d", i)
+}
+
+// TableEntry is one indirect-call table slot.
+type TableEntry struct {
+	SigID   int
+	FuncIdx int // module-function index; -1 = null
+}
+
+// FuncStats records per-function compilation metrics (Figure 7 analysis).
+type FuncStats struct {
+	Name      string
+	Insts     int
+	CodeBytes uint32
+	Spills    int
+	UsedRegs  int
+	IRLen     int
+	NumBlocks int
+}
+
+// CompiledModule is the output of compiling a module for one engine.
+type CompiledModule struct {
+	Engine  *EngineConfig
+	Module  *wasm.Module
+	Prog    *x86.Program
+	Entries []int // module-function index -> instruction index
+	Table   []TableEntry
+	// GlobalInit holds initial global values (raw bits).
+	GlobalInit []uint64
+	// Data segments to copy into linear memory at instantiation.
+	Data []wasm.Data
+	// MemPages is the initial linear-memory size in pages.
+	MemPages uint32
+	MemMax   uint32
+	// Rodata is mapped at x86.RodataBase.
+	Rodata []byte
+	// HostImports lists imported functions in index order ("env.name").
+	HostImports []string
+	// Exports maps exported function names to module-function indices.
+	Exports map[string]int
+	// Stats per function, plus compile time.
+	Stats       []FuncStats
+	CompileTime time.Duration
+	TotalSpills int
+
+	// PtrSize is the source data model (4 = wasm32, 8 = native x86-64);
+	// set by the toolchain driver so loaders lay out argv correctly.
+	PtrSize int
+}
+
+// Compile lowers, optimizes, allocates, and emits every function of m under
+// the engine configuration cfg.
+func Compile(m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
+	start := time.Now()
+	ctx := &moduleCtx{
+		prog:    x86.NewProgram(),
+		cfg:     cfg,
+		roIndex: map[uint64]uint32{},
+	}
+
+	// Host imports.
+	for _, im := range m.Imports {
+		if im.Kind == wasm.ExternFunc {
+			ctx.hostNames = append(ctx.hostNames, im.Module+"."+im.Name)
+		}
+	}
+	ctx.prog.HostNames = ctx.hostNames
+
+	// Function labels.
+	ctx.funcLabel = make([]int, len(m.Funcs))
+	for i := range m.Funcs {
+		ctx.nextLabel++
+		ctx.funcLabel[i] = ctx.nextLabel
+	}
+
+	// Table.
+	cm := &CompiledModule{Engine: cfg, Module: m, Exports: map[string]int{}}
+	if len(m.Tables) > 0 {
+		ctx.tableSize = int(m.Tables[0].Limits.Min)
+		cm.Table = make([]TableEntry, ctx.tableSize)
+		for i := range cm.Table {
+			cm.Table[i] = TableEntry{SigID: -1, FuncIdx: -1}
+		}
+		nimp := m.NumImportedFuncs()
+		for _, e := range m.Elems {
+			off, _ := constI32(e.Offset)
+			for i, fidx := range e.Funcs {
+				fi := int(fidx) - nimp
+				if fi < 0 {
+					return nil, fmt.Errorf("codegen: imported function in table (unsupported)")
+				}
+				slot := int(off) + i
+				if slot < 0 || slot >= len(cm.Table) {
+					return nil, fmt.Errorf("codegen: element segment out of range")
+				}
+				cm.Table[slot] = TableEntry{SigID: int(m.Funcs[fi].TypeIdx), FuncIdx: fi}
+			}
+		}
+	}
+
+	// Compile each function.
+	raCfg := &regalloc.Config{GP: cfg.GP, FP: cfg.FP, CalleeSavedGP: cfg.calleeSavedSet()}
+	for fi := range m.Funcs {
+		f, err := LowerFunc(m, fi, cfg)
+		if err != nil {
+			return nil, err
+		}
+		Optimize(f)
+		if cfg.Allocator == AllocGraphColor {
+			OptimizeNative(f)
+		}
+		lv := ir.ComputeLiveness(f)
+		var ra *regalloc.Result
+		if cfg.Allocator == AllocGraphColor {
+			ra = regalloc.GraphColor(f, lv, raCfg)
+		} else {
+			ra = regalloc.LinearScan(f, lv, raCfg)
+		}
+		em := &emitter{ctx: ctx, cfg: cfg, f: f, ra: ra}
+		startIns := len(ctx.prog.Code)
+		if err := em.emitFunc(); err != nil {
+			return nil, err
+		}
+		irLen := 0
+		for _, b := range f.Blocks {
+			irLen += len(b.Ins)
+		}
+		cm.Stats = append(cm.Stats, FuncStats{
+			Name:      f.Name,
+			Insts:     len(ctx.prog.Code) - startIns,
+			Spills:    ra.Spills,
+			IRLen:     irLen,
+			NumBlocks: len(f.Blocks),
+		})
+		cm.TotalSpills += ra.Spills
+	}
+
+	if err := ctx.prog.ResolveTargets(); err != nil {
+		return nil, err
+	}
+	ctx.prog.Layout()
+	for i := range cm.Stats {
+		f := ctx.prog.Funcs[i]
+		var bytes uint32
+		for j := f.Start; j < f.End; j++ {
+			bytes += uint32(ctx.prog.Code[j].Size)
+		}
+		cm.Stats[i].CodeBytes = bytes
+	}
+
+	// Entries.
+	cm.Prog = ctx.prog
+	cm.Entries = make([]int, len(m.Funcs))
+	for i, l := range ctx.funcLabel {
+		idx, ok := ctx.prog.LabelTarget(l)
+		if !ok {
+			return nil, fmt.Errorf("codegen: function %d entry label unresolved", i)
+		}
+		cm.Entries[i] = idx
+	}
+
+	// Globals.
+	for _, g := range m.Globals {
+		v, err := constBits(g.Init)
+		if err != nil {
+			return nil, err
+		}
+		cm.GlobalInit = append(cm.GlobalInit, v)
+	}
+
+	// Memory + data.
+	if len(m.Mems) > 0 {
+		cm.MemPages = m.Mems[0].Min
+		cm.MemMax = m.Mems[0].Max
+		if !m.Mems[0].HasMax {
+			cm.MemMax = x86.LinearMax / wasm.PageSize
+		}
+	}
+	cm.Data = m.Data
+	cm.Rodata = ctx.rodata
+	cm.HostImports = ctx.hostNames
+
+	nimp := m.NumImportedFuncs()
+	for _, e := range m.Exports {
+		if e.Kind == wasm.ExternFunc {
+			fi := int(e.Index) - nimp
+			if fi >= 0 {
+				cm.Exports[e.Name] = fi
+			}
+		}
+	}
+
+	cm.CompileTime = time.Since(start)
+	return cm, nil
+}
+
+func constI32(in wasm.Instr) (int32, error) {
+	if in.Op != wasm.OpI32Const {
+		return 0, fmt.Errorf("codegen: non-constant offset")
+	}
+	return int32(in.I64), nil
+}
+
+func constBits(in wasm.Instr) (uint64, error) {
+	switch in.Op {
+	case wasm.OpI32Const:
+		return uint64(uint32(int32(in.I64))), nil
+	case wasm.OpI64Const:
+		return uint64(in.I64), nil
+	case wasm.OpF32Const:
+		return uint64(math.Float32bits(float32(in.F64))), nil
+	case wasm.OpF64Const:
+		return math.Float64bits(in.F64), nil
+	}
+	return 0, fmt.Errorf("codegen: unsupported global initializer %s", wasm.OpName(in.Op))
+}
+
+// FindExport returns the module-function index of an exported function.
+func (cm *CompiledModule) FindExport(name string) (int, bool) {
+	fi, ok := cm.Exports[name]
+	return fi, ok
+}
+
+// DisasmFunc returns the Figure 7-style listing of a function by name.
+func (cm *CompiledModule) DisasmFunc(name string) (string, bool) {
+	for i, f := range cm.Prog.Funcs {
+		if f.Name == name {
+			return cm.Prog.Disasm(i), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,286 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/wasm"
+)
+
+type binDesc struct {
+	op ir.Op
+	w  uint8
+	t  wasm.ValType
+}
+
+type cmpDesc struct {
+	cc    ir.CC
+	w     uint8
+	float bool
+}
+
+var binOps = map[wasm.Opcode]binDesc{
+	wasm.OpI32Add: {ir.Add, 4, wasm.I32}, wasm.OpI32Sub: {ir.Sub, 4, wasm.I32},
+	wasm.OpI32Mul:  {ir.Mul, 4, wasm.I32},
+	wasm.OpI32DivS: {ir.DivS, 4, wasm.I32}, wasm.OpI32DivU: {ir.DivU, 4, wasm.I32},
+	wasm.OpI32RemS: {ir.RemS, 4, wasm.I32}, wasm.OpI32RemU: {ir.RemU, 4, wasm.I32},
+	wasm.OpI32And: {ir.And, 4, wasm.I32}, wasm.OpI32Or: {ir.Or, 4, wasm.I32},
+	wasm.OpI32Xor: {ir.Xor, 4, wasm.I32}, wasm.OpI32Shl: {ir.Shl, 4, wasm.I32},
+	wasm.OpI32ShrS: {ir.ShrS, 4, wasm.I32}, wasm.OpI32ShrU: {ir.ShrU, 4, wasm.I32},
+	wasm.OpI32Rotl: {ir.Rotl, 4, wasm.I32}, wasm.OpI32Rotr: {ir.Rotr, 4, wasm.I32},
+
+	wasm.OpI64Add: {ir.Add, 8, wasm.I64}, wasm.OpI64Sub: {ir.Sub, 8, wasm.I64},
+	wasm.OpI64Mul:  {ir.Mul, 8, wasm.I64},
+	wasm.OpI64DivS: {ir.DivS, 8, wasm.I64}, wasm.OpI64DivU: {ir.DivU, 8, wasm.I64},
+	wasm.OpI64RemS: {ir.RemS, 8, wasm.I64}, wasm.OpI64RemU: {ir.RemU, 8, wasm.I64},
+	wasm.OpI64And: {ir.And, 8, wasm.I64}, wasm.OpI64Or: {ir.Or, 8, wasm.I64},
+	wasm.OpI64Xor: {ir.Xor, 8, wasm.I64}, wasm.OpI64Shl: {ir.Shl, 8, wasm.I64},
+	wasm.OpI64ShrS: {ir.ShrS, 8, wasm.I64}, wasm.OpI64ShrU: {ir.ShrU, 8, wasm.I64},
+	wasm.OpI64Rotl: {ir.Rotl, 8, wasm.I64}, wasm.OpI64Rotr: {ir.Rotr, 8, wasm.I64},
+
+	wasm.OpF32Add: {ir.FAdd, 4, wasm.F32}, wasm.OpF32Sub: {ir.FSub, 4, wasm.F32},
+	wasm.OpF32Mul: {ir.FMul, 4, wasm.F32}, wasm.OpF32Div: {ir.FDiv, 4, wasm.F32},
+	wasm.OpF32Min: {ir.FMin, 4, wasm.F32}, wasm.OpF32Max: {ir.FMax, 4, wasm.F32},
+
+	wasm.OpF64Add: {ir.FAdd, 8, wasm.F64}, wasm.OpF64Sub: {ir.FSub, 8, wasm.F64},
+	wasm.OpF64Mul: {ir.FMul, 8, wasm.F64}, wasm.OpF64Div: {ir.FDiv, 8, wasm.F64},
+	wasm.OpF64Min: {ir.FMin, 8, wasm.F64}, wasm.OpF64Max: {ir.FMax, 8, wasm.F64},
+}
+
+var unOps = map[wasm.Opcode]binDesc{
+	wasm.OpI32Clz: {ir.Clz, 4, wasm.I32}, wasm.OpI32Ctz: {ir.Ctz, 4, wasm.I32},
+	wasm.OpI32Popcnt: {ir.Popcnt, 4, wasm.I32},
+	wasm.OpI64Clz:    {ir.Clz, 8, wasm.I64}, wasm.OpI64Ctz: {ir.Ctz, 8, wasm.I64},
+	wasm.OpI64Popcnt: {ir.Popcnt, 8, wasm.I64},
+	wasm.OpF32Abs:    {ir.FAbs, 4, wasm.F32}, wasm.OpF32Neg: {ir.FNeg, 4, wasm.F32},
+	wasm.OpF32Sqrt: {ir.FSqrt, 4, wasm.F32},
+	wasm.OpF32Ceil: {ir.FCeil, 4, wasm.F32}, wasm.OpF32Floor: {ir.FFloor, 4, wasm.F32},
+	wasm.OpF32Trunc: {ir.FTrunc, 4, wasm.F32}, wasm.OpF32Nearest: {ir.FNearest, 4, wasm.F32},
+	wasm.OpF64Abs: {ir.FAbs, 8, wasm.F64}, wasm.OpF64Neg: {ir.FNeg, 8, wasm.F64},
+	wasm.OpF64Sqrt: {ir.FSqrt, 8, wasm.F64},
+	wasm.OpF64Ceil: {ir.FCeil, 8, wasm.F64}, wasm.OpF64Floor: {ir.FFloor, 8, wasm.F64},
+	wasm.OpF64Trunc: {ir.FTrunc, 8, wasm.F64}, wasm.OpF64Nearest: {ir.FNearest, 8, wasm.F64},
+}
+
+var cmpOps = map[wasm.Opcode]cmpDesc{
+	wasm.OpI32Eq: {ir.CCEq, 4, false}, wasm.OpI32Ne: {ir.CCNe, 4, false},
+	wasm.OpI32LtS: {ir.CCLt, 4, false}, wasm.OpI32LtU: {ir.CCLtU, 4, false},
+	wasm.OpI32GtS: {ir.CCGt, 4, false}, wasm.OpI32GtU: {ir.CCGtU, 4, false},
+	wasm.OpI32LeS: {ir.CCLe, 4, false}, wasm.OpI32LeU: {ir.CCLeU, 4, false},
+	wasm.OpI32GeS: {ir.CCGe, 4, false}, wasm.OpI32GeU: {ir.CCGeU, 4, false},
+
+	wasm.OpI64Eq: {ir.CCEq, 8, false}, wasm.OpI64Ne: {ir.CCNe, 8, false},
+	wasm.OpI64LtS: {ir.CCLt, 8, false}, wasm.OpI64LtU: {ir.CCLtU, 8, false},
+	wasm.OpI64GtS: {ir.CCGt, 8, false}, wasm.OpI64GtU: {ir.CCGtU, 8, false},
+	wasm.OpI64LeS: {ir.CCLe, 8, false}, wasm.OpI64LeU: {ir.CCLeU, 8, false},
+	wasm.OpI64GeS: {ir.CCGe, 8, false}, wasm.OpI64GeU: {ir.CCGeU, 8, false},
+
+	wasm.OpF32Eq: {ir.CCEq, 4, true}, wasm.OpF32Ne: {ir.CCNe, 4, true},
+	wasm.OpF32Lt: {ir.CCLtU, 4, true}, wasm.OpF32Gt: {ir.CCGtU, 4, true},
+	wasm.OpF32Le: {ir.CCLeU, 4, true}, wasm.OpF32Ge: {ir.CCGeU, 4, true},
+
+	wasm.OpF64Eq: {ir.CCEq, 8, true}, wasm.OpF64Ne: {ir.CCNe, 8, true},
+	wasm.OpF64Lt: {ir.CCLtU, 8, true}, wasm.OpF64Gt: {ir.CCGtU, 8, true},
+	wasm.OpF64Le: {ir.CCLeU, 8, true}, wasm.OpF64Ge: {ir.CCGeU, 8, true},
+}
+
+// lowerNumeric handles arithmetic, comparison, and conversion opcodes.
+func (lo *lowerer) lowerNumeric(op wasm.Opcode) error {
+	if d, ok := binOps[op]; ok {
+		b := lo.pop()
+		a := lo.pop()
+		dst := lo.newV(d.t)
+		i := ins(d.op)
+		i.Dst = dst
+		i.A = a
+		i.B = b
+		i.W = d.w
+		lo.emit(i)
+		lo.push(dst)
+		return nil
+	}
+	if d, ok := unOps[op]; ok {
+		a := lo.pop()
+		dst := lo.newV(d.t)
+		i := ins(d.op)
+		i.Dst = dst
+		i.A = a
+		i.W = d.w
+		lo.emit(i)
+		lo.push(dst)
+		return nil
+	}
+	if d, ok := cmpOps[op]; ok {
+		b := lo.pop()
+		a := lo.pop()
+		dst := lo.newV(wasm.I32)
+		var i ir.Ins
+		if d.float {
+			i = ins(ir.FCmp)
+		} else {
+			i = ins(ir.Cmp)
+		}
+		i.Dst = dst
+		i.A = a
+		i.B = b
+		i.CC = d.cc
+		i.W = d.w
+		lo.emit(i)
+		lo.push(dst)
+		return nil
+	}
+
+	switch op {
+	case wasm.OpF32Copysign, wasm.OpF64Copysign:
+		// Decompose into bit operations (engines emit andp/orp sequences).
+		w := uint8(8)
+		ft := wasm.F64
+		it := wasm.I64
+		magMask := int64(0x7fffffffffffffff)
+		signMask := int64(-0x8000000000000000)
+		if op == wasm.OpF32Copysign {
+			w, ft, it = 4, wasm.F32, wasm.I32
+			magMask = 0x7fffffff
+			signMask = int64(int32(-0x80000000))
+		}
+		b := lo.pop()
+		a := lo.pop()
+		ga := lo.newV(it)
+		gb := lo.newV(it)
+		bc := ins(ir.BitcastFI)
+		bc.Dst, bc.A, bc.W = ga, a, w
+		lo.emit(bc)
+		bc2 := ins(ir.BitcastFI)
+		bc2.Dst, bc2.A, bc2.W = gb, b, w
+		lo.emit(bc2)
+		ma := lo.newV(it)
+		and1 := ins(ir.And)
+		and1.Dst, and1.A, and1.Imm, and1.W = ma, ga, magMask, w
+		lo.emit(and1)
+		mb := lo.newV(it)
+		and2 := ins(ir.And)
+		and2.Dst, and2.A, and2.Imm, and2.W = mb, gb, signMask, w
+		lo.emit(and2)
+		or := ins(ir.Or)
+		combined := lo.newV(it)
+		or.Dst, or.A, or.B, or.W = combined, ma, mb, w
+		lo.emit(or)
+		dst := lo.newV(ft)
+		back := ins(ir.BitcastIF)
+		back.Dst, back.A, back.W = dst, combined, w
+		lo.emit(back)
+		lo.push(dst)
+		return nil
+
+	case wasm.OpI32Eqz, wasm.OpI64Eqz:
+		a := lo.pop()
+		dst := lo.newV(wasm.I32)
+		i := ins(ir.Eqz)
+		i.Dst = dst
+		i.A = a
+		if op == wasm.OpI64Eqz {
+			i.W = 8
+		} else {
+			i.W = 4
+		}
+		lo.emit(i)
+		lo.push(dst)
+
+	case wasm.OpI32WrapI64:
+		lo.conv(ir.Wrap, wasm.I32, 4, false)
+	case wasm.OpI64ExtendI32S:
+		lo.conv(ir.ExtS, wasm.I64, 8, false)
+	case wasm.OpI64ExtendI32U:
+		lo.conv(ir.ExtU, wasm.I64, 8, false)
+
+	case wasm.OpI32TruncF32S:
+		lo.convF2I(wasm.I32, 4, 4, false)
+	case wasm.OpI32TruncF32U:
+		lo.convF2I(wasm.I32, 4, 4, true)
+	case wasm.OpI32TruncF64S:
+		lo.convF2I(wasm.I32, 4, 8, false)
+	case wasm.OpI32TruncF64U:
+		lo.convF2I(wasm.I32, 4, 8, true)
+	case wasm.OpI64TruncF32S:
+		lo.convF2I(wasm.I64, 8, 4, false)
+	case wasm.OpI64TruncF32U:
+		lo.convF2I(wasm.I64, 8, 4, true)
+	case wasm.OpI64TruncF64S:
+		lo.convF2I(wasm.I64, 8, 8, false)
+	case wasm.OpI64TruncF64U:
+		lo.convF2I(wasm.I64, 8, 8, true)
+
+	case wasm.OpF32ConvertI32S:
+		lo.convI2F(wasm.F32, 4, 4, false)
+	case wasm.OpF32ConvertI32U:
+		lo.convI2F(wasm.F32, 4, 4, true)
+	case wasm.OpF32ConvertI64S:
+		lo.convI2F(wasm.F32, 4, 8, false)
+	case wasm.OpF32ConvertI64U:
+		lo.convI2F(wasm.F32, 4, 8, true)
+	case wasm.OpF64ConvertI32S:
+		lo.convI2F(wasm.F64, 8, 4, false)
+	case wasm.OpF64ConvertI32U:
+		lo.convI2F(wasm.F64, 8, 4, true)
+	case wasm.OpF64ConvertI64S:
+		lo.convI2F(wasm.F64, 8, 8, false)
+	case wasm.OpF64ConvertI64U:
+		lo.convI2F(wasm.F64, 8, 8, true)
+
+	case wasm.OpF32DemoteF64:
+		lo.conv(ir.F2F, wasm.F32, 4, false)
+	case wasm.OpF64PromoteF32:
+		lo.conv(ir.F2F, wasm.F64, 8, false)
+
+	case wasm.OpI32ReinterpretF32:
+		lo.conv(ir.BitcastFI, wasm.I32, 4, false)
+	case wasm.OpI64ReinterpretF64:
+		lo.conv(ir.BitcastFI, wasm.I64, 8, false)
+	case wasm.OpF32ReinterpretI32:
+		lo.conv(ir.BitcastIF, wasm.F32, 4, false)
+	case wasm.OpF64ReinterpretI64:
+		lo.conv(ir.BitcastIF, wasm.F64, 8, false)
+
+	default:
+		return fmt.Errorf("codegen: unhandled opcode %s", wasm.OpName(op))
+	}
+	return nil
+}
+
+func (lo *lowerer) conv(op ir.Op, to wasm.ValType, w uint8, uns bool) {
+	a := lo.pop()
+	dst := lo.newV(to)
+	i := ins(op)
+	i.Dst = dst
+	i.A = a
+	i.W = w
+	i.Unsigned = uns
+	lo.emit(i)
+	lo.push(dst)
+}
+
+func (lo *lowerer) convF2I(to wasm.ValType, w, srcW uint8, uns bool) {
+	a := lo.pop()
+	dst := lo.newV(to)
+	i := ins(ir.F2I)
+	i.Dst = dst
+	i.A = a
+	i.W = w
+	i.Imm = int64(srcW) // source float width
+	i.Unsigned = uns
+	lo.emit(i)
+	lo.push(dst)
+}
+
+func (lo *lowerer) convI2F(to wasm.ValType, w, srcW uint8, uns bool) {
+	a := lo.pop()
+	dst := lo.newV(to)
+	i := ins(ir.I2F)
+	i.Dst = dst
+	i.A = a
+	i.W = w
+	i.Imm = int64(srcW)
+	i.Unsigned = uns
+	lo.emit(i)
+	lo.push(dst)
+}

@@ -1,0 +1,316 @@
+package codegen
+
+import (
+	"math/bits"
+
+	"repro/internal/ir"
+)
+
+// Optimize runs the target-independent cleanups every engine performs:
+// immediate folding into instructions, multiply-by-power-of-two strength
+// reduction, address-offset folding into load/store displacements, and dead
+// code elimination. Engine-specific improvements (addressing-mode fusion,
+// RMW fusion, rotation) happen in lowering/emission under config control.
+func Optimize(f *ir.Func) {
+	foldImmediates(f)
+	dce(f)
+	threadJumps(f)
+	pruneUnreachable(f)
+}
+
+// OptimizeNative runs the extra scalar cleanups Clang performs but the
+// browser baseline pipelines do not: block-local common-subexpression
+// elimination (the paper's Figure 7c shows Chrome re-computing identical
+// address chains that Clang CSEs away).
+func OptimizeNative(f *ir.Func) {
+	localCSE(f)
+	dce(f)
+}
+
+// cseKey identifies a pure computation.
+type cseKey struct {
+	op   ir.Op
+	a, b ir.VReg
+	imm  int64
+	f64  float64
+	w    uint8
+	cc   ir.CC
+	uns  bool
+}
+
+func localCSE(f *ir.Func) {
+	// Global def counts and per-block use locality: only single-def temps
+	// whose every use sits in one block are candidates for elimination.
+	defCount := make([]int, f.NumV)
+	useBlock := make([]int, f.NumV) // block id of sole-using block, -2 = many
+	for i := range useBlock {
+		useBlock[i] = -1
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			if in.Dst != ir.NoV {
+				defCount[in.Dst]++
+			}
+			in.VisitUses(func(v ir.VReg) {
+				if useBlock[v] == -1 {
+					useBlock[v] = b.ID
+				} else if useBlock[v] != b.ID {
+					useBlock[v] = -2
+				}
+			})
+		}
+	}
+	isParam := make([]bool, f.NumV)
+	for _, p := range f.Params {
+		isParam[p] = true
+	}
+
+	type verKey struct {
+		k      cseKey
+		va, vb int
+	}
+	type availVal struct {
+		v   ir.VReg
+		gen int // v's def version when recorded; stale when v is redefined
+	}
+	for _, b := range f.Blocks {
+		gen := map[ir.VReg]int{}
+		avail := map[verKey]availVal{}
+		replaced := map[ir.VReg]ir.VReg{}
+		sub := func(v ir.VReg) ir.VReg {
+			if r, ok := replaced[v]; ok {
+				return r
+			}
+			return v
+		}
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			if in.A != ir.NoV {
+				in.A = sub(in.A)
+			}
+			if in.B != ir.NoV {
+				in.B = sub(in.B)
+			}
+			if in.Extra != ir.NoV {
+				in.Extra = sub(in.Extra)
+			}
+			for j := range in.Args {
+				in.Args[j] = sub(in.Args[j])
+			}
+			if in.Dst == ir.NoV {
+				continue
+			}
+			if !pure(in.Op) || in.Op == ir.GlobalLd || in.Op == ir.MemSize {
+				gen[in.Dst]++
+				continue
+			}
+			k := verKey{
+				k: cseKey{op: in.Op, a: in.A, b: in.B, imm: in.Imm, f64: in.F64, w: in.W, cc: in.CC, uns: in.Unsigned},
+			}
+			if in.A != ir.NoV {
+				k.va = gen[in.A]
+			}
+			if in.B != ir.NoV {
+				k.vb = gen[in.B]
+			}
+			dst := in.Dst
+			if prev, ok := avail[k]; ok && gen[prev.v] == prev.gen &&
+				defCount[dst] == 1 && useBlock[dst] == b.ID && !isParam[dst] &&
+				!reassignedWithin(b, i, prev.v) {
+				replaced[dst] = prev.v
+				in.Op = ir.Nop
+				in.Dst, in.A, in.B, in.Extra = ir.NoV, ir.NoV, ir.NoV, ir.NoV
+				continue
+			}
+			gen[dst]++
+			avail[k] = availVal{v: dst, gen: gen[dst]}
+		}
+		k := 0
+		for i := range b.Ins {
+			if b.Ins[i].Op == ir.Nop {
+				continue
+			}
+			b.Ins[k] = b.Ins[i]
+			k++
+		}
+		b.Ins = b.Ins[:k]
+	}
+}
+
+// reassignedWithin reports whether v is redefined in b after position from.
+func reassignedWithin(b *ir.Block, from int, v ir.VReg) bool {
+	for i := from + 1; i < len(b.Ins); i++ {
+		if b.Ins[i].Dst == v {
+			return true
+		}
+	}
+	return false
+}
+
+// threadJumps redirects branch targets through blocks that contain only an
+// unconditional jump.
+func threadJumps(f *ir.Func) {
+	resolve := func(t int) int {
+		for hops := 0; hops < 8; hops++ {
+			b := f.Blocks[t]
+			if len(b.Ins) != 1 || b.Ins[0].Op != ir.Jump {
+				return t
+			}
+			nt := b.Ins[0].Targets[0]
+			if nt == t {
+				return t
+			}
+			t = nt
+		}
+		return t
+	}
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		for i := range t.Targets {
+			t.Targets[i] = resolve(t.Targets[i])
+		}
+	}
+}
+
+// pruneUnreachable removes blocks not reachable from the entry and renumbers
+// the remainder.
+func pruneUnreachable(f *ir.Func) {
+	reach := make([]bool, len(f.Blocks))
+	var stack []int
+	reach[0] = true
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range f.Blocks[id].Succs() {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	remap := make([]int, len(f.Blocks))
+	var kept []*ir.Block
+	for i, b := range f.Blocks {
+		if reach[i] {
+			remap[i] = len(kept)
+			b.ID = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	for _, b := range kept {
+		if t := b.Term(); t != nil {
+			for i := range t.Targets {
+				t.Targets[i] = remap[t.Targets[i]]
+			}
+		}
+	}
+	f.Blocks = kept
+}
+
+// useCounts returns the number of uses of each vreg.
+func useCounts(f *ir.Func) []int {
+	uses := make([]int, f.NumV)
+	for _, b := range f.Blocks {
+		for i := range b.Ins {
+			b.Ins[i].VisitUses(func(v ir.VReg) { uses[v]++ })
+		}
+	}
+	return uses
+}
+
+// immOK reports whether op supports an immediate right operand.
+func immOK(op ir.Op) bool {
+	switch op {
+	case ir.Add, ir.Sub, ir.And, ir.Or, ir.Xor, ir.Mul, ir.Cmp, ir.CondCmp,
+		ir.Shl, ir.ShrS, ir.ShrU, ir.Rotl, ir.Rotr, ir.Store:
+		return true
+	}
+	return false
+}
+
+func foldImmediates(f *ir.Func) {
+	uses := useCounts(f)
+	for _, b := range f.Blocks {
+		// constDef maps vreg -> index of its Const def within this block.
+		constDef := map[ir.VReg]int{}
+		for i := range b.Ins {
+			in := &b.Ins[i]
+
+			// Fold a known-constant B operand into the immediate field.
+			if in.B != ir.NoV && immOK(in.Op) && !in.Unsigned {
+				if ci, ok := constDef[in.B]; ok && uses[in.B] == 1 {
+					cv := b.Ins[ci].Imm
+					if cv >= -1<<31 && cv < 1<<31 {
+						in.Imm = cv
+						uses[in.B]--
+						in.B = ir.NoV
+						// Shifts by constant are cheap; mul by pow2
+						// becomes a shift (both engines do this).
+						if in.Op == ir.Mul && cv > 0 && cv&(cv-1) == 0 {
+							in.Op = ir.Shl
+							in.Imm = int64(bits.TrailingZeros64(uint64(cv)))
+						}
+					}
+				}
+			}
+
+			// Fold constant addends into load/store displacements.
+			if (in.Op == ir.Load || in.Op == ir.Store) && in.A != ir.NoV {
+				// handled in emission via addrInfo; nothing here
+				_ = in
+			}
+
+			if in.Op == ir.Const {
+				constDef[in.Dst] = i
+			} else if in.Dst != ir.NoV {
+				delete(constDef, in.Dst)
+			}
+			// Calls and stores end const availability conservatively?
+			// Consts are immutable defs; no invalidation needed beyond
+			// redefinition, which SSA-ish lowering avoids.
+		}
+	}
+}
+
+// pure reports whether an op has no side effects (safe to delete when dead).
+func pure(op ir.Op) bool {
+	switch op {
+	case ir.Const, ir.FConst, ir.Mov, ir.Add, ir.Sub, ir.Mul,
+		ir.And, ir.Or, ir.Xor, ir.Shl, ir.ShrS, ir.ShrU, ir.Rotl, ir.Rotr,
+		ir.Clz, ir.Ctz, ir.Popcnt, ir.Eqz, ir.Cmp, ir.Select,
+		ir.FAdd, ir.FSub, ir.FMul, ir.FDiv, ir.FSqrt, ir.FAbs, ir.FNeg,
+		ir.FMin, ir.FMax, ir.FCeil, ir.FFloor, ir.FTrunc, ir.FNearest,
+		ir.FCmp, ir.ExtS, ir.ExtU, ir.Wrap, ir.I2F, ir.F2F,
+		ir.BitcastIF, ir.BitcastFI, ir.GlobalLd, ir.MemSize:
+		return true
+	}
+	return false
+}
+
+func dce(f *ir.Func) {
+	for round := 0; round < 4; round++ {
+		uses := useCounts(f)
+		changed := false
+		for _, b := range f.Blocks {
+			k := 0
+			for i := range b.Ins {
+				in := b.Ins[i]
+				if in.Dst != ir.NoV && uses[in.Dst] == 0 && pure(in.Op) {
+					changed = true
+					continue
+				}
+				b.Ins[k] = in
+				k++
+			}
+			b.Ins = b.Ins[:k]
+		}
+		if !changed {
+			return
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package cpu
+
+// Cache simulates a set-associative cache with LRU replacement. It tracks
+// hits and misses only (contents are not modeled).
+type Cache struct {
+	sets     [][]line
+	setMask  uint32
+	lineBits uint32
+	tick     uint64
+	Misses   uint64
+	Accesses uint64
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	used  uint64
+}
+
+// NewCache builds a cache of size bytes with the given line size and
+// associativity. Sizes must be powers of two.
+func NewCache(size, lineSize, ways int) *Cache {
+	nsets := size / lineSize / ways
+	c := &Cache{
+		sets:    make([][]line, nsets),
+		setMask: uint32(nsets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, ways)
+	}
+	for lineSize > 1 {
+		lineSize >>= 1
+		c.lineBits++
+	}
+	return c
+}
+
+// Access touches addr, returning true on hit.
+func (c *Cache) Access(addr uint32) bool {
+	c.Accesses++
+	c.tick++
+	lineAddr := uint64(addr >> c.lineBits)
+	set := c.sets[uint32(lineAddr)&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].used = c.tick
+			return true
+		}
+	}
+	c.Misses++
+	// Replace LRU.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	set[victim] = line{tag: lineAddr, valid: true, used: c.tick}
+	return false
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+	c.Misses, c.Accesses, c.tick = 0, 0, 0
+}
+
+// BranchPredictor is a bimodal predictor of 2-bit saturating counters.
+type BranchPredictor struct {
+	table  []uint8
+	mask   uint32
+	Misses uint64
+	Total  uint64
+}
+
+// NewBranchPredictor builds a predictor with entries slots (power of two).
+func NewBranchPredictor(entries int) *BranchPredictor {
+	return &BranchPredictor{table: make([]uint8, entries), mask: uint32(entries - 1)}
+}
+
+// Predict consumes the outcome of a conditional branch at addr, returning
+// true if it was predicted correctly.
+func (p *BranchPredictor) Predict(addr uint32, taken bool) bool {
+	p.Total++
+	i := (addr >> 2) & p.mask
+	ctr := p.table[i]
+	pred := ctr >= 2
+	if taken && ctr < 3 {
+		p.table[i] = ctr + 1
+	} else if !taken && ctr > 0 {
+		p.table[i] = ctr - 1
+	}
+	if pred != taken {
+		p.Misses++
+		return false
+	}
+	return true
+}

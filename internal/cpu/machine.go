@@ -1,0 +1,390 @@
+// Package cpu executes the modeled x86-64 programs produced by
+// internal/codegen against a simulated memory hierarchy, collecting the
+// hardware performance counters the paper analyzes: retired loads, stores,
+// branches, conditional branches, instructions, cycles, and L1 instruction
+// cache misses.
+package cpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/perf"
+	"repro/internal/x86"
+)
+
+// TrapError is a runtime trap (the wasm-level traps plus machine faults).
+type TrapError struct {
+	Msg string
+	PC  int
+}
+
+func (t *TrapError) Error() string { return fmt.Sprintf("cpu trap at %d: %s", t.PC, t.Msg) }
+
+// Cost model in quarter-cycles. The base cost reflects a 4-wide superscalar
+// core; memory and branch penalties are amortized effective latencies.
+const (
+	qBase     = 2
+	qLoad     = 1
+	qStore    = 1
+	qBranch   = 1
+	qMul      = 8
+	qDiv32    = 80
+	qDiv64    = 140
+	qFALU     = 4
+	qFDiv     = 52
+	qFSqrt    = 60
+	qCvt      = 8
+	qMispred  = 56
+	qL1DMiss  = 40
+	qL2DMiss  = 120
+	qL3DMiss  = 400
+	qL1IMiss  = 36
+	qL2IMiss  = 110
+	qCallHost = 8
+)
+
+// Flags is the simulated EFLAGS subset.
+type Flags struct {
+	ZF, SF, CF, OF, PF bool
+}
+
+// HostFunc services OCallHost instructions. Negative ids are engine
+// builtins (-1 = memory.grow). Arguments are read from the machine's
+// argument registers by the callee; results go in RAX.
+type HostFunc func(m *Machine, host int) error
+
+// Machine is one simulated hardware thread executing a Program.
+type Machine struct {
+	Prog  *x86.Program
+	Regs  [16]uint64
+	Xmm   [16]uint64
+	Flags Flags
+
+	// Memory regions.
+	Linear   []byte // wasm linear memory at address 0
+	MaxPages uint32
+	globals  []byte
+	tableMem []byte
+	rodata   []byte
+	stack    []byte
+	misc     [64]byte // stack limit + mem pages words
+
+	Counters perf.Counters
+	L1I      *Cache
+	L1D      *Cache
+	L2       *Cache
+	L3       *Cache
+	BP       *BranchPredictor
+
+	Host HostFunc
+
+	rip      int
+	halted   bool
+	lastLine uint32
+	qacc     uint64
+
+	// MaxInstructions bounds execution (0 = unlimited).
+	MaxInstructions uint64
+}
+
+// Region base helpers.
+const (
+	stackBase = uint32(x86.StackTop - x86.StackSize)
+)
+
+// NewMachine builds a machine for prog with the given initial linear memory
+// pages.
+func NewMachine(prog *x86.Program, pages, maxPages uint32) *Machine {
+	m := &Machine{
+		Prog:     prog,
+		Linear:   make([]byte, int(pages)*65536),
+		MaxPages: maxPages,
+		globals:  make([]byte, 64*1024),
+		tableMem: make([]byte, 256*1024),
+		stack:    make([]byte, x86.StackSize),
+		L1I:      NewCache(32*1024, 64, 8),
+		L1D:      NewCache(32*1024, 64, 8),
+		L2:       NewCache(256*1024, 64, 8),
+		L3:       NewCache(15*1024*1024, 64, 16),
+		BP:       NewBranchPredictor(4096),
+	}
+	m.setMisc()
+	m.Regs[x86.RSP] = uint64(x86.StackTop - 64)
+	return m
+}
+
+func (m *Machine) setMisc() {
+	// Stack limit: leave 64 KiB of headroom like the engines do.
+	binary.LittleEndian.PutUint64(m.misc[0:], uint64(stackBase)+64*1024)
+	binary.LittleEndian.PutUint32(m.misc[8:], uint32(len(m.Linear)/65536))
+}
+
+// SetRodata installs the constant pool.
+func (m *Machine) SetRodata(b []byte) { m.rodata = append([]byte(nil), b...) }
+
+// SetTableEntry writes an indirect-call table slot: sig id and entry
+// (instruction index).
+func (m *Machine) SetTableEntry(slot int, sig int64, entry int64) {
+	off := slot * x86.TableEntrySize
+	binary.LittleEndian.PutUint64(m.tableMem[off:], uint64(sig))
+	binary.LittleEndian.PutUint64(m.tableMem[off+8:], uint64(entry))
+}
+
+// SetGlobal writes the 8-byte global slot idx.
+func (m *Machine) SetGlobal(idx int, v uint64) {
+	binary.LittleEndian.PutUint64(m.globals[idx*8:], v)
+}
+
+// Global reads global slot idx.
+func (m *Machine) Global(idx int) uint64 {
+	return binary.LittleEndian.Uint64(m.globals[idx*8:])
+}
+
+// GrowLinear adds delta pages, returning the old page count or -1.
+func (m *Machine) GrowLinear(delta uint32) int32 {
+	old := uint32(len(m.Linear) / 65536)
+	if uint64(old)+uint64(delta) > uint64(m.MaxPages) {
+		return -1
+	}
+	m.Linear = append(m.Linear, make([]byte, int(delta)*65536)...)
+	m.setMisc()
+	return int32(old)
+}
+
+// AddCycles charges host-side work (the Browsix syscall shim) to the
+// simulated clock, in quarter-cycles.
+func (m *Machine) AddCycles(q uint64) { m.Counters.Cycles += q / 4 }
+
+// slab resolves an address to a memory region.
+func (m *Machine) slab(addr uint32, size uint32) ([]byte, uint32, bool) {
+	if int(addr)+int(size) <= len(m.Linear) {
+		return m.Linear, addr, true
+	}
+	switch {
+	case addr >= stackBase && addr+size <= uint32(x86.StackTop):
+		return m.stack, addr - stackBase, true
+	case addr >= uint32(x86.GlobalsBase) && int(addr-uint32(x86.GlobalsBase))+int(size) <= len(m.globals):
+		return m.globals, addr - uint32(x86.GlobalsBase), true
+	case addr >= uint32(x86.TableBase) && int(addr-uint32(x86.TableBase))+int(size) <= len(m.tableMem):
+		return m.tableMem, addr - uint32(x86.TableBase), true
+	case addr >= uint32(x86.StackLimitAddr) && int(addr-uint32(x86.StackLimitAddr))+int(size) <= len(m.misc):
+		return m.misc[:], addr - uint32(x86.StackLimitAddr), true
+	case addr >= uint32(x86.RodataBase) && int(addr-uint32(x86.RodataBase))+int(size) <= len(m.rodata):
+		return m.rodata, addr - uint32(x86.RodataBase), true
+	}
+	return nil, 0, false
+}
+
+func (m *Machine) load(addr uint32, w uint8) (uint64, error) {
+	s, off, ok := m.slab(addr, uint32(w))
+	if !ok {
+		return 0, &TrapError{Msg: fmt.Sprintf("out-of-bounds load at %#x", addr), PC: m.rip}
+	}
+	m.Counters.Loads++
+	m.dcache(addr)
+	switch w {
+	case 1:
+		return uint64(s[off]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(s[off:])), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(s[off:])), nil
+	}
+	return binary.LittleEndian.Uint64(s[off:]), nil
+}
+
+func (m *Machine) store(addr uint32, w uint8, v uint64) error {
+	s, off, ok := m.slab(addr, uint32(w))
+	if !ok {
+		return &TrapError{Msg: fmt.Sprintf("out-of-bounds store at %#x", addr), PC: m.rip}
+	}
+	m.Counters.Stores++
+	m.dcache(addr)
+	switch w {
+	case 1:
+		s[off] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(s[off:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(s[off:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(s[off:], v)
+	}
+	return nil
+}
+
+// dcache walks the data-cache hierarchy for addr and charges cycles.
+func (m *Machine) dcache(addr uint32) {
+	if m.L1D.Access(addr) {
+		m.q(qLoad)
+		return
+	}
+	m.Counters.L1DMisses++
+	if m.L2.Access(addr) {
+		m.q(qL1DMiss)
+		return
+	}
+	m.Counters.L2Misses++
+	if m.L3.Access(addr) {
+		m.q(qL2DMiss)
+		return
+	}
+	m.q(qL3DMiss)
+}
+
+// icache fetches the instruction at addr.
+func (m *Machine) icache(addr uint32) {
+	line := addr >> 6
+	if line == m.lastLine {
+		return
+	}
+	m.lastLine = line
+	if m.L1I.Access(addr) {
+		return
+	}
+	m.Counters.L1IMisses++
+	if m.L2.Access(addr) {
+		m.q(qL1IMiss)
+		return
+	}
+	m.q(qL2IMiss)
+}
+
+// q charges quarter-cycles; they are folded into Counters.Cycles lazily.
+func (m *Machine) q(n uint64) { m.qacc += n }
+
+// FlushCycles folds accumulated quarter-cycles into the cycle counter.
+func (m *Machine) FlushCycles() {
+	m.Counters.Cycles += m.qacc / 4
+	m.qacc %= 4
+}
+
+// ea computes the effective address of a memory operand. Base-less operands
+// zero-extend the displacement (the engine's absolute structures live above
+// 2 GiB).
+func (m *Machine) ea(mem *x86.Mem) uint32 {
+	var a uint64
+	if mem.Base != x86.NoReg {
+		a = m.Regs[mem.Base] + uint64(int64(mem.Disp))
+	} else {
+		a = uint64(uint32(mem.Disp))
+	}
+	if mem.Index != x86.NoReg {
+		a += m.Regs[mem.Index] * uint64(mem.Scale)
+	}
+	return uint32(a)
+}
+
+func (m *Machine) readOperand(o *x86.Operand, w uint8) (uint64, error) {
+	switch o.Kind {
+	case x86.KReg:
+		if o.Reg.IsXMM() {
+			return m.Xmm[o.Reg-x86.XMM0], nil
+		}
+		v := m.Regs[o.Reg]
+		if w == 4 {
+			v = uint64(uint32(v))
+		}
+		return v, nil
+	case x86.KImm:
+		return uint64(o.Imm), nil
+	case x86.KMem:
+		return m.load(m.ea(&o.Mem), w)
+	}
+	return 0, &TrapError{Msg: "bad operand", PC: m.rip}
+}
+
+func (m *Machine) writeGP(r x86.Reg, w uint8, v uint64) {
+	if w == 4 {
+		v = uint64(uint32(v))
+	}
+	m.Regs[r] = v
+}
+
+// cc evaluates a condition code against the flags.
+func (m *Machine) cc(c x86.CC) bool {
+	f := &m.Flags
+	switch c {
+	case x86.CCE:
+		return f.ZF
+	case x86.CCNE:
+		return !f.ZF
+	case x86.CCL:
+		return f.SF != f.OF
+	case x86.CCLE:
+		return f.ZF || f.SF != f.OF
+	case x86.CCG:
+		return !f.ZF && f.SF == f.OF
+	case x86.CCGE:
+		return f.SF == f.OF
+	case x86.CCB:
+		return f.CF
+	case x86.CCBE:
+		return f.CF || f.ZF
+	case x86.CCA:
+		return !f.CF && !f.ZF
+	case x86.CCAE:
+		return !f.CF
+	case x86.CCS:
+		return f.SF
+	case x86.CCNS:
+		return !f.SF
+	case x86.CCP:
+		return f.PF
+	case x86.CCNP:
+		return !f.PF
+	}
+	return false
+}
+
+func (m *Machine) setCmpFlags(a, b uint64, w uint8) {
+	var r uint64
+	if w == 4 {
+		a32, b32 := uint32(a), uint32(b)
+		r32 := a32 - b32
+		m.Flags.ZF = r32 == 0
+		m.Flags.SF = int32(r32) < 0
+		m.Flags.CF = a32 < b32
+		m.Flags.OF = (int32(a32) < 0) != (int32(b32) < 0) && (int32(r32) < 0) != (int32(a32) < 0)
+		m.Flags.PF = false
+		return
+	}
+	r = a - b
+	m.Flags.ZF = r == 0
+	m.Flags.SF = int64(r) < 0
+	m.Flags.CF = a < b
+	m.Flags.OF = (int64(a) < 0) != (int64(b) < 0) && (int64(r) < 0) != (int64(a) < 0)
+	m.Flags.PF = false
+}
+
+func (m *Machine) setTestFlags(a, b uint64, w uint8) {
+	r := a & b
+	if w == 4 {
+		r = uint64(uint32(r))
+		m.Flags.SF = int32(uint32(r)) < 0
+	} else {
+		m.Flags.SF = int64(r) < 0
+	}
+	m.Flags.ZF = r == 0
+	m.Flags.CF = false
+	m.Flags.OF = false
+	m.Flags.PF = false
+}
+
+// f64of interprets xmm bits at width w as a float64.
+func f64of(bits uint64, w uint8) float64 {
+	if w == 4 {
+		return float64(math.Float32frombits(uint32(bits)))
+	}
+	return math.Float64frombits(bits)
+}
+
+// bitsOf converts a float64 back to xmm bits at width w.
+func bitsOf(v float64, w uint8) uint64 {
+	if w == 4 {
+		return uint64(math.Float32bits(float32(v)))
+	}
+	return math.Float64bits(v)
+}

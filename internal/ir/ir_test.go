@@ -1,0 +1,82 @@
+package ir
+
+import "testing"
+
+func TestLiveness(t *testing.T) {
+	// b0: v0 = const; cond -> b1, b2
+	// b1: v1 = add v0, v0; ret v1
+	// b2: ret v0
+	f := &Func{Name: "t"}
+	v0 := f.NewV(GP)
+	v1 := f.NewV(GP)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b0.Ins = []Ins{
+		{Op: Const, Dst: v0, A: NoV, B: NoV, Extra: NoV, Imm: 1},
+		{Op: Cond, Dst: NoV, A: v0, B: NoV, Extra: NoV, Targets: []int{1, 2}},
+	}
+	b1.Ins = []Ins{
+		{Op: Add, Dst: v1, A: v0, B: v0, Extra: NoV, W: 4},
+		{Op: Ret, Dst: NoV, A: v1, B: NoV, Extra: NoV},
+	}
+	b2.Ins = []Ins{{Op: Ret, Dst: NoV, A: v0, B: NoV, Extra: NoV}}
+	lv := ComputeLiveness(f)
+	if !lv.Out[0].Has(v0) {
+		t.Error("v0 must be live-out of b0")
+	}
+	if !lv.In[1].Has(v0) || !lv.In[2].Has(v0) {
+		t.Error("v0 must be live-in to both successors")
+	}
+	if lv.In[1].Has(v1) {
+		t.Error("v1 is defined in b1, not live-in")
+	}
+}
+
+func TestLoopDepth(t *testing.T) {
+	f := &Func{Name: "loop"}
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b0.Ins = []Ins{{Op: Jump, Dst: NoV, A: NoV, B: NoV, Extra: NoV, Targets: []int{1}}}
+	b1.Ins = []Ins{{Op: Cond, Dst: NoV, A: NoV, B: NoV, Extra: NoV, Targets: []int{1, 2}}}
+	b2.Ins = []Ins{{Op: Ret, Dst: NoV, A: NoV, B: NoV, Extra: NoV}}
+	ComputeLoopDepth(f)
+	if f.LoopDepth[1] != 1 {
+		t.Errorf("b1 depth = %d, want 1", f.LoopDepth[1])
+	}
+	if f.LoopDepth[2] != 0 {
+		t.Errorf("b2 depth = %d, want 0", f.LoopDepth[2])
+	}
+}
+
+func TestBitset(t *testing.T) {
+	s := NewBitset(100)
+	s.Set(3)
+	s.Set(77)
+	if !s.Has(3) || !s.Has(77) || s.Has(4) {
+		t.Error("bitset set/has broken")
+	}
+	s.Clear(3)
+	if s.Has(3) {
+		t.Error("clear broken")
+	}
+	var seen []VReg
+	s.ForEach(func(v VReg) { seen = append(seen, v) })
+	if len(seen) != 1 || seen[0] != 77 {
+		t.Errorf("foreach: %v", seen)
+	}
+	t2 := NewBitset(100)
+	t2.Set(5)
+	if !s.OrWith(t2) || !s.Has(5) {
+		t.Error("orwith broken")
+	}
+}
+
+func TestCCNegate(t *testing.T) {
+	for _, c := range []CC{CCEq, CCNe, CCLt, CCLe, CCGt, CCGe, CCLtU, CCLeU, CCGtU, CCGeU} {
+		if c.Negate().Negate() != c {
+			t.Errorf("negate not involutive for %v", c)
+		}
+	}
+}

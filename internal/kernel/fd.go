@@ -1,0 +1,288 @@
+package kernel
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/browserfs"
+)
+
+// fdKind distinguishes descriptor backings.
+type fdKind int
+
+const (
+	fdFile fdKind = iota
+	fdPipeR
+	fdPipeW
+	fdConsole
+	fdNull
+)
+
+// FD is an open file description (shared across dup'ed descriptors).
+type FD struct {
+	mu     sync.Mutex
+	kind   fdKind
+	ino    *browserfs.Inode
+	fs     *browserfs.FS
+	pos    int64
+	pipe   *Pipe
+	kernel *Kernel
+	refs   int
+	append bool
+}
+
+func (f *FD) ref() {
+	f.mu.Lock()
+	f.refs++
+	f.mu.Unlock()
+}
+
+func (f *FD) unref() {
+	f.mu.Lock()
+	f.refs--
+	last := f.refs == 0
+	f.mu.Unlock()
+	if last {
+		switch f.kind {
+		case fdPipeR:
+			f.pipe.CloseRead()
+		case fdPipeW:
+			f.pipe.CloseWrite()
+		}
+	}
+}
+
+// NewFileFD opens an inode-backed descriptor.
+func NewFileFD(fs *browserfs.FS, ino *browserfs.Inode, append_ bool) *FD {
+	fd := &FD{kind: fdFile, ino: ino, fs: fs, append: append_}
+	if append_ {
+		fd.pos = int64(ino.Size())
+	}
+	return fd
+}
+
+// NewConsoleFD returns a descriptor that appends to the kernel console.
+func NewConsoleFD(k *Kernel) *FD { return &FD{kind: fdConsole, kernel: k} }
+
+// Read fills buf, blocking on pipes.
+func (f *FD) Read(buf []byte) (int, error) {
+	switch f.kind {
+	case fdFile:
+		f.mu.Lock()
+		n := f.ino.ReadAt(buf, f.pos)
+		f.pos += int64(n)
+		f.mu.Unlock()
+		return n, nil
+	case fdPipeR:
+		return f.pipe.Read(buf)
+	case fdNull, fdConsole:
+		return 0, nil // EOF
+	}
+	return 0, errors.New("bad fd for read")
+}
+
+// Write writes buf, blocking on full pipes.
+func (f *FD) Write(buf []byte) (int, error) {
+	switch f.kind {
+	case fdFile:
+		f.mu.Lock()
+		n := f.ino.WriteAt(buf, f.pos, f.fs.Policy)
+		f.pos += int64(n)
+		f.mu.Unlock()
+		return n, nil
+	case fdPipeW:
+		return f.pipe.Write(buf)
+	case fdConsole:
+		f.kernel.mu.Lock()
+		f.kernel.Console = append(f.kernel.Console, buf...)
+		f.kernel.mu.Unlock()
+		return len(buf), nil
+	case fdNull:
+		return len(buf), nil
+	}
+	return 0, errors.New("bad fd for write")
+}
+
+// Seek repositions a file descriptor.
+func (f *FD) Seek(off int64, whence int) (int64, error) {
+	if f.kind != fdFile {
+		return 0, errors.New("illegal seek")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch whence {
+	case 0:
+		f.pos = off
+	case 1:
+		f.pos += off
+	case 2:
+		f.pos = int64(f.ino.Size()) + off
+	default:
+		return 0, errors.New("bad whence")
+	}
+	if f.pos < 0 {
+		f.pos = 0
+	}
+	return f.pos, nil
+}
+
+// Pipe is a bounded in-kernel byte channel.
+type Pipe struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []byte
+	closedW bool
+	closedR bool
+	// Cap bounds buffering (64 KiB, like the Browsix pipes after the §2
+	// allocation fixes).
+	Cap int
+}
+
+// NewPipe returns an empty pipe.
+func NewPipe() *Pipe {
+	p := &Pipe{Cap: 64 * 1024}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Read blocks until data is available or the write side closes.
+func (p *Pipe) Read(buf []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 && !p.closedW {
+		p.cond.Wait()
+	}
+	if len(p.buf) == 0 {
+		return 0, nil // EOF
+	}
+	n := copy(buf, p.buf)
+	p.buf = p.buf[n:]
+	p.cond.Broadcast()
+	return n, nil
+}
+
+// Write blocks while the pipe is full; writing to a pipe with no reader
+// returns an error (EPIPE).
+func (p *Pipe) Write(buf []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for len(buf) > 0 {
+		if p.closedR {
+			return total, errors.New("broken pipe")
+		}
+		for len(p.buf) >= p.Cap && !p.closedR {
+			p.cond.Wait()
+		}
+		if p.closedR {
+			return total, errors.New("broken pipe")
+		}
+		n := p.Cap - len(p.buf)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		p.buf = append(p.buf, buf[:n]...)
+		buf = buf[n:]
+		total += n
+		p.cond.Broadcast()
+	}
+	return total, nil
+}
+
+// CloseWrite marks the writer side closed, waking readers.
+func (p *Pipe) CloseWrite() {
+	p.mu.Lock()
+	p.closedW = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// CloseRead marks the reader side closed, waking writers.
+func (p *Pipe) CloseRead() {
+	p.mu.Lock()
+	p.closedR = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// --- process fd table ---
+
+func (p *Process) getFD(fd int) (*FD, bool) {
+	p.fdmu.Lock()
+	defer p.fdmu.Unlock()
+	if fd < 0 || fd >= len(p.fds) || p.fds[fd] == nil {
+		return nil, false
+	}
+	return p.fds[fd], true
+}
+
+func (p *Process) installFD(f *FD) int {
+	p.fdmu.Lock()
+	defer p.fdmu.Unlock()
+	f.ref()
+	for i, e := range p.fds {
+		if e == nil {
+			p.fds[i] = f
+			return i
+		}
+	}
+	p.fds = append(p.fds, f)
+	return len(p.fds) - 1
+}
+
+func (p *Process) closeFD(fd int) error {
+	p.fdmu.Lock()
+	if fd < 0 || fd >= len(p.fds) || p.fds[fd] == nil {
+		p.fdmu.Unlock()
+		return errors.New("bad fd")
+	}
+	f := p.fds[fd]
+	p.fds[fd] = nil
+	p.fdmu.Unlock()
+	f.unref()
+	return nil
+}
+
+func (p *Process) dup2(old, new_ int) error {
+	p.fdmu.Lock()
+	if old < 0 || old >= len(p.fds) || p.fds[old] == nil || new_ < 0 || new_ > 1024 {
+		p.fdmu.Unlock()
+		return errors.New("bad fd")
+	}
+	f := p.fds[old]
+	for new_ >= len(p.fds) {
+		p.fds = append(p.fds, nil)
+	}
+	prev := p.fds[new_]
+	f.ref()
+	p.fds[new_] = f
+	p.fdmu.Unlock()
+	if prev != nil {
+		prev.unref()
+	}
+	return nil
+}
+
+func (p *Process) closeAllFDs() {
+	p.fdmu.Lock()
+	fds := p.fds
+	p.fds = nil
+	p.fdmu.Unlock()
+	for _, f := range fds {
+		if f != nil {
+			f.unref()
+		}
+	}
+}
+
+// StdioFDs returns the process's current stdio descriptors (for spawning
+// children that inherit them).
+func (p *Process) StdioFDs() [3]*FD {
+	var out [3]*FD
+	p.fdmu.Lock()
+	for i := 0; i < 3 && i < len(p.fds); i++ {
+		out[i] = p.fds[i]
+	}
+	p.fdmu.Unlock()
+	return out
+}

@@ -1,0 +1,315 @@
+// Package kernel implements Browsix-Wasm: an in-process Unix kernel that
+// WebAssembly processes talk to through message-passing system calls.
+// Processes stand in for WebWorkers (one goroutine each); the kernel's big
+// lock models the single-threaded JavaScript main context; every syscall
+// pays a message round-trip plus auxiliary-buffer copy costs, exactly the
+// §2 transport the paper builds (64 MB aux SharedArrayBuffer, chunked
+// transfers, data copied between process memory and the aux buffer).
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/browserfs"
+	"repro/internal/codegen"
+	"repro/internal/cpu"
+)
+
+// AuxBufferSize is the per-process auxiliary shared buffer (§2: 64 MB).
+const AuxBufferSize = 64 << 20
+
+// Syscall cost model, in cycles at the simulated 3.5 GHz clock.
+const (
+	// MsgRoundTripCycles is the process↔kernel message cost (the paper:
+	// "sending a message between process and kernel JavaScript contexts"
+	// dominates the copies).
+	MsgRoundTripCycles = 4200
+	// CopyCyclesPerByte models memcpy bandwidth (~28 GB/s).
+	CopyCyclesPerByte = 0.125
+	// ServiceCycles is the in-kernel handling cost per syscall.
+	ServiceCycles = 900
+)
+
+// ExitError unwinds a process on exit().
+type ExitError struct{ Code int }
+
+func (e *ExitError) Error() string { return fmt.Sprintf("exit(%d)", e.Code) }
+
+// Kernel is one Browsix-Wasm kernel instance.
+type Kernel struct {
+	FS *browserfs.FS
+
+	mu       sync.Mutex
+	procs    map[int]*Process
+	nextPID  int
+	binaries map[string]*codegen.CompiledModule
+
+	// Console accumulates writes to fds 1/2 that reach the "browser
+	// console" (no redirection).
+	Console []byte
+
+	// Hooks are the Browsix-SPEC perf callbacks fired by processes'
+	// perf_begin/perf_end runtime XHRs (Figure 2 steps 4 and 6).
+	Hooks PerfHooks
+}
+
+// New creates a kernel over the given filesystem.
+func New(fs *browserfs.FS) *Kernel {
+	if fs == nil {
+		fs = browserfs.New()
+	}
+	return &Kernel{
+		FS:       fs,
+		procs:    map[int]*Process{},
+		nextPID:  1,
+		binaries: map[string]*codegen.CompiledModule{},
+	}
+}
+
+// RegisterBinary installs a compiled module as an executable at path.
+func (k *Kernel) RegisterBinary(path string, cm *codegen.CompiledModule) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.binaries[path] = cm
+}
+
+// LookupBinary returns the executable registered at path.
+func (k *Kernel) LookupBinary(path string) (*codegen.CompiledModule, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	cm, ok := k.binaries[path]
+	return cm, ok
+}
+
+// Process is one Browsix-Wasm process: a WebWorker running a compiled wasm
+// module with its own linear memory and a 64 MB aux buffer shared with the
+// kernel.
+type Process struct {
+	PID    int
+	Kernel *Kernel
+	Inst   *cpu.Instance
+	Args   []string
+	// Path is the binary the process was spawned from.
+	Path string
+
+	fdmu sync.Mutex
+	fds  []*FD
+
+	aux []byte
+
+	// BrowsixCycles accumulates simulated time spent in the kernel and the
+	// syscall transport on behalf of this process (Figure 4's numerator).
+	BrowsixCycles uint64
+	// Syscalls counts syscall invocations.
+	Syscalls uint64
+
+	done     chan struct{}
+	ExitCode int
+	ExitErr  error
+
+	parent *Process
+}
+
+// Done returns a channel closed when the process exits.
+func (p *Process) Done() <-chan struct{} { return p.done }
+
+// TotalCycles returns the process's total simulated cycles.
+func (p *Process) TotalCycles() uint64 { return p.Inst.Counters.Cycles }
+
+// BrowsixShare returns the fraction of time spent in Browsix (Figure 4).
+func (p *Process) BrowsixShare() float64 {
+	t := p.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.BrowsixCycles) / float64(t)
+}
+
+// chargeBrowsix charges transport/kernel cycles to both the machine clock
+// and the Browsix accounting.
+func (p *Process) chargeBrowsix(cycles uint64) {
+	p.Inst.Machine.AddCycles(cycles * 4)
+	p.BrowsixCycles += cycles
+}
+
+// chargeCopy charges an aux-buffer copy of n bytes, chunked at the aux
+// buffer size (§2: transfers larger than 64 MB are split).
+func (p *Process) chargeCopy(n int) {
+	chunks := 1 + n/AuxBufferSize
+	p.chargeBrowsix(uint64(float64(n)*CopyCyclesPerByte) + uint64(chunks-1)*MsgRoundTripCycles)
+}
+
+// copyIn copies process-memory bytes into the aux buffer (for syscalls that
+// pass buffers to the kernel) and returns the aux view.
+func (p *Process) copyIn(addr, n uint32) ([]byte, error) {
+	if int64(addr)+int64(n) > int64(len(p.Inst.Linear)) {
+		return nil, errors.New("fault: bad address")
+	}
+	if int(n) > len(p.aux) {
+		n = uint32(len(p.aux))
+	}
+	copy(p.aux[:n], p.Inst.Linear[addr:addr+n])
+	p.chargeCopy(int(n))
+	return p.aux[:n], nil
+}
+
+// copyOut copies aux-buffer bytes back into process memory.
+func (p *Process) copyOut(addr uint32, data []byte) error {
+	if int64(addr)+int64(len(data)) > int64(len(p.Inst.Linear)) {
+		return errors.New("fault: bad address")
+	}
+	copy(p.Inst.Linear[addr:], data)
+	p.chargeCopy(len(data))
+	return nil
+}
+
+// cstring reads a NUL-terminated string from process memory via the aux
+// protocol.
+func (p *Process) cstring(addr uint32) (string, error) {
+	lin := p.Inst.Linear
+	if int64(addr) >= int64(len(lin)) {
+		return "", errors.New("fault: bad string address")
+	}
+	end := int(addr)
+	for end < len(lin) && lin[end] != 0 {
+		end++
+	}
+	s := string(lin[addr:end])
+	p.chargeCopy(len(s))
+	return s, nil
+}
+
+// Spawn creates a process from the binary at path with the given argv
+// (argv[0] is the program name) and starts it. The new process inherits the
+// parent's stdio descriptors (or fresh console stdio when parent is nil).
+func (k *Kernel) Spawn(parent *Process, path string, argv []string, stdio [3]*FD) (*Process, error) {
+	cm, ok := k.LookupBinary(path)
+	if !ok {
+		return nil, fmt.Errorf("kernel: no such binary %q", path)
+	}
+	inst, err := cpu.Load(cm)
+	if err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	pid := k.nextPID
+	k.nextPID++
+	p := &Process{
+		PID:    pid,
+		Kernel: k,
+		Inst:   inst,
+		Args:   argv,
+		Path:   path,
+		aux:    make([]byte, AuxBufferSize),
+		done:   make(chan struct{}),
+		parent: parent,
+	}
+	k.procs[pid] = p
+	k.mu.Unlock()
+
+	for i := 0; i < 3; i++ {
+		fd := stdio[i]
+		if fd == nil {
+			fd = &FD{kind: fdConsole, kernel: k}
+		}
+		fd.ref()
+		p.fds = append(p.fds, fd)
+	}
+
+	bindSyscalls(p)
+
+	go p.run()
+	return p, nil
+}
+
+// run executes the process to completion.
+func (p *Process) run() {
+	defer close(p.done)
+	defer p.closeAllFDs()
+	argc, argvPtr, err := p.writeArgs()
+	if err != nil {
+		p.ExitErr = err
+		p.ExitCode = 127
+		return
+	}
+	ret, err := p.Inst.Invoke("_start", uint64(argc), uint64(argvPtr))
+	if err != nil {
+		var ee *ExitError
+		if errors.As(err, &ee) {
+			p.ExitCode = ee.Code
+			return
+		}
+		p.ExitErr = err
+		p.ExitCode = 128
+		return
+	}
+	p.ExitCode = int(int32(ret))
+}
+
+// argsBase is where the loader writes argv into the process image. The
+// mini-C runtime reserves [1024, 4096) for it.
+const argsBase = 1024
+
+// writeArgs lays out argv in process memory: pointer array then strings.
+// Pointer slots follow the binary's data model (4 or 8 bytes).
+func (p *Process) writeArgs() (int, uint32, error) {
+	lin := p.Inst.Linear
+	ps := p.Inst.CM.PtrSize
+	if ps == 0 {
+		ps = 4
+	}
+	ptrs := argsBase
+	off := argsBase + ps*(len(p.Args)+1)
+	putPtr := func(slot int, v uint32) {
+		putU32(lin, slot, v)
+		if ps == 8 {
+			putU32(lin, slot+4, 0)
+		}
+	}
+	for i, a := range p.Args {
+		if off+len(a)+1 >= argsBase+3072 {
+			return 0, 0, errors.New("kernel: argv too large")
+		}
+		putPtr(ptrs+ps*i, uint32(off))
+		copy(lin[off:], a)
+		lin[off+len(a)] = 0
+		off += len(a) + 1
+	}
+	putPtr(ptrs+ps*len(p.Args), 0)
+	return len(p.Args), uint32(ptrs), nil
+}
+
+func putU32(b []byte, off int, v uint32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}
+
+// WaitPID blocks until pid exits, returning its exit code.
+func (k *Kernel) WaitPID(pid int) (int, error) {
+	k.mu.Lock()
+	p, ok := k.procs[pid]
+	k.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("kernel: no such pid %d", pid)
+	}
+	<-p.done
+	k.mu.Lock()
+	delete(k.procs, pid)
+	k.mu.Unlock()
+	if p.ExitErr != nil {
+		return p.ExitCode, p.ExitErr
+	}
+	return p.ExitCode, nil
+}
+
+// Proc returns a live process by pid.
+func (k *Kernel) Proc(pid int) (*Process, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	return p, ok
+}

@@ -1,0 +1,104 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/browserfs"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	p := NewPipe()
+	go func() {
+		p.Write([]byte("hello "))
+		p.Write([]byte("world"))
+		p.CloseWrite()
+	}()
+	var got []byte
+	buf := make([]byte, 4)
+	for {
+		n, err := p.Read(buf)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if string(got) != "hello world" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPipeBackpressure(t *testing.T) {
+	p := NewPipe()
+	p.Cap = 8
+	done := make(chan struct{})
+	go func() {
+		p.Write(make([]byte, 64)) // must block until reader drains
+		close(done)
+	}()
+	total := 0
+	buf := make([]byte, 16)
+	for total < 64 {
+		n, _ := p.Read(buf)
+		total += n
+	}
+	<-done
+}
+
+func TestBrokenPipe(t *testing.T) {
+	p := NewPipe()
+	p.CloseRead()
+	if _, err := p.Write([]byte("x")); err == nil {
+		t.Error("write to closed-read pipe should fail")
+	}
+}
+
+func TestFDTable(t *testing.T) {
+	k := New(browserfs.New())
+	p := &Process{Kernel: k}
+	f := NewConsoleFD(k)
+	fd := p.installFD(f)
+	if fd != 0 {
+		t.Errorf("first fd = %d", fd)
+	}
+	if err := p.dup2(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.getFD(5); !ok {
+		t.Error("dup2 target missing")
+	}
+	if err := p.closeFD(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.getFD(0); ok {
+		t.Error("fd 0 should be closed")
+	}
+	if _, ok := p.getFD(5); !ok {
+		t.Error("dup'ed fd must survive closing the original")
+	}
+}
+
+func TestFileFDSeek(t *testing.T) {
+	fs := browserfs.New()
+	ino, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := NewFileFD(fs, ino, false)
+	fd.ref()
+	fd.Write([]byte("abcdef"))
+	if pos, _ := fd.Seek(2, 0); pos != 2 {
+		t.Errorf("seek set: %d", pos)
+	}
+	b := make([]byte, 2)
+	fd.Read(b)
+	if string(b) != "cd" {
+		t.Errorf("read after seek: %q", b)
+	}
+	if pos, _ := fd.Seek(-1, 2); pos != 5 {
+		t.Errorf("seek end: %d", pos)
+	}
+}

@@ -1,0 +1,616 @@
+package minic
+
+import (
+	"repro/internal/wasm"
+)
+
+// lval describes an lvalue: either a wasm register local or a memory
+// location whose address has been pushed on the wasm stack.
+type lval struct {
+	isLocal bool
+	local   uint32
+	t       *Type
+}
+
+// loadScalar emits the load for type t from [addr+off] (addr on stack).
+func (fg *fgen) loadScalar(t *Type, off uint32) {
+	fb := fg.fb
+	switch t.Kind {
+	case TChar:
+		fb.Load(wasm.OpI32Load8S, off)
+	case TInt, TUint:
+		fb.Load(wasm.OpI32Load, off)
+	case TLong, TULong:
+		fb.Load(wasm.OpI64Load, off)
+	case TFloat:
+		fb.Load(wasm.OpF32Load, off)
+	case TDouble:
+		fb.Load(wasm.OpF64Load, off)
+	case TPtr:
+		if fg.g.abi.PtrSize == 8 {
+			// Pointers are stored as 8 bytes in the native data model but
+			// compute as i32.
+			fb.Load(wasm.OpI64Load, off)
+			fb.Op(wasm.OpI32WrapI64)
+		} else {
+			fb.Load(wasm.OpI32Load, off)
+		}
+	}
+}
+
+// storeScalar emits the store for type t to [addr+off]; stack: [addr value].
+func (fg *fgen) storeScalar(t *Type, off uint32) {
+	fb := fg.fb
+	switch t.Kind {
+	case TChar:
+		fb.Store(wasm.OpI32Store8, off)
+	case TInt, TUint:
+		fb.Store(wasm.OpI32Store, off)
+	case TLong, TULong:
+		fb.Store(wasm.OpI64Store, off)
+	case TFloat:
+		fb.Store(wasm.OpF32Store, off)
+	case TDouble:
+		fb.Store(wasm.OpF64Store, off)
+	case TPtr:
+		if fg.g.abi.PtrSize == 8 {
+			fb.Op(wasm.OpI64ExtendI32U)
+			fb.Store(wasm.OpI64Store, off)
+		} else {
+			fb.Store(wasm.OpI32Store, off)
+		}
+	}
+}
+
+// convert coerces the stack top from type `from` to type `to`.
+func (fg *fgen) convert(from, to *Type, line int) error {
+	fb := fg.fb
+	if from == nil || to == nil {
+		return fg.errf(line, "internal: nil type in conversion")
+	}
+	if sameType(from, to) {
+		return nil
+	}
+	// Pointer/array/int interconversion at the wasm level is free (all i32).
+	fi := from.isInt() || from.Kind == TPtr || from.Kind == TArray
+	ti := to.isInt() || to.Kind == TPtr
+	switch {
+	case fi && ti:
+		f64 := from.is64()
+		t64 := to.is64()
+		switch {
+		case f64 && !t64:
+			fb.Op(wasm.OpI32WrapI64)
+		case !f64 && t64:
+			if from.isUnsigned() || from.Kind == TPtr || from.Kind == TArray {
+				fb.Op(wasm.OpI64ExtendI32U)
+			} else {
+				fb.Op(wasm.OpI64ExtendI32S)
+			}
+		}
+		if to.Kind == TChar {
+			// Truncate to signed char value.
+			if t64 {
+				fb.Op(wasm.OpI32WrapI64)
+			}
+			fb.I32Const(24).Op(wasm.OpI32Shl)
+			fb.I32Const(24).Op(wasm.OpI32ShrS)
+			if t64 {
+				fb.Op(wasm.OpI64ExtendI32S)
+			}
+		}
+		return nil
+	case fi && to.isFloat():
+		var op wasm.Opcode
+		switch {
+		case from.is64() && to.Kind == TDouble:
+			op = wasm.OpF64ConvertI64S
+			if from.isUnsigned() {
+				op = wasm.OpF64ConvertI64U
+			}
+		case from.is64():
+			op = wasm.OpF32ConvertI64S
+			if from.isUnsigned() {
+				op = wasm.OpF32ConvertI64U
+			}
+		case to.Kind == TDouble:
+			op = wasm.OpF64ConvertI32S
+			if from.isUnsigned() || from.Kind == TPtr {
+				op = wasm.OpF64ConvertI32U
+			}
+		default:
+			op = wasm.OpF32ConvertI32S
+			if from.isUnsigned() || from.Kind == TPtr {
+				op = wasm.OpF32ConvertI32U
+			}
+		}
+		fb.Op(op)
+		return nil
+	case from.isFloat() && ti:
+		var op wasm.Opcode
+		switch {
+		case from.Kind == TDouble && to.is64():
+			op = wasm.OpI64TruncF64S
+			if to.isUnsigned() {
+				op = wasm.OpI64TruncF64U
+			}
+		case from.Kind == TDouble:
+			op = wasm.OpI32TruncF64S
+			if to.isUnsigned() {
+				op = wasm.OpI32TruncF64U
+			}
+		case to.is64():
+			op = wasm.OpI64TruncF32S
+			if to.isUnsigned() {
+				op = wasm.OpI64TruncF32U
+			}
+		default:
+			op = wasm.OpI32TruncF32S
+			if to.isUnsigned() {
+				op = wasm.OpI32TruncF32U
+			}
+		}
+		fb.Op(op)
+		if to.Kind == TChar {
+			fb.I32Const(24).Op(wasm.OpI32Shl)
+			fb.I32Const(24).Op(wasm.OpI32ShrS)
+		}
+		return nil
+	case from.Kind == TFloat && to.Kind == TDouble:
+		fb.Op(wasm.OpF64PromoteF32)
+		return nil
+	case from.Kind == TDouble && to.Kind == TFloat:
+		fb.Op(wasm.OpF32DemoteF64)
+		return nil
+	case to.Kind == TVoid:
+		return nil
+	}
+	return fg.errf(line, "cannot convert %s to %s", from, to)
+}
+
+// commonType computes the usual-arithmetic-conversion result.
+func commonType(a, b *Type) *Type {
+	if a.Kind == TDouble || b.Kind == TDouble {
+		return tyDouble
+	}
+	if a.Kind == TFloat || b.Kind == TFloat {
+		return tyFloat
+	}
+	if a.is64() || b.is64() {
+		if a.Kind == TULong || b.Kind == TULong {
+			return tyULong
+		}
+		return tyLong
+	}
+	if a.Kind == TUint || b.Kind == TUint {
+		return tyUint
+	}
+	return tyInt
+}
+
+// binOpcode returns the wasm opcode for operator tok at type t.
+func binOpcode(tok string, t *Type) (wasm.Opcode, bool) {
+	type key struct {
+		tok string
+		cls int // 0=i32, 1=i64, 2=f32, 3=f64
+	}
+	cls := 0
+	switch {
+	case t.Kind == TFloat:
+		cls = 2
+	case t.Kind == TDouble:
+		cls = 3
+	case t.is64():
+		cls = 1
+	}
+	uns := t.isUnsigned() || t.Kind == TPtr
+	pick4 := func(a, b, c, d wasm.Opcode) (wasm.Opcode, bool) {
+		return [4]wasm.Opcode{a, b, c, d}[cls], true
+	}
+	switch tok {
+	case "+":
+		return pick4(wasm.OpI32Add, wasm.OpI64Add, wasm.OpF32Add, wasm.OpF64Add)
+	case "-":
+		return pick4(wasm.OpI32Sub, wasm.OpI64Sub, wasm.OpF32Sub, wasm.OpF64Sub)
+	case "*":
+		return pick4(wasm.OpI32Mul, wasm.OpI64Mul, wasm.OpF32Mul, wasm.OpF64Mul)
+	case "/":
+		if cls >= 2 {
+			return pick4(0, 0, wasm.OpF32Div, wasm.OpF64Div)
+		}
+		if uns {
+			return pick4(wasm.OpI32DivU, wasm.OpI64DivU, 0, 0)
+		}
+		return pick4(wasm.OpI32DivS, wasm.OpI64DivS, 0, 0)
+	case "%":
+		if cls >= 2 {
+			return 0, false
+		}
+		if uns {
+			return pick4(wasm.OpI32RemU, wasm.OpI64RemU, 0, 0)
+		}
+		return pick4(wasm.OpI32RemS, wasm.OpI64RemS, 0, 0)
+	case "&":
+		return pick4(wasm.OpI32And, wasm.OpI64And, 0, 0)
+	case "|":
+		return pick4(wasm.OpI32Or, wasm.OpI64Or, 0, 0)
+	case "^":
+		return pick4(wasm.OpI32Xor, wasm.OpI64Xor, 0, 0)
+	case "<<":
+		return pick4(wasm.OpI32Shl, wasm.OpI64Shl, 0, 0)
+	case ">>":
+		if uns {
+			return pick4(wasm.OpI32ShrU, wasm.OpI64ShrU, 0, 0)
+		}
+		return pick4(wasm.OpI32ShrS, wasm.OpI64ShrS, 0, 0)
+	}
+	return 0, false
+}
+
+// cmpOpcode returns the wasm comparison opcode for tok at operand type t.
+func cmpOpcode(tok string, t *Type) (wasm.Opcode, bool) {
+	uns := t.isUnsigned() || t.Kind == TPtr || t.Kind == TArray
+	switch t.Kind {
+	case TFloat:
+		switch tok {
+		case "==":
+			return wasm.OpF32Eq, true
+		case "!=":
+			return wasm.OpF32Ne, true
+		case "<":
+			return wasm.OpF32Lt, true
+		case ">":
+			return wasm.OpF32Gt, true
+		case "<=":
+			return wasm.OpF32Le, true
+		case ">=":
+			return wasm.OpF32Ge, true
+		}
+	case TDouble:
+		switch tok {
+		case "==":
+			return wasm.OpF64Eq, true
+		case "!=":
+			return wasm.OpF64Ne, true
+		case "<":
+			return wasm.OpF64Lt, true
+		case ">":
+			return wasm.OpF64Gt, true
+		case "<=":
+			return wasm.OpF64Le, true
+		case ">=":
+			return wasm.OpF64Ge, true
+		}
+	case TLong, TULong:
+		switch tok {
+		case "==":
+			return wasm.OpI64Eq, true
+		case "!=":
+			return wasm.OpI64Ne, true
+		case "<":
+			if uns {
+				return wasm.OpI64LtU, true
+			}
+			return wasm.OpI64LtS, true
+		case ">":
+			if uns {
+				return wasm.OpI64GtU, true
+			}
+			return wasm.OpI64GtS, true
+		case "<=":
+			if uns {
+				return wasm.OpI64LeU, true
+			}
+			return wasm.OpI64LeS, true
+		case ">=":
+			if uns {
+				return wasm.OpI64GeU, true
+			}
+			return wasm.OpI64GeS, true
+		}
+	default:
+		switch tok {
+		case "==":
+			return wasm.OpI32Eq, true
+		case "!=":
+			return wasm.OpI32Ne, true
+		case "<":
+			if uns {
+				return wasm.OpI32LtU, true
+			}
+			return wasm.OpI32LtS, true
+		case ">":
+			if uns {
+				return wasm.OpI32GtU, true
+			}
+			return wasm.OpI32GtS, true
+		case "<=":
+			if uns {
+				return wasm.OpI32LeU, true
+			}
+			return wasm.OpI32LeS, true
+		case ">=":
+			if uns {
+				return wasm.OpI32GeU, true
+			}
+			return wasm.OpI32GeS, true
+		}
+	}
+	return 0, false
+}
+
+// decay converts array values to element pointers.
+func decay(t *Type) *Type {
+	if t.Kind == TArray {
+		return ptrTo(t.Elem)
+	}
+	return t
+}
+
+// expr generates code pushing the expression value, returning its type.
+func (fg *fgen) expr(e *Expr) (*Type, error) {
+	fb := fg.fb
+	switch e.Op {
+	case "num":
+		if e.Ival > 0x7fffffff || e.Ival < -0x80000000 {
+			fb.I64Const(e.Ival)
+			return tyLong, nil
+		}
+		fb.I32Const(int32(e.Ival))
+		return tyInt, nil
+
+	case "fnum":
+		fb.F64Const(e.Fval)
+		return tyDouble, nil
+
+	case "str":
+		addr := fg.g.internString(e.Sval)
+		fb.I32Const(int32(addr))
+		return ptrTo(tyChar), nil
+
+	case "sizeof":
+		t := e.T
+		if t == nil {
+			var err error
+			t, err = fg.typeOf(e.X)
+			if err != nil {
+				return nil, err
+			}
+		}
+		fb.I32Const(int32(t.size(fg.g.abi.PtrSize)))
+		return tyInt, nil
+
+	case "var":
+		// Local or global variable, or function reference.
+		if li, ok := fg.lookup(e.Name); ok {
+			if li.isMem {
+				if li.t.Kind == TArray || li.t.Kind == TStruct {
+					// Aggregates evaluate to their address.
+					fb.LocalGet(fg.spLocal)
+					if li.off != 0 {
+						fb.I32Const(int32(li.off)).Op(wasm.OpI32Add)
+					}
+					return decayAggregate(li.t), nil
+				}
+				fb.LocalGet(fg.spLocal)
+				fg.loadScalar(li.t, uint32(li.off))
+				return li.t, nil
+			}
+			fb.LocalGet(li.local)
+			return li.t, nil
+		}
+		if addr, ok := fg.g.globalAddr[e.Name]; ok {
+			t := fg.g.globalType[e.Name]
+			if t.Kind == TArray || t.Kind == TStruct {
+				fb.I32Const(int32(addr))
+				return decayAggregate(t), nil
+			}
+			fb.I32Const(int32(addr))
+			fg.loadScalar(t, 0)
+			return t, nil
+		}
+		if fi, ok := fg.g.funcs[e.Name]; ok {
+			slot, err := fg.g.tableIndexOf(e.Name)
+			if err != nil {
+				return nil, err
+			}
+			fb.I32Const(int32(slot))
+			return &Type{Kind: TPtr, Fn: fi.sig}, nil
+		}
+		return nil, fg.errf(e.Line, "undefined identifier %q", e.Name)
+
+	case "call":
+		return fg.call(e)
+
+	case "bin":
+		return fg.binary(e)
+
+	case "un":
+		return fg.unary(e)
+
+	case "assign":
+		return fg.assign(e)
+
+	case "post":
+		return fg.postIncDec(e)
+
+	case "cond":
+		if err := fg.cond(e.X); err != nil {
+			return nil, err
+		}
+		// Determine the common result type by dry-typing both arms.
+		at, err := fg.typeOf(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		bt, err := fg.typeOf(e.Z)
+		if err != nil {
+			return nil, err
+		}
+		rt := decay(at)
+		if !sameType(decay(at), decay(bt)) {
+			rt = commonType(decay(at), decay(bt))
+		}
+		fb.If(wasm.BlockOf(fg.g.valType(rt)))
+		t1, err := fg.expr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		if err := fg.convert(decay(t1), rt, e.Line); err != nil {
+			return nil, err
+		}
+		fb.Else()
+		t2, err := fg.expr(e.Z)
+		if err != nil {
+			return nil, err
+		}
+		if err := fg.convert(decay(t2), rt, e.Line); err != nil {
+			return nil, err
+		}
+		fb.End()
+		return rt, nil
+
+	case "index", "member":
+		lv, err := fg.lvalue(e)
+		if err != nil {
+			return nil, err
+		}
+		if lv.t.Kind == TArray || lv.t.Kind == TStruct {
+			// Address already on stack.
+			return decayAggregate(lv.t), nil
+		}
+		fg.loadScalar(lv.t, 0)
+		return lv.t, nil
+
+	case "cast":
+		t, err := fg.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if err := fg.convert(decay(t), e.T, e.Line); err != nil {
+			return nil, err
+		}
+		return e.T, nil
+	}
+	return nil, fg.errf(e.Line, "unhandled expression %q", e.Op)
+}
+
+// decayAggregate returns the value type of an aggregate used as a value.
+func decayAggregate(t *Type) *Type {
+	if t.Kind == TArray {
+		return ptrTo(t.Elem)
+	}
+	return ptrTo(t) // struct lvalue used as value: its address
+}
+
+// lvalue generates an lvalue. For memory lvalues the address is pushed.
+func (fg *fgen) lvalue(e *Expr) (lval, error) {
+	fb := fg.fb
+	switch e.Op {
+	case "var":
+		if li, ok := fg.lookup(e.Name); ok {
+			if li.isMem {
+				fb.LocalGet(fg.spLocal)
+				if li.off != 0 {
+					fb.I32Const(int32(li.off)).Op(wasm.OpI32Add)
+				}
+				return lval{t: li.t}, nil
+			}
+			return lval{isLocal: true, local: li.local, t: li.t}, nil
+		}
+		if addr, ok := fg.g.globalAddr[e.Name]; ok {
+			fb.I32Const(int32(addr))
+			return lval{t: fg.g.globalType[e.Name]}, nil
+		}
+		return lval{}, fg.errf(e.Line, "undefined identifier %q", e.Name)
+
+	case "un":
+		if e.Tok == "*" {
+			t, err := fg.expr(e.X)
+			if err != nil {
+				return lval{}, err
+			}
+			t = decay(t)
+			if t.Kind != TPtr || t.Elem == nil {
+				return lval{}, fg.errf(e.Line, "dereference of non-pointer %s", t)
+			}
+			return lval{t: t.Elem}, nil
+		}
+
+	case "index":
+		bt, err := fg.expr(e.X)
+		if err != nil {
+			return lval{}, err
+		}
+		bt = decay(bt)
+		if bt.Kind != TPtr || bt.Elem == nil {
+			return lval{}, fg.errf(e.Line, "indexing non-pointer %s", bt)
+		}
+		it, err := fg.expr(e.Y)
+		if err != nil {
+			return lval{}, err
+		}
+		if !it.isInt() {
+			return lval{}, fg.errf(e.Line, "non-integer index")
+		}
+		if it.is64() {
+			fb.Op(wasm.OpI32WrapI64)
+		}
+		fg.scaleIndex(bt.Elem)
+		fb.Op(wasm.OpI32Add)
+		return lval{t: bt.Elem}, nil
+
+	case "member":
+		var st *Type
+		if e.Tok == "->" {
+			t, err := fg.expr(e.X)
+			if err != nil {
+				return lval{}, err
+			}
+			t = decay(t)
+			if t.Kind != TPtr || t.Elem == nil || t.Elem.Kind != TStruct {
+				return lval{}, fg.errf(e.Line, "-> on non-struct-pointer %s", t)
+			}
+			st = t.Elem
+		} else {
+			lv, err := fg.lvalue(e.X)
+			if err != nil {
+				return lval{}, err
+			}
+			if lv.isLocal || lv.t.Kind != TStruct {
+				// Struct values always live in memory; a "." on a pointer-
+				// valued expression is invalid.
+				if lv.t.Kind == TPtr && lv.t.Elem != nil && lv.t.Elem.Kind == TStruct {
+					// Allow p.x as sugar? No: require ->.
+					return lval{}, fg.errf(e.Line, ". on pointer; use ->")
+				}
+				if lv.t.Kind != TStruct {
+					return lval{}, fg.errf(e.Line, ". on non-struct %s", lv.t)
+				}
+			}
+			st = lv.t
+		}
+		off, ft, ok := st.S.fieldOffset(e.Name, fg.g.abi.PtrSize)
+		if !ok {
+			return lval{}, fg.errf(e.Line, "no field %q in struct %s", e.Name, st.S.Name)
+		}
+		if off != 0 {
+			fb.I32Const(int32(off)).Op(wasm.OpI32Add)
+		}
+		return lval{t: ft}, nil
+	}
+	return lval{}, fg.errf(e.Line, "not an lvalue")
+}
+
+// scaleIndex multiplies the i32 on the stack by the element size.
+func (fg *fgen) scaleIndex(elem *Type) {
+	sz := elem.size(fg.g.abi.PtrSize)
+	switch sz {
+	case 1:
+	case 2, 4, 8:
+		shift := map[int]int32{2: 1, 4: 2, 8: 3}[sz]
+		fg.fb.I32Const(shift).Op(wasm.OpI32Shl)
+	default:
+		fg.fb.I32Const(int32(sz)).Op(wasm.OpI32Mul)
+	}
+}

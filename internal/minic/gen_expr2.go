@@ -1,0 +1,480 @@
+package minic
+
+import (
+	"repro/internal/wasm"
+)
+
+// binary generates binary operators.
+func (fg *fgen) binary(e *Expr) (*Type, error) {
+	fb := fg.fb
+	switch e.Tok {
+	case ",":
+		t, err := fg.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != TVoid {
+			fb.Op(wasm.OpDrop)
+		}
+		return fg.expr(e.Y)
+
+	case "&&", "||":
+		if err := fg.cond(e.X); err != nil {
+			return nil, err
+		}
+		fb.If(wasm.BlockOf(wasm.I32))
+		if e.Tok == "&&" {
+			if err := fg.cond(e.Y); err != nil {
+				return nil, err
+			}
+			fb.I32Const(0).Op(wasm.OpI32Ne)
+			fb.Else()
+			fb.I32Const(0)
+		} else {
+			fb.I32Const(1)
+			fb.Else()
+			if err := fg.cond(e.Y); err != nil {
+				return nil, err
+			}
+			fb.I32Const(0).Op(wasm.OpI32Ne)
+		}
+		fb.End()
+		return tyInt, nil
+
+	case "==", "!=", "<", ">", "<=", ">=":
+		at, err := fg.typeOf(e.X)
+		if err != nil {
+			return nil, err
+		}
+		bt, err := fg.typeOf(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		at, bt = decay(at), decay(bt)
+		var ct *Type
+		if at.Kind == TPtr || bt.Kind == TPtr {
+			ct = tyUint // pointer comparison is unsigned 32-bit
+		} else {
+			ct = commonType(at, bt)
+		}
+		xt, err := fg.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if err := fg.convert(decay(xt), ct, e.Line); err != nil {
+			return nil, err
+		}
+		yt, err := fg.expr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		if err := fg.convert(decay(yt), ct, e.Line); err != nil {
+			return nil, err
+		}
+		op, ok := cmpOpcode(e.Tok, ct)
+		if !ok {
+			return nil, fg.errf(e.Line, "bad comparison %q on %s", e.Tok, ct)
+		}
+		fb.Op(op)
+		return tyInt, nil
+	}
+
+	// Arithmetic (with pointer cases).
+	at, err := fg.typeOf(e.X)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := fg.typeOf(e.Y)
+	if err != nil {
+		return nil, err
+	}
+	at, bt = decay(at), decay(bt)
+
+	// ptr +/- int, int + ptr, ptr - ptr.
+	if e.Tok == "+" || e.Tok == "-" {
+		switch {
+		case at.Kind == TPtr && bt.isInt():
+			if _, err := fg.expr(e.X); err != nil {
+				return nil, err
+			}
+			it, err := fg.expr(e.Y)
+			if err != nil {
+				return nil, err
+			}
+			if it.is64() {
+				fb.Op(wasm.OpI32WrapI64)
+			}
+			fg.scaleIndex(at.Elem)
+			if e.Tok == "+" {
+				fb.Op(wasm.OpI32Add)
+			} else {
+				fb.Op(wasm.OpI32Sub)
+			}
+			return at, nil
+		case at.isInt() && bt.Kind == TPtr && e.Tok == "+":
+			it, err := fg.expr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			if it.is64() {
+				fb.Op(wasm.OpI32WrapI64)
+			}
+			fg.scaleIndex(bt.Elem)
+			if _, err := fg.expr(e.Y); err != nil {
+				return nil, err
+			}
+			fb.Op(wasm.OpI32Add)
+			return bt, nil
+		case at.Kind == TPtr && bt.Kind == TPtr && e.Tok == "-":
+			if _, err := fg.expr(e.X); err != nil {
+				return nil, err
+			}
+			if _, err := fg.expr(e.Y); err != nil {
+				return nil, err
+			}
+			fb.Op(wasm.OpI32Sub)
+			sz := at.Elem.size(fg.g.abi.PtrSize)
+			if sz > 1 {
+				fb.I32Const(int32(sz)).Op(wasm.OpI32DivS)
+			}
+			return tyInt, nil
+		}
+	}
+
+	ct := commonType(at, bt)
+	xt, err := fg.expr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	if err := fg.convert(decay(xt), ct, e.Line); err != nil {
+		return nil, err
+	}
+	yt, err := fg.expr(e.Y)
+	if err != nil {
+		return nil, err
+	}
+	// Shift counts keep the left operand's width.
+	if e.Tok == "<<" || e.Tok == ">>" {
+		if err := fg.convert(decay(yt), ct, e.Line); err != nil {
+			return nil, err
+		}
+	} else if err := fg.convert(decay(yt), ct, e.Line); err != nil {
+		return nil, err
+	}
+	op, ok := binOpcode(e.Tok, ct)
+	if !ok {
+		return nil, fg.errf(e.Line, "bad operator %q on %s", e.Tok, ct)
+	}
+	fb.Op(op)
+	return ct, nil
+}
+
+// unary generates unary operators.
+func (fg *fgen) unary(e *Expr) (*Type, error) {
+	fb := fg.fb
+	switch e.Tok {
+	case "-":
+		t, err := fg.typeOf(e.X)
+		if err != nil {
+			return nil, err
+		}
+		t = decay(t)
+		switch {
+		case t.Kind == TDouble:
+			if _, err := fg.expr(e.X); err != nil {
+				return nil, err
+			}
+			fb.Op(wasm.OpF64Neg)
+			return tyDouble, nil
+		case t.Kind == TFloat:
+			if _, err := fg.expr(e.X); err != nil {
+				return nil, err
+			}
+			fb.Op(wasm.OpF32Neg)
+			return tyFloat, nil
+		case t.is64():
+			fb.I64Const(0)
+			if _, err := fg.expr(e.X); err != nil {
+				return nil, err
+			}
+			fb.Op(wasm.OpI64Sub)
+			return t, nil
+		default:
+			fb.I32Const(0)
+			xt, err := fg.expr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			if err := fg.convert(decay(xt), tyInt, e.Line); err != nil {
+				return nil, err
+			}
+			fb.Op(wasm.OpI32Sub)
+			return tyInt, nil
+		}
+	case "!":
+		t, err := fg.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if err := fg.truthify(t, e.Line); err != nil {
+			return nil, err
+		}
+		fb.Op(wasm.OpI32Eqz)
+		return tyInt, nil
+	case "~":
+		t, err := fg.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if t.is64() {
+			fb.I64Const(-1).Op(wasm.OpI64Xor)
+			return t, nil
+		}
+		fb.I32Const(-1).Op(wasm.OpI32Xor)
+		return tyInt, nil
+	case "*":
+		lv, err := fg.lvalue(e)
+		if err != nil {
+			return nil, err
+		}
+		if lv.t.Kind == TArray || lv.t.Kind == TStruct {
+			return decayAggregate(lv.t), nil
+		}
+		fg.loadScalar(lv.t, 0)
+		return lv.t, nil
+	case "&":
+		lv, err := fg.lvalue(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if lv.isLocal {
+			return nil, fg.errf(e.Line, "internal: address of register local %v", e.X.Name)
+		}
+		return ptrTo(lv.t), nil
+	}
+	return nil, fg.errf(e.Line, "unhandled unary %q", e.Tok)
+}
+
+// assign handles = and compound assignment, yielding the stored value.
+func (fg *fgen) assign(e *Expr) (*Type, error) {
+	fb := fg.fb
+	lv, err := fg.lvalue(e.X)
+	if err != nil {
+		return nil, err
+	}
+	simple := e.Tok == "="
+
+	if lv.isLocal {
+		if simple {
+			rt, err := fg.expr(e.Y)
+			if err != nil {
+				return nil, err
+			}
+			if err := fg.convert(decay(rt), lv.t, e.Line); err != nil {
+				return nil, err
+			}
+			fb.LocalTee(lv.local)
+			return lv.t, nil
+		}
+		// x op= y  =>  x = x op y, with pointer scaling for += / -=.
+		op := e.Tok[:len(e.Tok)-1]
+		fb.LocalGet(lv.local)
+		if lv.t.Kind == TPtr && (op == "+" || op == "-") {
+			it, err := fg.expr(e.Y)
+			if err != nil {
+				return nil, err
+			}
+			if it.is64() {
+				fb.Op(wasm.OpI32WrapI64)
+			}
+			fg.scaleIndex(lv.t.Elem)
+			if op == "+" {
+				fb.Op(wasm.OpI32Add)
+			} else {
+				fb.Op(wasm.OpI32Sub)
+			}
+			fb.LocalTee(lv.local)
+			return lv.t, nil
+		}
+		rt0, err := fg.typeOf(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		ct := commonType(lv.t, decay(rt0))
+		if err := fg.convert(lv.t, ct, e.Line); err != nil {
+			return nil, err
+		}
+		rt, err := fg.expr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		if err := fg.convert(decay(rt), ct, e.Line); err != nil {
+			return nil, err
+		}
+		opc, ok := binOpcode(op, ct)
+		if !ok {
+			return nil, fg.errf(e.Line, "bad operator %q on %s", op, ct)
+		}
+		fb.Op(opc)
+		if err := fg.convert(ct, lv.t, e.Line); err != nil {
+			return nil, err
+		}
+		fb.LocalTee(lv.local)
+		return lv.t, nil
+	}
+
+	// Memory lvalue: the address is on the stack.
+	vt := fg.g.valType(lv.t)
+	if simple {
+		rt, err := fg.expr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		if err := fg.convert(decay(rt), lv.t, e.Line); err != nil {
+			return nil, err
+		}
+		vS := fg.getScratch(vt)
+		fb.LocalTee(vS)
+		fg.storeScalar(lv.t, 0)
+		fb.LocalGet(vS)
+		fg.putScratch(vt, vS)
+		return lv.t, nil
+	}
+	op := e.Tok[:len(e.Tok)-1]
+	aS := fg.getScratch(wasm.I32)
+	fb.LocalSet(aS) // address
+	fb.LocalGet(aS) // for the store
+	fb.LocalGet(aS)
+	fg.loadScalar(lv.t, 0)
+	if lv.t.Kind == TPtr && (op == "+" || op == "-") {
+		it, err := fg.expr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		if it.is64() {
+			fb.Op(wasm.OpI32WrapI64)
+		}
+		fg.scaleIndex(lv.t.Elem)
+		if op == "+" {
+			fb.Op(wasm.OpI32Add)
+		} else {
+			fb.Op(wasm.OpI32Sub)
+		}
+		vS := fg.getScratch(wasm.I32)
+		fb.LocalTee(vS)
+		fg.storeScalar(lv.t, 0)
+		fb.LocalGet(vS)
+		fg.putScratch(wasm.I32, vS)
+		fg.putScratch(wasm.I32, aS)
+		return lv.t, nil
+	}
+	rt0, err := fg.typeOf(e.Y)
+	if err != nil {
+		return nil, err
+	}
+	ct := commonType(lv.t, decay(rt0))
+	if err := fg.convert(lv.t, ct, e.Line); err != nil {
+		return nil, err
+	}
+	rt, err := fg.expr(e.Y)
+	if err != nil {
+		return nil, err
+	}
+	if err := fg.convert(decay(rt), ct, e.Line); err != nil {
+		return nil, err
+	}
+	opc, ok := binOpcode(op, ct)
+	if !ok {
+		return nil, fg.errf(e.Line, "bad operator %q on %s", op, ct)
+	}
+	fb.Op(opc)
+	if err := fg.convert(ct, lv.t, e.Line); err != nil {
+		return nil, err
+	}
+	vS := fg.getScratch(vt)
+	fb.LocalTee(vS)
+	fg.storeScalar(lv.t, 0)
+	fb.LocalGet(vS)
+	fg.putScratch(vt, vS)
+	fg.putScratch(wasm.I32, aS)
+	return lv.t, nil
+}
+
+// postIncDec handles x++ / x-- yielding the old value.
+func (fg *fgen) postIncDec(e *Expr) (*Type, error) {
+	fb := fg.fb
+	lv, err := fg.lvalue(e.X)
+	if err != nil {
+		return nil, err
+	}
+	step := int64(1)
+	if lv.t.Kind == TPtr {
+		step = int64(lv.t.Elem.size(fg.g.abi.PtrSize))
+	}
+	add := e.Tok == "++"
+
+	if lv.isLocal {
+		fb.LocalGet(lv.local) // old value (result)
+		fb.LocalGet(lv.local)
+		fg.pushStep(lv.t, step)
+		fg.addSub(lv.t, add)
+		fb.LocalSet(lv.local)
+		return lv.t, nil
+	}
+	aS := fg.getScratch(wasm.I32)
+	fb.LocalSet(aS)
+	vt := fg.g.valType(lv.t)
+	oldS := fg.getScratch(vt)
+	fb.LocalGet(aS)
+	fg.loadScalar(lv.t, 0)
+	fb.LocalSet(oldS)
+	fb.LocalGet(aS)
+	fb.LocalGet(oldS)
+	fg.pushStep(lv.t, step)
+	fg.addSub(lv.t, add)
+	fg.storeScalar(lv.t, 0)
+	fb.LocalGet(oldS)
+	fg.putScratch(vt, oldS)
+	fg.putScratch(wasm.I32, aS)
+	return lv.t, nil
+}
+
+func (fg *fgen) pushStep(t *Type, step int64) {
+	switch {
+	case t.Kind == TDouble:
+		fg.fb.F64Const(float64(step))
+	case t.Kind == TFloat:
+		fg.fb.Emit(wasm.Instr{Op: wasm.OpF32Const, F64: float64(step)})
+	case t.is64():
+		fg.fb.I64Const(step)
+	default:
+		fg.fb.I32Const(int32(step))
+	}
+}
+
+func (fg *fgen) addSub(t *Type, add bool) {
+	var op wasm.Opcode
+	switch {
+	case t.Kind == TDouble:
+		op = wasm.OpF64Add
+		if !add {
+			op = wasm.OpF64Sub
+		}
+	case t.Kind == TFloat:
+		op = wasm.OpF32Add
+		if !add {
+			op = wasm.OpF32Sub
+		}
+	case t.is64():
+		op = wasm.OpI64Add
+		if !add {
+			op = wasm.OpI64Sub
+		}
+	default:
+		op = wasm.OpI32Add
+		if !add {
+			op = wasm.OpI32Sub
+		}
+	}
+	fg.fb.Op(op)
+}

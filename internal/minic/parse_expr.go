@@ -1,0 +1,272 @@
+package minic
+
+// Binary operator precedence (C-like). Higher binds tighter.
+var binPrec = map[string]int{
+	"*": 10, "/": 10, "%": 10,
+	"+": 9, "-": 9,
+	"<<": 8, ">>": 8,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"==": 6, "!=": 6,
+	"&": 5, "^": 4, "|": 3,
+	"&&": 2, "||": 1,
+}
+
+// parseExpr parses a full expression including the comma operator.
+func (p *parser) parseExpr() (*Expr, error) {
+	e, err := p.parseAssign()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok().kind == tPunct && p.tok().text == "," {
+		p.pos++
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		e = &Expr{Op: "bin", Tok: ",", X: e, Y: rhs, Line: e.Line}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAssign() (*Expr, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.tok()
+	if t.kind == tPunct {
+		switch t.text {
+		case "=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^=":
+			p.pos++
+			rhs, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Op: "assign", Tok: t.text, X: lhs, Y: rhs, Line: t.line}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseTernary() (*Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("?") {
+		a, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Op: "cond", X: cond, Y: a, Z: b, Line: cond.Line}, nil
+	}
+	return cond, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (*Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		if t.kind != tPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Op: "bin", Tok: t.text, X: lhs, Y: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	t := p.tok()
+	if t.kind == tPunct {
+		switch t.text {
+		case "-", "!", "~", "*", "&":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Op: "un", Tok: t.text, X: x, Line: t.line}, nil
+		case "++", "--":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			// ++x => x += 1
+			op := "+="
+			if t.text == "--" {
+				op = "-="
+			}
+			return &Expr{Op: "assign", Tok: op, X: x,
+				Y: &Expr{Op: "num", Ival: 1, Line: t.line}, Line: t.line}, nil
+		case "(":
+			// Cast or parenthesized expression.
+			if p.peek(1).kind == tKeyword && p.isTypeStartAt(1) {
+				p.pos++
+				base, err := p.parseBaseType()
+				if err != nil {
+					return nil, err
+				}
+				ct := base
+				for p.accept("*") {
+					ct = ptrTo(ct)
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				return &Expr{Op: "cast", T: ct, X: x, Line: t.line}, nil
+			}
+		}
+	}
+	if t.kind == tKeyword && t.text == "sizeof" {
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if p.isTypeStart() {
+			base, err := p.parseBaseType()
+			if err != nil {
+				return nil, err
+			}
+			st := base
+			for p.accept("*") {
+				st = ptrTo(st)
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &Expr{Op: "sizeof", T: st, Line: t.line}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &Expr{Op: "sizeof", X: x, Line: t.line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) isTypeStartAt(i int) bool {
+	t := p.peek(i)
+	if t.kind != tKeyword {
+		return false
+	}
+	switch t.text {
+	case "int", "long", "char", "double", "float", "void", "unsigned", "struct", "const":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePostfix() (*Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		if t.kind != tPunct {
+			return e, nil
+		}
+		switch t.text {
+		case "(":
+			p.pos++
+			call := &Expr{Op: "call", X: e, Line: t.line}
+			if !p.accept(")") {
+				for {
+					a, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			e = call
+		case "[":
+			p.pos++
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Expr{Op: "index", X: e, Y: idx, Line: t.line}
+		case ".", "->":
+			p.pos++
+			name := p.tok()
+			if name.kind != tIdent {
+				return nil, p.errf("expected member name")
+			}
+			p.pos++
+			e = &Expr{Op: "member", Tok: t.text, X: e, Name: name.text, Line: t.line}
+		case "++", "--":
+			p.pos++
+			e = &Expr{Op: "post", Tok: t.text, X: e, Line: t.line}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	t := p.tok()
+	switch t.kind {
+	case tInt:
+		p.pos++
+		return &Expr{Op: "num", Ival: t.ival, Line: t.line}, nil
+	case tChar:
+		p.pos++
+		return &Expr{Op: "num", Ival: t.ival, Line: t.line}, nil
+	case tFloat:
+		p.pos++
+		return &Expr{Op: "fnum", Fval: t.fval, Line: t.line}, nil
+	case tString:
+		p.pos++
+		return &Expr{Op: "str", Sval: t.text, Line: t.line}, nil
+	case tIdent:
+		p.pos++
+		return &Expr{Op: "var", Name: t.text, Line: t.line}, nil
+	case tPunct:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(")")
+		}
+	}
+	return nil, p.errf("unexpected token in expression")
+}

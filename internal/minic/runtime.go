@@ -1,0 +1,150 @@
+package minic
+
+// runtimeSource is the mini-C runtime linked into every program: a freelist
+// allocator over the wasm heap arena, string/memory helpers, and stdio
+// wrappers over the Browsix syscalls. It plays the role of Emscripten's
+// musl-lite runtime.
+const runtimeSource = `
+char *__brk = 0;
+char *__hend = 0;
+char *__flist = 0;
+
+char* malloc(int n) {
+  char *p; char *prev;
+  if (n < 8) { n = 8; }
+  n = (n + 7) & -8;
+  if (__brk == 0) { __brk = (char*)heap_base(); __hend = (char*)heap_end(); }
+  p = __flist; prev = 0;
+  while (p) {
+    int sz = *(int*)(p - 8);
+    char *next = *(char**)p;
+    if (sz >= n) {
+      if (prev) { *(char**)prev = next; } else { __flist = next; }
+      return p;
+    }
+    prev = p; p = next;
+  }
+  if (__brk + n + 8 > __hend) {
+    int need = (n + 8 + 65535) / 65536 + 16;
+    if (grow_memory(need) < 0) { return 0; }
+    __hend = __hend + need * 65536;
+  }
+  *(int*)__brk = n;
+  p = __brk + 8;
+  __brk = __brk + n + 8;
+  return p;
+}
+
+void free(char *p) {
+  if (!p) { return; }
+  *(char**)p = __flist;
+  __flist = p;
+}
+
+char* calloc(int n, int sz) {
+  char *p = malloc(n * sz);
+  if (p) { memset(p, 0, n * sz); }
+  return p;
+}
+
+void memset(char *d, int v, int n) {
+  long w; int i;
+  w = v & 255;
+  w = w | (w << 8); w = w | (w << 16); w = w | (w << 32);
+  while (n >= 8) { *(long*)d = w; d += 8; n -= 8; }
+  while (n > 0) { *d = (char)v; d += 1; n -= 1; }
+}
+
+void memcpy(char *d, char *s, int n) {
+  while (n >= 8) { *(long*)d = *(long*)s; d += 8; s += 8; n -= 8; }
+  while (n > 0) { *d = *s; d += 1; s += 1; n -= 1; }
+}
+
+int memcmp(char *a, char *b, int n) {
+  while (n > 0) {
+    int d = (*a & 255) - (*b & 255);
+    if (d) { return d; }
+    a += 1; b += 1; n -= 1;
+  }
+  return 0;
+}
+
+int strlen(char *s) {
+  int n = 0;
+  while (s[n]) { n += 1; }
+  return n;
+}
+
+int strcmp(char *a, char *b) {
+  while (*a && *a == *b) { a += 1; b += 1; }
+  return (*a & 255) - (*b & 255);
+}
+
+void strcpy(char *d, char *s) {
+  while (*s) { *d = *s; d += 1; s += 1; }
+  *d = 0;
+}
+
+int atoi(char *s) {
+  int v = 0; int neg = 0;
+  while (*s == ' ') { s += 1; }
+  if (*s == '-') { neg = 1; s += 1; }
+  while (*s >= '0' && *s <= '9') { v = v * 10 + (*s - '0'); s += 1; }
+  if (neg) { return -v; }
+  return v;
+}
+
+void fd_puts(int fd, char *s) {
+  sys_write(fd, s, strlen(s));
+}
+
+void puts(char *s) {
+  fd_puts(1, s);
+  sys_write(1, "\n", 1);
+}
+
+void print_str(char *s) { fd_puts(1, s); }
+
+void fd_put_int(int fd, int v) {
+  char buf[16]; int i = 15; int neg = 0;
+  unsigned u;
+  if (v < 0) { neg = 1; u = (unsigned)(-v); } else { u = (unsigned)v; }
+  buf[15] = 0;
+  if (u == 0) { i -= 1; buf[i] = '0'; }
+  while (u > 0) { i -= 1; buf[i] = (char)('0' + (int)(u % 10u)); u = u / 10u; }
+  if (neg) { i -= 1; buf[i] = '-'; }
+  sys_write(fd, &buf[i], 15 - i);
+}
+
+void print_int(int v) { fd_put_int(1, v); }
+
+void print_long(long v) {
+  char buf[24]; int i = 23; int neg = 0;
+  if (v < 0) { neg = 1; v = -v; }
+  buf[23] = 0;
+  if (v == 0) { i -= 1; buf[i] = '0'; }
+  while (v > 0) { i -= 1; buf[i] = (char)('0' + (int)(v % 10)); v = v / 10; }
+  if (neg) { i -= 1; buf[i] = '-'; }
+  sys_write(1, &buf[i], 23 - i);
+}
+
+/* print_fixed prints v with 6 decimal places (enough for output
+   validation with cmp). */
+void print_fixed(double v) {
+  long ip; double fp; long scaled;
+  if (v < 0.0) { sys_write(1, "-", 1); v = -v; }
+  ip = (long)v;
+  fp = v - (double)ip;
+  print_long(ip);
+  sys_write(1, ".", 1);
+  scaled = (long)(fp * 1000000.0 + 0.5);
+  if (scaled >= 1000000) { scaled = 999999; }
+  { char b[8]; int i;
+    for (i = 5; i >= 0; i -= 1) { b[i] = (char)('0' + (int)(scaled % 10)); scaled = scaled / 10; }
+    b[6] = 0;
+    sys_write(1, b, 6);
+  }
+}
+
+void print_nl() { sys_write(1, "\n", 1); }
+`

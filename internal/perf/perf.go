@@ -1,0 +1,207 @@
+// Package perf defines the hardware performance counters the paper records
+// through Linux perf (Table 3) and the counter sets produced by the CPU
+// simulator. Event names and raw PMU descriptors match the paper.
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Event identifies one performance counter.
+type Event string
+
+// The paper's Table 3 events.
+const (
+	AllLoadsRetired     Event = "all-loads-retired"    // r81d0
+	AllStoresRetired    Event = "all-stores-retired"   // r82d0
+	BranchesRetired     Event = "branches-retired"     // r00c4
+	ConditionalBranches Event = "conditional-branches" // r01c4
+	InstructionsRetired Event = "instructions-retired" // r1c0
+	CPUCycles           Event = "cpu-cycles"
+	L1ICacheLoadMisses  Event = "L1-icache-load-misses"
+	L1DCacheLoadMisses  Event = "L1-dcache-load-misses"
+	BranchMisses        Event = "branch-misses"
+)
+
+// RawPMU returns the raw event descriptor the paper lists for ev, or "".
+func RawPMU(ev Event) string {
+	switch ev {
+	case AllLoadsRetired:
+		return "r81d0"
+	case AllStoresRetired:
+		return "r82d0"
+	case BranchesRetired:
+		return "r00c4"
+	case ConditionalBranches:
+		return "r01c4"
+	case InstructionsRetired:
+		return "r1c0"
+	}
+	return ""
+}
+
+// Table3 lists the events with the paper's summary column.
+func Table3() []struct{ Event, Raw, Summary string } {
+	return []struct{ Event, Raw, Summary string }{
+		{string(AllLoadsRetired), "r81d0", "Increased register pressure"},
+		{string(AllStoresRetired), "r82d0", "Increased register pressure"},
+		{string(BranchesRetired), "r00c4", "More branch statements"},
+		{string(ConditionalBranches), "r01c4", "More branch statements"},
+		{string(InstructionsRetired), "r1c0", "Increased code size"},
+		{string(CPUCycles), "", "Increased code size"},
+		{string(L1ICacheLoadMisses), "", "Increased code size"},
+	}
+}
+
+// Counters is a snapshot of the simulated PMU.
+type Counters struct {
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	CondBranches uint64
+	Instructions uint64
+	Cycles       uint64
+	L1IMisses    uint64
+	L1DMisses    uint64
+	L2Misses     uint64
+	BranchMiss   uint64
+}
+
+// Get returns the value of the named event.
+func (c *Counters) Get(ev Event) uint64 {
+	switch ev {
+	case AllLoadsRetired:
+		return c.Loads
+	case AllStoresRetired:
+		return c.Stores
+	case BranchesRetired:
+		return c.Branches
+	case ConditionalBranches:
+		return c.CondBranches
+	case InstructionsRetired:
+		return c.Instructions
+	case CPUCycles:
+		return c.Cycles
+	case L1ICacheLoadMisses:
+		return c.L1IMisses
+	case L1DCacheLoadMisses:
+		return c.L1DMisses
+	case BranchMisses:
+		return c.BranchMiss
+	}
+	return 0
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.Branches += o.Branches
+	c.CondBranches += o.CondBranches
+	c.Instructions += o.Instructions
+	c.Cycles += o.Cycles
+	c.L1IMisses += o.L1IMisses
+	c.L1DMisses += o.L1DMisses
+	c.L2Misses += o.L2Misses
+	c.BranchMiss += o.BranchMiss
+}
+
+// Sub returns c - o (for interval measurements).
+func (c *Counters) Sub(o *Counters) Counters {
+	return Counters{
+		Loads:        c.Loads - o.Loads,
+		Stores:       c.Stores - o.Stores,
+		Branches:     c.Branches - o.Branches,
+		CondBranches: c.CondBranches - o.CondBranches,
+		Instructions: c.Instructions - o.Instructions,
+		Cycles:       c.Cycles - o.Cycles,
+		L1IMisses:    c.L1IMisses - o.L1IMisses,
+		L1DMisses:    c.L1DMisses - o.L1DMisses,
+		L2Misses:     c.L2Misses - o.L2Misses,
+		BranchMiss:   c.BranchMiss - o.BranchMiss,
+	}
+}
+
+// Seconds converts cycles to wall time at the simulated clock (3.5 GHz,
+// matching the paper's Xeon E5-1650 v3).
+func (c *Counters) Seconds() float64 { return float64(c.Cycles) / 3.5e9 }
+
+func (c *Counters) String() string {
+	type kv struct {
+		k string
+		v uint64
+	}
+	rows := []kv{
+		{"instructions", c.Instructions}, {"cycles", c.Cycles},
+		{"loads", c.Loads}, {"stores", c.Stores},
+		{"branches", c.Branches}, {"cond-branches", c.CondBranches},
+		{"L1i-misses", c.L1IMisses}, {"L1d-misses", c.L1DMisses},
+		{"branch-misses", c.BranchMiss},
+	}
+	var parts []string
+	for _, r := range rows {
+		parts = append(parts, fmt.Sprintf("%s=%d", r.k, r.v))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Recorder mimics attaching `perf record` to a process: it snapshots the
+// counters at start/stop marks (the XHR begin/end in Figure 2) and reports
+// the delta.
+type Recorder struct {
+	src     func() Counters
+	started bool
+	base    Counters
+	result  Counters
+}
+
+// NewRecorder wraps a counter source.
+func NewRecorder(src func() Counters) *Recorder { return &Recorder{src: src} }
+
+// Start snapshots the baseline (step 4 in Figure 2).
+func (r *Recorder) Start() {
+	r.base = r.src()
+	r.started = true
+}
+
+// Stop records the interval (step 6 in Figure 2).
+func (r *Recorder) Stop() {
+	if !r.started {
+		return
+	}
+	cur := r.src()
+	r.result = cur.Sub(&r.base)
+	r.started = false
+}
+
+// Result returns the recorded interval counters.
+func (r *Recorder) Result() Counters { return r.result }
+
+// Ratio computes per-event ratios of a over b, for the Figure 9/10 plots.
+func Ratio(a, b *Counters) map[Event]float64 {
+	events := []Event{
+		AllLoadsRetired, AllStoresRetired, BranchesRetired, ConditionalBranches,
+		InstructionsRetired, CPUCycles, L1ICacheLoadMisses,
+	}
+	out := map[Event]float64{}
+	for _, ev := range events {
+		bv := b.Get(ev)
+		if bv == 0 {
+			bv = 1
+		}
+		out[ev] = float64(a.Get(ev)) / float64(bv)
+	}
+	return out
+}
+
+// SortedEvents returns the Figure 9/10 event list in presentation order.
+func SortedEvents() []Event {
+	evs := []Event{
+		AllLoadsRetired, AllStoresRetired, BranchesRetired, ConditionalBranches,
+		InstructionsRetired, CPUCycles, L1ICacheLoadMisses,
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i] < evs[j] })
+	return evs
+}

@@ -1,0 +1,44 @@
+package perf
+
+import "testing"
+
+func TestCountersSubAndGet(t *testing.T) {
+	a := Counters{Loads: 100, Stores: 50, Cycles: 1000, Instructions: 400}
+	b := Counters{Loads: 30, Stores: 10, Cycles: 200, Instructions: 100}
+	d := a.Sub(&b)
+	if d.Loads != 70 || d.Stores != 40 || d.Cycles != 800 {
+		t.Errorf("sub wrong: %+v", d)
+	}
+	if d.Get(AllLoadsRetired) != 70 || d.Get(CPUCycles) != 800 {
+		t.Error("get wrong")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	cur := Counters{}
+	r := NewRecorder(func() Counters { return cur })
+	r.Start()
+	cur.Instructions = 500
+	cur.Cycles = 900
+	r.Stop()
+	got := r.Result()
+	if got.Instructions != 500 || got.Cycles != 900 {
+		t.Errorf("recorder delta: %+v", got)
+	}
+}
+
+func TestRawPMU(t *testing.T) {
+	if RawPMU(AllLoadsRetired) != "r81d0" || RawPMU(InstructionsRetired) != "r1c0" {
+		t.Error("raw descriptors wrong")
+	}
+	if RawPMU(CPUCycles) != "" {
+		t.Error("cpu-cycles has no raw descriptor in the paper")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	c := Counters{Cycles: 3_500_000_000}
+	if s := c.Seconds(); s != 1.0 {
+		t.Errorf("3.5G cycles = %g s, want 1", s)
+	}
+}

@@ -1,0 +1,316 @@
+package regalloc
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/x86"
+)
+
+// GraphColor allocates with an iterated Chaitin/Briggs-style graph-colouring
+// allocator with conservative move coalescing, standing in for Clang's greedy
+// allocator. It consistently produces fewer spills and fewer moves than
+// LinearScan, which is the paper's §6.1.2 point.
+func GraphColor(f *ir.Func, lv *ir.Liveness, cfg *Config) *Result {
+	res := &Result{Loc: make([]Location, f.NumV)}
+	usedCallee := map[x86.Reg]bool{}
+
+	for _, class := range []ir.Class{ir.GP, ir.FP} {
+		var regs []x86.Reg
+		if class == ir.GP {
+			regs = cfg.GP
+		} else {
+			regs = cfg.FP
+		}
+		colorClass(f, lv, cfg, class, regs, res, usedCallee)
+	}
+	for r := range usedCallee {
+		res.UsedCallee = append(res.UsedCallee, r)
+	}
+	sort.Slice(res.UsedCallee, func(i, j int) bool { return res.UsedCallee[i] < res.UsedCallee[j] })
+	return res
+}
+
+type igraph struct {
+	n     int
+	adj   []map[ir.VReg]bool
+	alias []ir.VReg // union-find for coalescing
+}
+
+func (g *igraph) find(v ir.VReg) ir.VReg {
+	for g.alias[v] != v {
+		g.alias[v] = g.alias[g.alias[v]]
+		v = g.alias[v]
+	}
+	return v
+}
+
+func (g *igraph) addEdge(a, b ir.VReg) {
+	a, b = g.find(a), g.find(b)
+	if a == b {
+		return
+	}
+	if g.adj[a] == nil {
+		g.adj[a] = map[ir.VReg]bool{}
+	}
+	if g.adj[b] == nil {
+		g.adj[b] = map[ir.VReg]bool{}
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+func (g *igraph) interferes(a, b ir.VReg) bool {
+	a, b = g.find(a), g.find(b)
+	return a == b || g.adj[a][b]
+}
+
+func colorClass(f *ir.Func, lv *ir.Liveness, cfg *Config, class ir.Class,
+	regs []x86.Reg, res *Result, usedCallee map[x86.Reg]bool) {
+
+	inClass := func(v ir.VReg) bool { return f.Class[v] == class }
+
+	// Build interference graph + collect stats by walking blocks backward.
+	g := &igraph{n: f.NumV, adj: make([]map[ir.VReg]bool, f.NumV), alias: make([]ir.VReg, f.NumV)}
+	for i := range g.alias {
+		g.alias[i] = ir.VReg(i)
+	}
+	weight := make([]float64, f.NumV)
+	crossesCall := make([]bool, f.NumV)
+	present := make([]bool, f.NumV)
+	type move struct{ dst, src ir.VReg }
+	var moves []move
+
+	for bi, b := range f.Blocks {
+		live := lv.Out[bi].Copy()
+		w := 1.0
+		if f.LoopDepth != nil {
+			for d := 0; d < f.LoopDepth[bi]; d++ {
+				w *= 10
+			}
+		}
+		for i := len(b.Ins) - 1; i >= 0; i-- {
+			in := &b.Ins[i]
+			d := in.Defs()
+			if d != ir.NoV && inClass(d) {
+				present[d] = true
+				weight[d] += w
+				// Def interferes with everything live after it,
+				// except a move source (coalescable).
+				var moveSrc ir.VReg = ir.NoV
+				if in.Op == ir.Mov && in.A != ir.NoV && inClass(in.A) {
+					moveSrc = in.A
+					moves = append(moves, move{dst: d, src: in.A})
+				}
+				live.ForEach(func(v ir.VReg) {
+					if v != d && v != moveSrc && inClass(v) {
+						g.addEdge(d, v)
+					}
+				})
+			}
+			if in.Op.IsCall() {
+				live.ForEach(func(v ir.VReg) {
+					if v != d && inClass(v) {
+						crossesCall[v] = true
+					}
+				})
+			}
+			if d != ir.NoV {
+				live.Clear(d)
+			}
+			in.VisitUses(func(v ir.VReg) {
+				live.Set(v)
+				if inClass(v) {
+					present[v] = true
+					weight[v] += w
+				}
+			})
+		}
+	}
+
+	// Parameters are all live at function entry and therefore interfere
+	// pairwise (and with anything else live-in to the entry block).
+	for i, p := range f.Params {
+		if !inClass(p) {
+			continue
+		}
+		for _, q := range f.Params[i+1:] {
+			if inClass(q) {
+				g.addEdge(p, q)
+			}
+		}
+		lv.In[0].ForEach(func(v ir.VReg) {
+			if v != p && inClass(v) {
+				g.addEdge(p, v)
+			}
+		})
+	}
+
+	// Conservative (Briggs) coalescing: merge move-related pairs whose
+	// combined high-degree neighbour count stays below K.
+	K := len(regs)
+	degree := func(v ir.VReg) int { return len(g.adj[g.find(v)]) }
+	for _, mv := range moves {
+		a, b := g.find(mv.dst), g.find(mv.src)
+		if a == b || g.interferes(a, b) {
+			continue
+		}
+		if crossesCall[a] != crossesCall[b] {
+			continue // keep call-crossing property exact
+		}
+		// Count combined neighbours of significant degree.
+		nb := map[ir.VReg]bool{}
+		for n := range g.adj[a] {
+			nb[g.find(n)] = true
+		}
+		for n := range g.adj[b] {
+			nb[g.find(n)] = true
+		}
+		high := 0
+		for n := range nb {
+			if len(g.adj[n]) >= K {
+				high++
+			}
+		}
+		if high >= K {
+			continue
+		}
+		// Merge b into a.
+		g.alias[b] = a
+		for n := range g.adj[b] {
+			g.addEdge(a, n)
+			delete(g.adj[n], b)
+		}
+		g.adj[b] = nil
+		weight[a] += weight[b]
+		crossesCall[a] = crossesCall[a] || crossesCall[b]
+	}
+
+	// Nodes to colour: representatives only.
+	var nodes []ir.VReg
+	repSeen := map[ir.VReg]bool{}
+	for v := 0; v < f.NumV; v++ {
+		if !present[v] || !inClass(ir.VReg(v)) {
+			continue
+		}
+		r := g.find(ir.VReg(v))
+		if !repSeen[r] {
+			repSeen[r] = true
+			nodes = append(nodes, r)
+		}
+	}
+
+	// Allowed registers per node (call-crossing GP nodes restricted to
+	// callee-saved; call-crossing FP nodes must spill).
+	allowedRegs := func(v ir.VReg) []x86.Reg {
+		if !crossesCall[v] {
+			return regs
+		}
+		if class == ir.FP {
+			return nil
+		}
+		var out []x86.Reg
+		for _, r := range regs {
+			if cfg.CalleeSavedGP[r] {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+
+	// Simplify: repeatedly remove nodes with degree < len(allowed); the
+	// rest are spill candidates pushed optimistically.
+	removed := map[ir.VReg]bool{}
+	var stack []ir.VReg
+	work := append([]ir.VReg(nil), nodes...)
+	for len(work) > 0 {
+		progressed := false
+		k := 0
+		for _, v := range work {
+			deg := 0
+			for n := range g.adj[v] {
+				if !removed[n] {
+					deg++
+				}
+			}
+			if deg < len(allowedRegs(v)) {
+				removed[v] = true
+				stack = append(stack, v)
+				progressed = true
+			} else {
+				work[k] = v
+				k++
+			}
+		}
+		work = work[:k]
+		if !progressed && len(work) > 0 {
+			// Pick the cheapest spill candidate (lowest weight/degree)
+			// and push it optimistically.
+			best := 0
+			bestScore := -1.0
+			for i, v := range work {
+				deg := float64(degree(v) + 1)
+				score := weight[v] / deg
+				if bestScore < 0 || score < bestScore {
+					bestScore = score
+					best = i
+				}
+			}
+			v := work[best]
+			removed[v] = true
+			stack = append(stack, v)
+			work = append(work[:best], work[best+1:]...)
+		}
+	}
+
+	// Select: pop and assign the first allowed colour not used by a
+	// coloured neighbour; failures become actual spills.
+	color := map[ir.VReg]x86.Reg{}
+	spilled := map[ir.VReg]bool{}
+	for i := len(stack) - 1; i >= 0; i-- {
+		v := stack[i]
+		taken := map[x86.Reg]bool{}
+		for n := range g.adj[v] {
+			if c, ok := color[g.find(n)]; ok {
+				taken[c] = true
+			}
+		}
+		assigned := false
+		for _, r := range allowedRegs(v) {
+			if !taken[r] {
+				color[v] = r
+				assigned = true
+				if cfg.CalleeSavedGP[r] {
+					usedCallee[r] = true
+				}
+				break
+			}
+		}
+		if !assigned {
+			spilled[v] = true
+		}
+	}
+
+	// Write results through aliases.
+	for v := 0; v < f.NumV; v++ {
+		if !present[v] || !inClass(ir.VReg(v)) {
+			continue
+		}
+		rep := g.find(ir.VReg(v))
+		if c, ok := color[rep]; ok {
+			res.Loc[v] = Location{Kind: LocReg, Reg: c}
+			continue
+		}
+		if spilled[rep] {
+			// Allocate one slot per representative.
+			if res.Loc[rep].Kind != LocSpill || rep == ir.VReg(v) {
+				if res.Loc[rep].Kind != LocSpill {
+					res.Loc[rep] = Location{Kind: LocSpill, Slot: res.NumSlots}
+					res.NumSlots++
+					res.Spills++
+				}
+			}
+			res.Loc[v] = res.Loc[rep]
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package regalloc implements the two register allocators contrasted by the
+// paper: the fast linear-scan allocator used by the browser JITs (V8 and
+// SpiderMonkey, after Wimmer & Franz) and an iterated graph-colouring
+// allocator standing in for Clang's greedy allocator. Both consume internal/ir
+// functions and produce a per-vreg location assignment.
+package regalloc
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/x86"
+)
+
+// LocKind distinguishes assignment results.
+type LocKind uint8
+
+// Location kinds.
+const (
+	LocNone LocKind = iota
+	LocReg
+	LocSpill
+)
+
+// Location is where a vreg lives for its whole lifetime (no live-range
+// splitting in this model; splitting is approximated by the allocators'
+// spill decisions).
+type Location struct {
+	Kind LocKind
+	Reg  x86.Reg
+	Slot int // spill slot index (8 bytes per slot)
+}
+
+// Result is the output of allocation.
+type Result struct {
+	Loc        []Location
+	NumSlots   int
+	UsedCallee []x86.Reg // callee-saved registers the function must preserve
+	Spills     int       // number of spilled vregs (for diagnostics)
+}
+
+// Config describes the register environment of a target engine.
+type Config struct {
+	GP []x86.Reg // allocatable GPRs, in preference order
+	FP []x86.Reg // allocatable XMMs
+	// CalleeSavedGP lists which of GP survive calls. Values live across a
+	// call must land in one of these or spill.
+	CalleeSavedGP map[x86.Reg]bool
+}
+
+// interval is a live interval over linearized instruction positions.
+type interval struct {
+	v           ir.VReg
+	start, end  int
+	crossesCall bool
+	weight      float64 // spill cost estimate
+	uses        int
+}
+
+// buildIntervals linearizes the function and computes one conservative
+// interval per vreg, extended over blocks where the vreg is live.
+func buildIntervals(f *ir.Func, lv *ir.Liveness) ([]interval, []int) {
+	// Global positions.
+	pos := 0
+	blockStart := make([]int, len(f.Blocks))
+	blockEnd := make([]int, len(f.Blocks))
+	var callPos []int
+	type ref struct{ def bool }
+	starts := make([]int, f.NumV)
+	ends := make([]int, f.NumV)
+	uses := make([]int, f.NumV)
+	weight := make([]float64, f.NumV)
+	seen := make([]bool, f.NumV)
+	touch := func(v ir.VReg, p int, w float64) {
+		if !seen[v] {
+			starts[v], ends[v] = p, p
+			seen[v] = true
+		} else {
+			if p < starts[v] {
+				starts[v] = p
+			}
+			if p > ends[v] {
+				ends[v] = p
+			}
+		}
+		uses[v]++
+		weight[v] += w
+	}
+	// Parameters are defined at function entry, before the first
+	// instruction: their intervals begin at -1 so two params never share a
+	// register and a call at position 0 still counts as crossed.
+	for _, p := range f.Params {
+		touch(p, -1, 1)
+	}
+	for bi, b := range f.Blocks {
+		blockStart[bi] = pos
+		w := 1.0
+		if f.LoopDepth != nil {
+			for d := 0; d < f.LoopDepth[bi]; d++ {
+				w *= 10
+			}
+		}
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			in.VisitUses(func(v ir.VReg) { touch(v, pos, w) })
+			if d := in.Defs(); d != ir.NoV {
+				touch(d, pos, w)
+			}
+			if in.Op.IsCall() {
+				callPos = append(callPos, pos)
+			}
+			pos++
+		}
+		blockEnd[bi] = pos - 1
+	}
+	// Extend intervals over live ranges: a vreg live-in at a block lives
+	// from the block start; live-out lives to the block end.
+	for bi := range f.Blocks {
+		lv.In[bi].ForEach(func(v ir.VReg) {
+			if !seen[v] {
+				return
+			}
+			if blockStart[bi] < starts[v] {
+				starts[v] = blockStart[bi]
+			}
+			if blockEnd[bi] > ends[v] {
+				ends[v] = blockEnd[bi]
+			}
+		})
+		lv.Out[bi].ForEach(func(v ir.VReg) {
+			if !seen[v] {
+				return
+			}
+			if blockEnd[bi] > ends[v] {
+				ends[v] = blockEnd[bi]
+			}
+		})
+	}
+	var ivs []interval
+	for v := 0; v < f.NumV; v++ {
+		if !seen[v] {
+			continue
+		}
+		iv := interval{v: ir.VReg(v), start: starts[v], end: ends[v], uses: uses[v], weight: weight[v]}
+		for _, cp := range callPos {
+			if cp > iv.start && cp < iv.end {
+				iv.crossesCall = true
+				break
+			}
+		}
+		ivs = append(ivs, iv)
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].v < ivs[j].v
+	})
+	return ivs, callPos
+}
+
+// LinearScan allocates with the Poletto/Sarkar linear-scan algorithm: one
+// pass over intervals sorted by start, spilling the interval with the
+// furthest end when registers run out. This mirrors the browsers' fast
+// online allocators and deliberately produces more spills than colouring.
+func LinearScan(f *ir.Func, lv *ir.Liveness, cfg *Config) *Result {
+	ivs, _ := buildIntervals(f, lv)
+	res := &Result{Loc: make([]Location, f.NumV)}
+	usedCallee := map[x86.Reg]bool{}
+
+	for _, class := range []ir.Class{ir.GP, ir.FP} {
+		var regs []x86.Reg
+		if class == ir.GP {
+			regs = cfg.GP
+		} else {
+			regs = cfg.FP
+		}
+		free := make(map[x86.Reg]bool, len(regs))
+		for _, r := range regs {
+			free[r] = true
+		}
+		type activeIv struct {
+			interval
+			reg x86.Reg
+		}
+		var active []activeIv
+
+		expire := func(p int) {
+			k := 0
+			for _, a := range active {
+				if a.end < p {
+					free[a.reg] = true
+				} else {
+					active[k] = a
+					k++
+				}
+			}
+			active = active[:k]
+		}
+		allowed := func(iv interval, r x86.Reg) bool {
+			if class == ir.FP {
+				// All XMM regs are caller-saved; call-crossing FP
+				// values must spill.
+				return !iv.crossesCall
+			}
+			if iv.crossesCall && !cfg.CalleeSavedGP[r] {
+				return false
+			}
+			return true
+		}
+		spillSlot := func(v ir.VReg) {
+			res.Loc[v] = Location{Kind: LocSpill, Slot: res.NumSlots}
+			res.NumSlots++
+			res.Spills++
+		}
+
+		for _, iv := range ivs {
+			if f.Class[iv.v] != class {
+				continue
+			}
+			expire(iv.start)
+			if class == ir.FP && iv.crossesCall {
+				spillSlot(iv.v)
+				continue
+			}
+			var got x86.Reg = 0xff
+			for _, r := range regs {
+				if free[r] && allowed(iv, r) {
+					got = r
+					break
+				}
+			}
+			if got == 0xff {
+				// Spill the active interval ending furthest away if it
+				// ends later than ours (Poletto heuristic), provided its
+				// register is legal for us.
+				victim := -1
+				for i, a := range active {
+					if !allowed(iv, a.reg) {
+						continue
+					}
+					if victim < 0 || a.end > active[victim].end {
+						victim = i
+					}
+				}
+				if victim >= 0 && active[victim].end > iv.end {
+					a := active[victim]
+					spillSlot(a.v)
+					got = a.reg
+					active = append(active[:victim], active[victim+1:]...)
+				} else {
+					spillSlot(iv.v)
+					continue
+				}
+			}
+			free[got] = false
+			if cfg.CalleeSavedGP[got] {
+				usedCallee[got] = true
+			}
+			res.Loc[iv.v] = Location{Kind: LocReg, Reg: got}
+			active = append(active, activeIv{iv, got})
+		}
+	}
+	for r := range usedCallee {
+		res.UsedCallee = append(res.UsedCallee, r)
+	}
+	sort.Slice(res.UsedCallee, func(i, j int) bool { return res.UsedCallee[i] < res.UsedCallee[j] })
+	return res
+}

@@ -1,0 +1,86 @@
+package regalloc
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/x86"
+)
+
+// buildCallCrossing builds: f(p0) { v1 = call g(); v2 = rem(v1, p0); ret v2 }
+func buildCallCrossing() *ir.Func {
+	f := &ir.Func{Name: "f"}
+	p0 := f.NewV(ir.GP)
+	f.Params = []ir.VReg{p0}
+	b := f.NewBlock()
+	v1 := f.NewV(ir.GP)
+	v2 := f.NewV(ir.GP)
+	b.Ins = append(b.Ins,
+		ir.Ins{Op: ir.Call, Dst: v1, A: ir.NoV, B: ir.NoV, Extra: ir.NoV, Callee: 1},
+		ir.Ins{Op: ir.RemU, Dst: v2, A: v1, B: p0, Extra: ir.NoV, W: 4},
+		ir.Ins{Op: ir.Ret, Dst: ir.NoV, A: v2, B: ir.NoV, Extra: ir.NoV},
+	)
+	ir.ComputeLoopDepth(f)
+	return f
+}
+
+func testConfig() *Config {
+	return &Config{
+		GP:            []x86.Reg{x86.RAX, x86.RCX, x86.RDX, x86.R12, x86.R14},
+		FP:            []x86.Reg{x86.XMM0, x86.XMM1},
+		CalleeSavedGP: map[x86.Reg]bool{x86.R12: true, x86.R14: true},
+	}
+}
+
+func checkCallCrossing(t *testing.T, name string, res *Result, f *ir.Func) {
+	t.Helper()
+	p0 := f.Params[0]
+	loc := res.Loc[p0]
+	switch loc.Kind {
+	case LocReg:
+		if loc.Reg != x86.R12 && loc.Reg != x86.R14 {
+			t.Errorf("%s: call-crossing param assigned caller-saved %s", name, loc.Reg)
+		}
+	case LocSpill:
+		// fine
+	default:
+		t.Errorf("%s: param not allocated", name)
+	}
+}
+
+func TestLinearScanCallCrossingParam(t *testing.T) {
+	f := buildCallCrossing()
+	lv := ir.ComputeLiveness(f)
+	res := LinearScan(f, lv, testConfig())
+	checkCallCrossing(t, "linearscan", res, f)
+}
+
+func TestGraphColorCallCrossingParam(t *testing.T) {
+	f := buildCallCrossing()
+	lv := ir.ComputeLiveness(f)
+	res := GraphColor(f, lv, testConfig())
+	checkCallCrossing(t, "graphcolor", res, f)
+}
+
+func TestNoAliasedRegisters(t *testing.T) {
+	// Two params both live at entry must not share a register.
+	f := &ir.Func{Name: "g"}
+	p0 := f.NewV(ir.GP)
+	p1 := f.NewV(ir.GP)
+	f.Params = []ir.VReg{p0, p1}
+	b := f.NewBlock()
+	v := f.NewV(ir.GP)
+	b.Ins = append(b.Ins,
+		ir.Ins{Op: ir.Add, Dst: v, A: p0, B: p1, Extra: ir.NoV, W: 4},
+		ir.Ins{Op: ir.Ret, Dst: ir.NoV, A: v, B: ir.NoV, Extra: ir.NoV},
+	)
+	ir.ComputeLoopDepth(f)
+	lv := ir.ComputeLiveness(f)
+	for _, alloc := range []func(*ir.Func, *ir.Liveness, *Config) *Result{LinearScan, GraphColor} {
+		res := alloc(f, lv, testConfig())
+		l0, l1 := res.Loc[p0], res.Loc[p1]
+		if l0.Kind == LocReg && l1.Kind == LocReg && l0.Reg == l1.Reg {
+			t.Errorf("params share register %s", l0.Reg)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package spec implements Browsix-SPEC: the benchmark harness of §3 and
+// Figure 2. It builds each workload per engine, constructs the filesystem
+// image (speccmds.cmd plus inputs), spawns the runspec → specinvoke →
+// benchmark process chain inside a Browsix-Wasm kernel, attaches the perf
+// recorder between the runtime's perf_begin/perf_end marks, validates
+// outputs across engines with a cmp equivalent, and aggregates results into
+// the paper's tables and figures.
+package spec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/codegen"
+	"repro/internal/kernel"
+	"repro/internal/perf"
+	"repro/internal/toolchain"
+	"repro/internal/workloads"
+)
+
+// runspecSrc is the runspec driver: it spawns specinvoke on the command
+// file, mirroring the SPEC tooling chain of Figure 2 step 3.
+const runspecSrc = `
+int main(int argc, char **argv) {
+  char *args[3];
+  args[0] = "specinvoke";
+  args[1] = argc > 1 ? argv[1] : "/spec/speccmds.cmd";
+  args[2] = (char*)0;
+  int pid = sys_spawn("/bin/specinvoke", args);
+  if (pid < 0) { return 120; }
+  return sys_wait(pid);
+}`
+
+// specinvokeSrc reads speccmds.cmd and spawns the benchmark with its
+// arguments (SPEC's specinvoke, compiled from C sources in the paper).
+const specinvokeSrc = `
+char cmdbuf[1024];
+char *argvv[16];
+int main(int argc, char **argv) {
+  if (argc < 2) { return 121; }
+  int fd = sys_open(argv[1], 0, 0);
+  if (fd < 0) { return 122; }
+  int n = sys_read(fd, cmdbuf, 1023);
+  sys_close(fd);
+  if (n <= 0) { return 123; }
+  cmdbuf[n] = 0;
+  int i = 0; int na = 0;
+  while (cmdbuf[i] && cmdbuf[i] != '\n' && na < 15) {
+    while (cmdbuf[i] == ' ') { cmdbuf[i] = 0; i++; }
+    if (cmdbuf[i] == 0 || cmdbuf[i] == '\n') { break; }
+    argvv[na] = &cmdbuf[i];
+    na++;
+    while (cmdbuf[i] && cmdbuf[i] != ' ' && cmdbuf[i] != '\n') { i++; }
+  }
+  if (cmdbuf[i] == '\n') { cmdbuf[i] = 0; }
+  argvv[na] = (char*)0;
+  if (na == 0) { return 124; }
+  int pid = sys_spawn(argvv[0], argvv);
+  if (pid < 0) { return 125; }
+  return sys_wait(pid);
+}`
+
+// Result is one benchmark execution under one engine.
+type Result struct {
+	Bench  string
+	Engine string
+	// Seconds is simulated wall time between the perf marks.
+	Seconds float64
+	// Counters are the perf-recorded interval counters.
+	Counters perf.Counters
+	// BrowsixShare is time spent in the kernel/transport (Figure 4).
+	BrowsixShare float64
+	Syscalls     uint64
+	// Output is the validated program output (console).
+	Output string
+	// CompileSeconds is the engine's code-generation time (Table 2).
+	CompileSeconds float64
+	// CodeBytes is the generated text size.
+	CodeBytes uint32
+}
+
+// Harness caches builds and runs (executions are deterministic).
+type Harness struct {
+	mu      sync.Mutex
+	builds  map[string]*codegen.CompiledModule
+	results map[string]*Result
+}
+
+// NewHarness returns an empty harness.
+func NewHarness() *Harness {
+	return &Harness{
+		builds:  map[string]*codegen.CompiledModule{},
+		results: map[string]*Result{},
+	}
+}
+
+// EngineSet returns the paper's engines in presentation order.
+func EngineSet() []*codegen.EngineConfig {
+	return []*codegen.EngineConfig{
+		codegen.Native(), codegen.Chrome(), codegen.Firefox(),
+	}
+}
+
+// AsmJSEngines returns the asm.js configurations (Figures 5 and 6).
+func AsmJSEngines() []*codegen.EngineConfig {
+	return []*codegen.EngineConfig{codegen.AsmJSChrome(), codegen.AsmJSFirefox()}
+}
+
+// build compiles src for cfg with caching.
+func (h *Harness) build(key, src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
+	k := key + "/" + cfg.Name
+	h.mu.Lock()
+	if cm, ok := h.builds[k]; ok {
+		h.mu.Unlock()
+		return cm, nil
+	}
+	h.mu.Unlock()
+	cm, err := toolchain.Build(src, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("spec: building %s for %s: %w", key, cfg.Name, err)
+	}
+	h.mu.Lock()
+	h.builds[k] = cm
+	h.mu.Unlock()
+	return cm, nil
+}
+
+// Run executes workload w under engine cfg through the full Figure 2 chain
+// and returns the measurement. Results are memoized.
+func (h *Harness) Run(w *workloads.Workload, cfg *codegen.EngineConfig) (*Result, error) {
+	key := w.Name + "/" + cfg.Name
+	h.mu.Lock()
+	if r, ok := h.results[key]; ok {
+		h.mu.Unlock()
+		return r, nil
+	}
+	h.mu.Unlock()
+
+	benchBin, err := h.build(w.Name, w.Source, cfg)
+	if err != nil {
+		return nil, err
+	}
+	runspecBin, err := h.build("runspec", runspecSrc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	specinvBin, err := h.build("specinvoke", specinvokeSrc, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Filesystem image: command file plus workload inputs.
+	k := kernel.New(nil)
+	if err := k.FS.MkdirAll("/spec"); err != nil {
+		return nil, err
+	}
+	cmdline := "/bin/" + w.Name
+	for _, a := range w.Args {
+		cmdline += " " + a
+	}
+	if err := k.FS.WriteFile("/spec/speccmds.cmd", []byte(cmdline+"\n")); err != nil {
+		return nil, err
+	}
+	for p, data := range w.Files {
+		if err := writeWithDirs(k, p, data); err != nil {
+			return nil, err
+		}
+	}
+	k.RegisterBinary("/bin/"+w.Name, benchBin)
+	k.RegisterBinary("/bin/runspec", runspecBin)
+	k.RegisterBinary("/bin/specinvoke", specinvBin)
+
+	// Perf recorder between the benchmark's perf marks (Figure 2 steps
+	// 4-6). Only the benchmark process is recorded, not runspec/specinvoke.
+	res := &Result{Bench: w.Name, Engine: cfg.Name}
+	var base perf.Counters
+	var browsixBase uint64
+	benchPath := "/bin/" + w.Name
+	k.Hooks = kernel.PerfHooks{
+		Begin: func(p *kernel.Process) {
+			if p.Path != benchPath {
+				return
+			}
+			p.Inst.FlushCycles()
+			base = p.Inst.Counters
+			browsixBase = p.BrowsixCycles
+		},
+		End: func(p *kernel.Process) {
+			if p.Path != benchPath {
+				return
+			}
+			p.Inst.FlushCycles()
+			res.Counters = p.Inst.Counters.Sub(&base)
+			res.Seconds = res.Counters.Seconds()
+			browsix := p.BrowsixCycles - browsixBase
+			if res.Counters.Cycles > 0 {
+				res.BrowsixShare = float64(browsix) / float64(res.Counters.Cycles)
+			}
+			res.Syscalls = p.Syscalls
+		},
+	}
+
+	proc, err := k.Spawn(nil, "/bin/runspec", []string{"runspec", "/spec/speccmds.cmd"}, [3]*kernel.FD{})
+	if err != nil {
+		return nil, err
+	}
+	code, err := k.WaitPID(proc.PID)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %s on %s: %w", w.Name, cfg.Name, err)
+	}
+	if code != 0 {
+		return nil, fmt.Errorf("spec: %s on %s: exit code %d (output %q)", w.Name, cfg.Name, code, string(k.Console))
+	}
+	res.Output = string(k.Console)
+	res.CompileSeconds = benchBin.CompileTime.Seconds()
+	res.CodeBytes = benchBin.Prog.CodeBytes
+
+	h.mu.Lock()
+	h.results[key] = res
+	h.mu.Unlock()
+	return res, nil
+}
+
+func writeWithDirs(k *kernel.Kernel, p string, data []byte) error {
+	dir := ""
+	for i := 1; i < len(p); i++ {
+		if p[i] == '/' {
+			dir = p[:i]
+			if err := k.FS.MkdirAll(dir); err != nil {
+				return err
+			}
+		}
+	}
+	return k.FS.WriteFile(p, data)
+}
+
+// RunSuite runs every workload in ws under every engine in cfgs, validating
+// outputs across engines with the cmp check, and returns results indexed
+// [workload][engine].
+func (h *Harness) RunSuite(ws []*workloads.Workload, cfgs []*codegen.EngineConfig) ([][]*Result, error) {
+	out := make([][]*Result, len(ws))
+	type job struct{ wi, ci int }
+	var jobs []job
+	for wi := range ws {
+		out[wi] = make([]*Result, len(cfgs))
+		for ci := range cfgs {
+			jobs = append(jobs, job{wi, ci})
+		}
+	}
+	// Run in parallel: each execution is fully isolated (own kernel).
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(jobs))
+	sem := make(chan struct{}, 8)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := h.Run(ws[j.wi], cfgs[j.ci])
+			if err != nil {
+				errCh <- err
+				return
+			}
+			out[j.wi][j.ci] = r
+		}(j)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	// cmp validation: all engines must produce identical output.
+	for wi, row := range out {
+		for ci := 1; ci < len(row); ci++ {
+			if row[ci].Output != row[0].Output {
+				return nil, fmt.Errorf("spec: %s: output mismatch between %s and %s",
+					ws[wi].Name, row[0].Engine, row[ci].Engine)
+			}
+		}
+	}
+	return out, nil
+}

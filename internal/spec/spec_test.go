@@ -1,0 +1,122 @@
+package spec_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/spec"
+	"repro/internal/workloads"
+)
+
+// TestHarnessSingleBenchmark runs one benchmark through the full Figure 2
+// chain (runspec -> specinvoke -> benchmark) and checks the recording.
+func TestHarnessSingleBenchmark(t *testing.T) {
+	h := spec.NewHarness()
+	w := workloads.SPECCPU()[3] // 444.namd: medium-sized
+	for _, cfg := range spec.EngineSet() {
+		r, err := h.Run(w, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if r.Seconds <= 0 {
+			t.Errorf("%s: no time recorded", cfg.Name)
+		}
+		if r.Counters.Instructions == 0 {
+			t.Errorf("%s: no instructions recorded", cfg.Name)
+		}
+		if r.Output == "" {
+			t.Errorf("%s: no output", cfg.Name)
+		}
+	}
+}
+
+// TestWasmSlowerThanNativeOnSPEC checks the paper's headline direction:
+// geomean slowdown > 1 for both browsers on a compute-bound subset.
+func TestWasmSlowerThanNativeOnSPEC(t *testing.T) {
+	h := spec.NewHarness()
+	subset := []*workloads.Workload{}
+	for _, w := range workloads.SPECCPU() {
+		switch w.Name {
+		case "444.namd", "453.povray", "473.astar":
+			subset = append(subset, w)
+		}
+	}
+	rs, err := h.RunSuite(subset, spec.EngineSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range subset {
+		n := rs[i][0].Seconds
+		c := rs[i][1].Seconds
+		f := rs[i][2].Seconds
+		t.Logf("%s: native=%.2fms chrome=%.2fx firefox=%.2fx", w.Name, n*1000, c/n, f/n)
+		if c <= n {
+			t.Errorf("%s: chrome (%.3fms) not slower than native (%.3fms)", w.Name, c*1000, n*1000)
+		}
+		if f <= n {
+			t.Errorf("%s: firefox (%.3fms) not slower than native (%.3fms)", w.Name, f*1000, n*1000)
+		}
+	}
+}
+
+// TestBrowsixOverheadSmall checks the Figure 4 claim: kernel time is a tiny
+// share of a compute benchmark.
+func TestBrowsixOverheadSmall(t *testing.T) {
+	h := spec.NewHarness()
+	w := workloads.SPECCPU()[3] // namd: few syscalls
+	r, err := h.Run(w, codegen.Firefox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BrowsixShare > 0.05 {
+		t.Errorf("browsix share %.2f%% exceeds 5%%", r.BrowsixShare*100)
+	}
+}
+
+func TestFig7Listings(t *testing.T) {
+	s, err := spec.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "native") || !strings.Contains(s, "chrome") {
+		t.Errorf("missing engines in fig7 output")
+	}
+	if !strings.Contains(s, "matmul") {
+		t.Errorf("missing matmul listing")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	s := spec.Table3()
+	for _, want := range []string{"r81d0", "r82d0", "r00c4", "r01c4", "r1c0", "L1-icache-load-misses"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table 3 missing %q", want)
+		}
+	}
+}
+
+// TestMcfAnomaly checks the paper's §6.3 anomaly: mcf runs at or below
+// native speed in wasm because wasm32 pointers halve its working set.
+func TestMcfAnomaly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mcf is the largest workload")
+	}
+	h := spec.NewHarness()
+	var mcf *workloads.Workload
+	for _, w := range workloads.SPECCPU() {
+		if w.Name == "429.mcf" {
+			mcf = w
+		}
+	}
+	rs, err := h.RunSuite([]*workloads.Workload{mcf}, spec.EngineSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rs[0][0].Seconds
+	c := rs[0][1].Seconds
+	t.Logf("mcf: chrome/native = %.2f", c/n)
+	if c/n > 1.15 {
+		t.Errorf("mcf chrome slowdown %.2f; expected near or below 1.0 (pointer density)", c/n)
+	}
+}

@@ -1,0 +1,150 @@
+// Package wasm implements the WebAssembly MVP: the module AST, the binary
+// format (encoding and decoding), a spec-style validator, a reference
+// stack-machine interpreter, and a convenience builder API.
+//
+// The package is the substrate of the reproduction: workloads are lowered to
+// real Wasm bytecode (by internal/minic or the builder), validated, and then
+// either interpreted (reference semantics) or compiled by internal/codegen's
+// modeled browser and native backends.
+package wasm
+
+import "fmt"
+
+// ValType is a WebAssembly value type.
+type ValType byte
+
+// Value types, with their binary encodings.
+const (
+	I32 ValType = 0x7f
+	I64 ValType = 0x7e
+	F32 ValType = 0x7d
+	F64 ValType = 0x7c
+)
+
+func (t ValType) String() string {
+	switch t {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	}
+	return fmt.Sprintf("valtype(0x%02x)", byte(t))
+}
+
+// Valid reports whether t is one of the four MVP value types.
+func (t ValType) Valid() bool {
+	return t == I32 || t == I64 || t == F32 || t == F64
+}
+
+// IsFloat reports whether t is a floating-point type.
+func (t ValType) IsFloat() bool { return t == F32 || t == F64 }
+
+// FuncType is a function signature.
+type FuncType struct {
+	Params  []ValType
+	Results []ValType
+}
+
+func (ft FuncType) String() string {
+	s := "("
+	for i, p := range ft.Params {
+		if i > 0 {
+			s += " "
+		}
+		s += p.String()
+	}
+	s += ") -> ("
+	for i, r := range ft.Results {
+		if i > 0 {
+			s += " "
+		}
+		s += r.String()
+	}
+	return s + ")"
+}
+
+// Equal reports whether two function types are identical.
+func (ft FuncType) Equal(o FuncType) bool {
+	if len(ft.Params) != len(o.Params) || len(ft.Results) != len(o.Results) {
+		return false
+	}
+	for i := range ft.Params {
+		if ft.Params[i] != o.Params[i] {
+			return false
+		}
+	}
+	for i := range ft.Results {
+		if ft.Results[i] != o.Results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Limits bound the size of a memory or table, in pages or entries.
+type Limits struct {
+	Min    uint32
+	Max    uint32
+	HasMax bool
+}
+
+// PageSize is the WebAssembly linear-memory page size in bytes.
+const PageSize = 65536
+
+// MaxPages is the maximum number of linear-memory pages (4 GiB).
+const MaxPages = 65536
+
+// GlobalType describes a global variable's type and mutability.
+type GlobalType struct {
+	Type    ValType
+	Mutable bool
+}
+
+// BlockType is the result arity of a block/loop/if. The MVP allows either no
+// result or exactly one value type.
+type BlockType struct {
+	HasResult bool
+	Result    ValType
+}
+
+// BlockVoid is the empty block type.
+var BlockVoid = BlockType{}
+
+// BlockOf returns a block type producing one value of type t.
+func BlockOf(t ValType) BlockType { return BlockType{HasResult: true, Result: t} }
+
+func (bt BlockType) String() string {
+	if !bt.HasResult {
+		return "void"
+	}
+	return bt.Result.String()
+}
+
+// ExternKind identifies the namespace of an import or export.
+type ExternKind byte
+
+// Extern kinds, with their binary encodings.
+const (
+	ExternFunc   ExternKind = 0
+	ExternTable  ExternKind = 1
+	ExternMemory ExternKind = 2
+	ExternGlobal ExternKind = 3
+)
+
+func (k ExternKind) String() string {
+	switch k {
+	case ExternFunc:
+		return "func"
+	case ExternTable:
+		return "table"
+	case ExternMemory:
+		return "memory"
+	case ExternGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("externkind(%d)", byte(k))
+}

@@ -1,0 +1,613 @@
+// Package workloads provides the benchmark programs of the evaluation: the
+// 23 PolybenchC kernels (§4.1, Figures 1 and 3a) and 15 SPEC CPU-shaped
+// programs (§4.2), all written in mini-C and compiled per engine by the
+// toolchain. Problem sizes are scaled down so the simulated CPU finishes in
+// milliseconds; EXPERIMENTS.md records the scales.
+package workloads
+
+import "fmt"
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name string
+	// Source is the mini-C program. It prints a deterministic checksum to
+	// stdout; Browsix-SPEC validates it across engines with cmp.
+	Source string
+	// Args passed to the program (after argv[0]).
+	Args []string
+	// Files to place in the filesystem image.
+	Files map[string][]byte
+	// Traits recorded for documentation.
+	Notes string
+}
+
+// polyProlog provides the deterministic initialization helpers every
+// Polybench kernel uses.
+const polyProlog = `
+double poly_seed = 0.0;
+double poly_init(int i, int j, int n) {
+  return (double)((i * 31 + j * 17) % n) / (double)n + 0.5;
+}
+void poly_report(double s) {
+  print_fixed(s);
+  print_nl();
+}
+`
+
+// Polybench returns the 23 PolybenchC kernels at their scaled sizes.
+func Polybench() []*Workload {
+	var out []*Workload
+	add := func(name, body string) {
+		out = append(out, &Workload{
+			Name:   name,
+			Source: polyProlog + body,
+		})
+	}
+
+	// 2mm: D = alpha*A*B*C + beta*D
+	add("2mm", `
+int N = 56;
+double A[56][56]; double B[56][56]; double C[56][56]; double D[56][56]; double tmp[56][56];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    A[i][j] = poly_init(i, j, N); B[i][j] = poly_init(j, i, N);
+    C[i][j] = poly_init(i + 1, j, N); D[i][j] = poly_init(i, j + 1, N);
+  } }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    tmp[i][j] = 0.0;
+    for (k = 0; k < N; k++) { tmp[i][j] += 1.5 * A[i][k] * B[k][j]; }
+  } }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    D[i][j] *= 1.2;
+    for (k = 0; k < N; k++) { D[i][j] += tmp[i][k] * C[k][j]; }
+  } }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) { s += D[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// 3mm: G = (A*B)*(C*D)
+	add("3mm", `
+int N = 48;
+double A[48][48]; double B[48][48]; double C[48][48]; double D[48][48];
+double E[48][48]; double F[48][48]; double G[48][48];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    A[i][j] = poly_init(i, j, N); B[i][j] = poly_init(j, i, N);
+    C[i][j] = poly_init(i + 2, j, N); D[i][j] = poly_init(i, j + 2, N);
+  } }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    E[i][j] = 0.0;
+    for (k = 0; k < N; k++) { E[i][j] += A[i][k] * B[k][j]; }
+  } }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    F[i][j] = 0.0;
+    for (k = 0; k < N; k++) { F[i][j] += C[i][k] * D[k][j]; }
+  } }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    G[i][j] = 0.0;
+    for (k = 0; k < N; k++) { G[i][j] += E[i][k] * F[k][j]; }
+  } }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) { s += G[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// adi: alternating direction implicit solver.
+	add("adi", `
+int N = 96; int T = 8;
+double X[96][96]; double A[96][96]; double B[96][96];
+int main() {
+  int t; int i; int j;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    X[i][j] = poly_init(i, j, N); A[i][j] = poly_init(j, i, N) + 1.0; B[i][j] = poly_init(i + 3, j, N) + 2.0;
+  } }
+  for (t = 0; t < T; t++) {
+    for (i = 0; i < N; i++) { for (j = 1; j < N; j++) {
+      X[i][j] = X[i][j] - X[i][j-1] * A[i][j] / B[i][j-1];
+      B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i][j-1];
+    } }
+    for (i = 1; i < N; i++) { for (j = 0; j < N; j++) {
+      X[i][j] = X[i][j] - X[i-1][j] * A[i][j] / B[i-1][j];
+      B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i-1][j];
+    } }
+  }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) { s += X[i][j] / (1.0 + B[i][j]); } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// bicg: biconjugate gradient kernel.
+	add("bicg", `
+int N = 220;
+double A[220][220]; double p[220]; double r[220]; double q[220]; double s[220];
+int main() {
+  int i; int j;
+  for (i = 0; i < N; i++) {
+    p[i] = poly_init(i, 1, N); r[i] = poly_init(1, i, N);
+    for (j = 0; j < N; j++) { A[i][j] = poly_init(i, j, N); }
+  }
+  for (i = 0; i < N; i++) { s[i] = 0.0; }
+  for (i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+  double acc = 0.0;
+  for (i = 0; i < N; i++) { acc += q[i] + s[i]; }
+  poly_report(acc);
+  return 0;
+}`)
+
+	// cholesky decomposition.
+	add("cholesky", `
+int N = 96;
+double A[96][96];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) { A[i][j] = poly_init(i, j, N) * 0.1; }
+    A[i][i] = A[i][i] + (double)N;
+  }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      for (k = 0; k < j; k++) { A[i][j] -= A[i][k] * A[j][k]; }
+      A[i][j] /= A[j][j];
+    }
+    for (k = 0; k < i; k++) { A[i][i] -= A[i][k] * A[i][k]; }
+    A[i][i] = sqrt(A[i][i]);
+  }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { for (j = 0; j <= i; j++) { s += A[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// correlation matrix.
+	add("correlation", `
+int M = 64; int N = 72;
+double data[72][64]; double corr[64][64]; double mean[64]; double stddev[64];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) { for (j = 0; j < M; j++) { data[i][j] = poly_init(i, j, M); } }
+  for (j = 0; j < M; j++) {
+    mean[j] = 0.0;
+    for (i = 0; i < N; i++) { mean[j] += data[i][j]; }
+    mean[j] /= (double)N;
+    stddev[j] = 0.0;
+    for (i = 0; i < N; i++) { stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]); }
+    stddev[j] = sqrt(stddev[j] / (double)N);
+    if (stddev[j] < 0.005) { stddev[j] = 1.0; }
+  }
+  for (i = 0; i < N; i++) { for (j = 0; j < M; j++) {
+    data[i][j] = (data[i][j] - mean[j]) / (sqrt((double)N) * stddev[j]);
+  } }
+  for (i = 0; i < M; i++) {
+    corr[i][i] = 1.0;
+    for (j = i + 1; j < M; j++) {
+      corr[i][j] = 0.0;
+      for (k = 0; k < N; k++) { corr[i][j] += data[k][i] * data[k][j]; }
+      corr[j][i] = corr[i][j];
+    }
+  }
+  double s = 0.0;
+  for (i = 0; i < M; i++) { for (j = 0; j < M; j++) { s += corr[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// covariance matrix.
+	add("covariance", `
+int M = 64; int N = 72;
+double data[72][64]; double cov[64][64]; double mean[64];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) { for (j = 0; j < M; j++) { data[i][j] = poly_init(i + 1, j, M); } }
+  for (j = 0; j < M; j++) {
+    mean[j] = 0.0;
+    for (i = 0; i < N; i++) { mean[j] += data[i][j]; }
+    mean[j] /= (double)N;
+  }
+  for (i = 0; i < N; i++) { for (j = 0; j < M; j++) { data[i][j] -= mean[j]; } }
+  for (i = 0; i < M; i++) { for (j = i; j < M; j++) {
+    cov[i][j] = 0.0;
+    for (k = 0; k < N; k++) { cov[i][j] += data[k][i] * data[k][j]; }
+    cov[i][j] /= (double)(N - 1);
+    cov[j][i] = cov[i][j];
+  } }
+  double s = 0.0;
+  for (i = 0; i < M; i++) { for (j = 0; j < M; j++) { s += cov[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// doitgen: multi-resolution analysis kernel.
+	add("doitgen", `
+int NQ = 24; int NR = 24; int NP = 24;
+double A[24][24][24]; double C4[24][24]; double sum[24];
+int main() {
+  int r; int q; int p; int s;
+  for (r = 0; r < NR; r++) { for (q = 0; q < NQ; q++) { for (p = 0; p < NP; p++) {
+    A[r][q][p] = poly_init(r * 16 + q, p, NP);
+  } } }
+  for (p = 0; p < NP; p++) { for (s = 0; s < NP; s++) { C4[p][s] = poly_init(p, s, NP); } }
+  for (r = 0; r < NR; r++) { for (q = 0; q < NQ; q++) {
+    for (p = 0; p < NP; p++) {
+      sum[p] = 0.0;
+      for (s = 0; s < NP; s++) { sum[p] += A[r][q][s] * C4[s][p]; }
+    }
+    for (p = 0; p < NP; p++) { A[r][q][p] = sum[p]; }
+  } }
+  double acc = 0.0;
+  for (r = 0; r < NR; r++) { for (q = 0; q < NQ; q++) { for (p = 0; p < NP; p++) { acc += A[r][q][p]; } } }
+  poly_report(acc);
+  return 0;
+}`)
+
+	// durbin: Toeplitz system solver.
+	add("durbin", `
+int N = 320;
+double r[320]; double y[320]; double z[320];
+int main() {
+  int i; int k;
+  for (i = 0; i < N; i++) { r[i] = poly_init(i, 3, N) + 0.01 * (double)i; }
+  y[0] = -r[0];
+  double beta = 1.0; double alpha = -r[0];
+  for (k = 1; k < N; k++) {
+    beta = (1.0 - alpha * alpha) * beta;
+    double summ = 0.0;
+    for (i = 0; i < k; i++) { summ += r[k - i - 1] * y[i]; }
+    alpha = -(r[k] + summ) / beta;
+    for (i = 0; i < k; i++) { z[i] = y[i] + alpha * y[k - i - 1]; }
+    for (i = 0; i < k; i++) { y[i] = z[i]; }
+    y[k] = alpha;
+  }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { s += y[i]; }
+  poly_report(s);
+  return 0;
+}`)
+
+	// fdtd-2d: finite-difference time domain.
+	add("fdtd-2d", `
+int NX = 96; int NY = 96; int T = 12;
+double ex[96][96]; double ey[96][96]; double hz[96][96];
+int main() {
+  int t; int i; int j;
+  for (i = 0; i < NX; i++) { for (j = 0; j < NY; j++) {
+    ex[i][j] = poly_init(i, j, NY); ey[i][j] = poly_init(j, i, NX); hz[i][j] = poly_init(i + 5, j, NY);
+  } }
+  for (t = 0; t < T; t++) {
+    for (j = 0; j < NY; j++) { ey[0][j] = (double)t * 0.1; }
+    for (i = 1; i < NX; i++) { for (j = 0; j < NY; j++) {
+      ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i-1][j]);
+    } }
+    for (i = 0; i < NX; i++) { for (j = 1; j < NY; j++) {
+      ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j-1]);
+    } }
+    for (i = 0; i < NX - 1; i++) { for (j = 0; j < NY - 1; j++) {
+      hz[i][j] = hz[i][j] - 0.7 * (ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);
+    } }
+  }
+  double s = 0.0;
+  for (i = 0; i < NX; i++) { for (j = 0; j < NY; j++) { s += hz[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// gemm.
+	add("gemm", `
+int N = 72;
+double A[72][72]; double B[72][72]; double C[72][72];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    A[i][j] = poly_init(i, j, N); B[i][j] = poly_init(j, i, N); C[i][j] = poly_init(i + 7, j, N);
+  } }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    C[i][j] *= 1.2;
+    for (k = 0; k < N; k++) { C[i][j] += 1.5 * A[i][k] * B[k][j]; }
+  } }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) { s += C[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// gemver: vector multiplication and matrix addition.
+	add("gemver", `
+int N = 220;
+double A[220][220]; double u1[220]; double v1[220]; double u2[220]; double v2[220];
+double w[220]; double x[220]; double y[220]; double z[220];
+int main() {
+  int i; int j;
+  for (i = 0; i < N; i++) {
+    u1[i] = poly_init(i, 0, N); v1[i] = poly_init(0, i, N);
+    u2[i] = poly_init(i, 9, N); v2[i] = poly_init(9, i, N);
+    y[i] = poly_init(i, 4, N); z[i] = poly_init(4, i, N);
+    x[i] = 0.0; w[i] = 0.0;
+    for (j = 0; j < N; j++) { A[i][j] = poly_init(i, j, N); }
+  }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  } }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    x[i] = x[i] + 1.2 * A[j][i] * y[j];
+  } }
+  for (i = 0; i < N; i++) { x[i] = x[i] + z[i]; }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    w[i] = w[i] + 1.5 * A[i][j] * x[j];
+  } }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { s += w[i]; }
+  poly_report(s);
+  return 0;
+}`)
+
+	// gesummv: scalar, vector and matrix multiplication.
+	add("gesummv", `
+int N = 250;
+double A[250][250]; double B[250][250]; double x[250]; double y[250];
+int main() {
+  int i; int j;
+  for (i = 0; i < N; i++) {
+    x[i] = poly_init(i, 2, N);
+    for (j = 0; j < N; j++) { A[i][j] = poly_init(i, j, N); B[i][j] = poly_init(j, i, N); }
+  }
+  for (i = 0; i < N; i++) {
+    double t1 = 0.0; double t2 = 0.0;
+    for (j = 0; j < N; j++) {
+      t1 += A[i][j] * x[j];
+      t2 += B[i][j] * x[j];
+    }
+    y[i] = 1.5 * t1 + 1.2 * t2;
+  }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { s += y[i]; }
+  poly_report(s);
+  return 0;
+}`)
+
+	// gramschmidt orthonormalization.
+	add("gramschmidt", `
+int N = 64;
+double A[64][64]; double R[64][64]; double Q[64][64];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    A[i][j] = poly_init(i, j, N) + 0.1;
+    if (i == j) { A[i][j] += 2.0; }
+  } }
+  for (k = 0; k < N; k++) {
+    double nrm = 0.0;
+    for (i = 0; i < N; i++) { nrm += A[i][k] * A[i][k]; }
+    R[k][k] = sqrt(nrm);
+    for (i = 0; i < N; i++) { Q[i][k] = A[i][k] / R[k][k]; }
+    for (j = k + 1; j < N; j++) {
+      R[k][j] = 0.0;
+      for (i = 0; i < N; i++) { R[k][j] += Q[i][k] * A[i][j]; }
+      for (i = 0; i < N; i++) { A[i][j] = A[i][j] - Q[i][k] * R[k][j]; }
+    }
+  }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) { s += Q[i][j] + R[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// lu decomposition.
+	add("lu", `
+int N = 96;
+double A[96][96];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) { A[i][j] = poly_init(i, j, N) * 0.2; }
+    A[i][i] += (double)N;
+  }
+  for (k = 0; k < N; k++) {
+    for (j = k + 1; j < N; j++) { A[k][j] = A[k][j] / A[k][k]; }
+    for (i = k + 1; i < N; i++) { for (j = k + 1; j < N; j++) {
+      A[i][j] = A[i][j] - A[i][k] * A[k][j];
+    } }
+  }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) { s += A[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// ludcmp: LU with forward/back substitution.
+	add("ludcmp", `
+int N = 80;
+double A[80][80]; double b[80]; double x[80]; double y[80];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) {
+    b[i] = poly_init(i, 8, N);
+    for (j = 0; j < N; j++) { A[i][j] = poly_init(i, j, N) * 0.2; }
+    A[i][i] += (double)N;
+  }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      double w = A[i][j];
+      for (k = 0; k < j; k++) { w -= A[i][k] * A[k][j]; }
+      A[i][j] = w / A[j][j];
+    }
+    for (j = i; j < N; j++) {
+      double w = A[i][j];
+      for (k = 0; k < i; k++) { w -= A[i][k] * A[k][j]; }
+      A[i][j] = w;
+    }
+  }
+  for (i = 0; i < N; i++) {
+    double w = b[i];
+    for (j = 0; j < i; j++) { w -= A[i][j] * y[j]; }
+    y[i] = w;
+  }
+  for (i = N - 1; i >= 0; i--) {
+    double w = y[i];
+    for (j = i + 1; j < N; j++) { w -= A[i][j] * x[j]; }
+    x[i] = w / A[i][i];
+  }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { s += x[i]; }
+  poly_report(s);
+  return 0;
+}`)
+
+	// mvt: matrix-vector product and transpose.
+	add("mvt", `
+int N = 240;
+double A[240][240]; double x1[240]; double x2[240]; double y1[240]; double y2[240];
+int main() {
+  int i; int j;
+  for (i = 0; i < N; i++) {
+    x1[i] = poly_init(i, 11, N); x2[i] = poly_init(11, i, N);
+    y1[i] = poly_init(i, 12, N); y2[i] = poly_init(12, i, N);
+    for (j = 0; j < N; j++) { A[i][j] = poly_init(i, j, N); }
+  }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) { x1[i] += A[i][j] * y1[j]; } }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) { x2[i] += A[j][i] * y2[j]; } }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { s += x1[i] + x2[i]; }
+  poly_report(s);
+  return 0;
+}`)
+
+	// seidel-2d stencil.
+	add("seidel-2d", `
+int N = 120; int T = 10;
+double A[120][120];
+int main() {
+  int t; int i; int j;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) { A[i][j] = poly_init(i, j, N); } }
+  for (t = 0; t < T; t++) {
+    for (i = 1; i < N - 1; i++) { for (j = 1; j < N - 1; j++) {
+      A[i][j] = (A[i-1][j-1] + A[i-1][j] + A[i-1][j+1]
+               + A[i][j-1] + A[i][j] + A[i][j+1]
+               + A[i+1][j-1] + A[i+1][j] + A[i+1][j+1]) / 9.0;
+    } }
+  }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) { s += A[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// symm: symmetric matrix multiply.
+	add("symm", `
+int N = 64;
+double A[64][64]; double B[64][64]; double C[64][64];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    A[i][j] = poly_init(i, j, N); B[i][j] = poly_init(j, i, N); C[i][j] = poly_init(i + 13, j, N);
+  } }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    double acc = 0.0;
+    for (k = 0; k < i; k++) {
+      C[k][j] += 1.5 * B[i][j] * A[i][k];
+      acc += B[k][j] * A[i][k];
+    }
+    C[i][j] = 1.2 * C[i][j] + 1.5 * B[i][j] * A[i][i] + 1.5 * acc;
+  } }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) { s += C[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// syr2k: symmetric rank-2k update.
+	add("syr2k", `
+int N = 64;
+double A[64][64]; double B[64][64]; double C[64][64];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    A[i][j] = poly_init(i, j, N); B[i][j] = poly_init(j, i, N); C[i][j] = poly_init(i + 4, j, N);
+  } }
+  for (i = 0; i < N; i++) { for (j = 0; j <= i; j++) {
+    C[i][j] *= 1.2;
+    for (k = 0; k < N; k++) {
+      C[i][j] += 1.5 * A[i][k] * B[j][k] + 1.5 * B[i][k] * A[j][k];
+    }
+  } }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { for (j = 0; j <= i; j++) { s += C[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// syrk: symmetric rank-k update.
+	add("syrk", `
+int N = 72;
+double A[72][72]; double C[72][72];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    A[i][j] = poly_init(i, j, N); C[i][j] = poly_init(i + 6, j, N);
+  } }
+  for (i = 0; i < N; i++) { for (j = 0; j <= i; j++) {
+    C[i][j] *= 1.2;
+    for (k = 0; k < N; k++) { C[i][j] += 1.5 * A[i][k] * A[j][k]; }
+  } }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { for (j = 0; j <= i; j++) { s += C[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	// trisolv: triangular solver.
+	add("trisolv", `
+int N = 300;
+double L[300][300]; double b[300]; double x[300];
+int main() {
+  int i; int j;
+  for (i = 0; i < N; i++) {
+    b[i] = poly_init(i, 14, N);
+    for (j = 0; j <= i; j++) { L[i][j] = poly_init(i, j, N) * 0.1; }
+    L[i][i] += 2.0;
+  }
+  for (i = 0; i < N; i++) {
+    double w = b[i];
+    for (j = 0; j < i; j++) { w -= L[i][j] * x[j]; }
+    x[i] = w / L[i][i];
+  }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { s += x[i]; }
+  poly_report(s);
+  return 0;
+}`)
+
+	// trmm: triangular matrix multiply.
+	add("trmm", `
+int N = 80;
+double A[80][80]; double B[80][80];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    A[i][j] = poly_init(i, j, N); B[i][j] = poly_init(j, i, N);
+  } }
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) {
+    for (k = i + 1; k < N; k++) { B[i][j] += A[k][i] * B[k][j]; }
+    B[i][j] = 1.5 * B[i][j];
+  } }
+  double s = 0.0;
+  for (i = 0; i < N; i++) { for (j = 0; j < N; j++) { s += B[i][j]; } }
+  poly_report(s);
+  return 0;
+}`)
+
+	if len(out) != 23 {
+		panic(fmt.Sprintf("expected 23 polybench kernels, have %d", len(out)))
+	}
+	return out
+}

@@ -1,0 +1,916 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// specProlog provides the deterministic PRNG all SPEC-shaped workloads use.
+const specProlog = `
+unsigned __rng = 88172645u;
+unsigned rng() {
+  __rng = __rng * 1664525u + 1013904223u;
+  return __rng;
+}
+int rng_range(int n) { return (int)(rng() % (unsigned)n); }
+`
+
+// SPECCPU returns the 15 SPEC CPU2006/2017-shaped benchmarks. Each mirrors
+// the structural traits that drive its original's behaviour in the paper:
+// code footprint, branchiness, indirect-call density, pointer density, and
+// memory-boundedness.
+func SPECCPU() []*Workload {
+	return []*Workload{
+		bzip2(), mcf(), milc(), namd(), gobmk(), soplex(), povray(),
+		sjeng(), libquantum(), h264ref(), lbm(), astar(), sphinx3(),
+		leela(), nab(),
+	}
+}
+
+// 401.bzip2: run-length + move-to-front + order-0 modelling over a
+// compressible buffer. Integer, byte loads/stores, branchy inner loops.
+func bzip2() *Workload {
+	return &Workload{
+		Name: "401.bzip2",
+		Source: specProlog + `
+int N = 98304;
+char buf[98304];
+char mtf[256];
+int freq[256];
+int main() {
+  int i; int pass;
+  /* Generate compressible input: runs with varying lengths. */
+  i = 0;
+  while (i < N) {
+    int b = rng_range(64);
+    int run = 1 + rng_range(24);
+    int j;
+    for (j = 0; j < run && i < N; j++) { buf[i] = (char)b; i++; }
+  }
+  long total = 0;
+  for (pass = 0; pass < 3; pass++) {
+    /* RLE pass. */
+    int out = 0;
+    i = 0;
+    while (i < N) {
+      int b = buf[i] & 255;
+      int run = 0;
+      while (i < N && (buf[i] & 255) == b && run < 255) { run++; i++; }
+      out += 2;
+      total += (long)(b ^ run);
+    }
+    /* Move-to-front transform + frequency model. */
+    for (i = 0; i < 256; i++) { mtf[i] = (char)i; freq[i] = 0; }
+    for (i = 0; i < N; i++) {
+      int b = buf[i] & 255;
+      int j = 0;
+      while ((mtf[j] & 255) != b) { j++; }
+      freq[j] += 1;
+      while (j > 0) { mtf[j] = mtf[j-1]; j--; }
+      mtf[0] = (char)b;
+    }
+    /* Approximate entropy accumulation (integer log2). */
+    for (i = 0; i < 256; i++) {
+      int f = freq[i]; int bits = 0;
+      while (f > 0) { bits++; f >>= 1; }
+      total += (long)(bits * freq[i]);
+    }
+    /* Mutate the buffer so passes differ. */
+    for (i = 0; i < N; i += 97) { buf[i] = (char)(buf[i] + 1); }
+  }
+  print_long(total); print_nl();
+  return 0;
+}`,
+		Notes: "integer, byte ops, branchy; paper slowdown 2.34x/1.97x",
+	}
+}
+
+// 429.mcf: pointer-chasing network traversal. Nodes are pointer-dense
+// structs, so the wasm32 build is half the size of the native build — the
+// source of the paper's <1.0 anomaly (plus small hot loops fitting L1i).
+func mcf() *Workload {
+	return &Workload{
+		Name: "429.mcf",
+		Source: specProlog + `
+struct Arc {
+  struct Node *head;
+  struct Arc *nextOut;
+  struct Arc *nextIn;
+  int cost;
+  int flow;
+};
+struct Node {
+  struct Node *parent;
+  struct Node *child;
+  struct Node *sibling;
+  struct Arc *firstOut;
+  struct Arc *firstIn;
+  int potential;
+  int depth;
+};
+int NNODES = 260000;
+int NARCS = 260000;
+struct Node *nodes;
+struct Arc *arcs;
+int main() {
+  int i; int iter;
+  nodes = (struct Node*)malloc(NNODES * sizeof(struct Node));
+  arcs = (struct Arc*)malloc(NARCS * sizeof(struct Arc));
+  for (i = 0; i < NNODES; i++) {
+    struct Node *n = &nodes[i];
+    n->parent = &nodes[rng_range(NNODES)];
+    n->child = &nodes[rng_range(NNODES)];
+    n->sibling = &nodes[(i + 1) % NNODES];
+    n->firstOut = &arcs[rng_range(NARCS)];
+    n->firstIn = &arcs[rng_range(NARCS)];
+    n->potential = rng_range(1000);
+    n->depth = 0;
+  }
+  for (i = 0; i < NARCS; i++) {
+    struct Arc *a = &arcs[i];
+    a->head = &nodes[rng_range(NNODES)];
+    a->nextOut = &arcs[rng_range(NARCS)];
+    a->nextIn = &arcs[(i * 7 + 1) % NARCS];
+    a->cost = rng_range(100) - 50;
+    a->flow = 0;
+  }
+  long total = 0;
+  /* Pricing sweeps: chase pointers through the network (the mcf hot
+     loop: small code, giant data). */
+  for (iter = 0; iter < 16; iter++) {
+    struct Node *n = &nodes[iter * 13 % NNODES];
+    int steps = 0;
+    while (steps < 60000) {
+      struct Arc *a = n->firstOut;
+      int red = n->potential + a->cost - a->head->potential;
+      if (red < 0) {
+        a->flow += 1;
+        total += (long)red;
+        n = a->head;
+      } else {
+        n = n->parent;
+        total += 1;
+      }
+      n->depth = steps;
+      steps++;
+    }
+  }
+  print_long(total); print_nl();
+  return 0;
+}`,
+		Notes: "pointer-dense structs; wasm32 nodes are half native size; paper 0.81x/0.83x",
+	}
+}
+
+// 433.milc: lattice QCD style streaming FP over a large working set;
+// memory-bound, so codegen differences wash out (paper ~0.98x/1.01x).
+func milc() *Workload {
+	return &Workload{
+		Name: "433.milc",
+		Source: specProlog + `
+int SITES = 16384;
+double u[16384][9];
+double v[16384][9];
+double w[16384][9];
+int main() {
+  int s; int i; int iter;
+  for (s = 0; s < SITES; s++) { for (i = 0; i < 9; i++) {
+    u[s][i] = (double)((s * 9 + i) % 97) * 0.01 + 0.1;
+    v[s][i] = (double)((s * 9 + i) % 89) * 0.01 + 0.2;
+  } }
+  for (iter = 0; iter < 4; iter++) {
+    /* 3x3 complex-ish matrix multiply per site, streaming. */
+    for (s = 0; s < SITES; s++) {
+      int r; int c; int k;
+      for (r = 0; r < 3; r++) { for (c = 0; c < 3; c++) {
+        double acc = 0.0;
+        for (k = 0; k < 3; k++) { acc += u[s][r*3+k] * v[s][k*3+c]; }
+        w[s][r*3+c] = acc;
+      } }
+    }
+    for (s = 0; s < SITES; s++) { for (i = 0; i < 9; i++) {
+      u[s][i] = 0.9 * u[s][i] + 0.1 * w[(s + 1) % SITES][i];
+    } }
+  }
+  double total = 0.0;
+  for (s = 0; s < SITES; s += 7) { total += w[s][4]; }
+  print_fixed(total); print_nl();
+  return 0;
+}`,
+		Notes: "streaming FP, memory-bound; paper 0.98x/1.01x",
+	}
+}
+
+// 444.namd: molecular-dynamics force loops: FP compute over neighbor
+// lists that fit in cache (compute-bound; paper 1.36x/1.38x).
+func namd() *Workload {
+	return &Workload{
+		Name: "444.namd",
+		Source: specProlog + `
+int NATOM = 480;
+double px[480]; double py[480]; double pz[480];
+double fx[480]; double fy[480]; double fz[480];
+int main() {
+  int i; int j; int step;
+  for (i = 0; i < NATOM; i++) {
+    px[i] = (double)rng_range(1000) * 0.01;
+    py[i] = (double)rng_range(1000) * 0.01;
+    pz[i] = (double)rng_range(1000) * 0.01;
+    fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0;
+  }
+  for (step = 0; step < 6; step++) {
+    for (i = 0; i < NATOM; i++) {
+      for (j = i + 1; j < NATOM; j++) {
+        double dx = px[i] - px[j];
+        double dy = py[i] - py[j];
+        double dz = pz[i] - pz[j];
+        double r2 = dx*dx + dy*dy + dz*dz + 0.01;
+        if (r2 < 16.0) {
+          double inv = 1.0 / r2;
+          double inv3 = inv * inv * inv;
+          double f = inv3 * (inv3 - 0.5) * inv;
+          fx[i] += f * dx; fy[i] += f * dy; fz[i] += f * dz;
+          fx[j] -= f * dx; fy[j] -= f * dy; fz[j] -= f * dz;
+        }
+      }
+    }
+    for (i = 0; i < NATOM; i++) {
+      px[i] += fx[i] * 0.0001;
+      py[i] += fy[i] * 0.0001;
+      pz[i] += fz[i] * 0.0001;
+    }
+  }
+  double total = 0.0;
+  for (i = 0; i < NATOM; i++) { total += fx[i] + fy[i] + fz[i]; }
+  print_fixed(total); print_nl();
+  return 0;
+}`,
+		Notes: "FP compute-bound; paper 1.36x/1.38x",
+	}
+}
+
+// 445.gobmk: go-position evaluation: many small branchy pattern matchers
+// over a board (paper 1.53x/1.56x).
+func gobmk() *Workload {
+	var fns strings.Builder
+	for k := 0; k < 10; k++ {
+		fmt.Fprintf(&fns, `
+int pattern%d(int p) {
+  int s = 0; int d;
+  for (d = 0; d < 4; d++) {
+    int q = p + dirs[d];
+    if (q < 0 || q >= 361) { continue; }
+    int c = board[q];
+    if (c == board[p]) { s += %d; }
+    else if (c == 0) { s += %d; }
+    else { s -= %d; }
+    if ((q %% 19) == 0 || (q %% 19) == 18) { s -= 1; }
+  }
+  return s;
+}
+`, k, k+2, k+1, k+3)
+	}
+	return &Workload{
+		Name: "445.gobmk",
+		Source: specProlog + `
+int board[361];
+int dirs[4] = {1, -1, 19, -19};
+int libs[361];
+` + fns.String() + `
+int flood_liberties(int p) {
+  int stack[64]; int sp = 0; int seen = 0;
+  int color = board[p];
+  int count = 0;
+  stack[sp] = p; sp++;
+  libs[p] = 1;
+  while (sp > 0 && seen < 48) {
+    int cur; int d;
+    sp--; cur = stack[sp]; seen++;
+    for (d = 0; d < 4; d++) {
+      int q = cur + dirs[d];
+      if (q < 0 || q >= 361) { continue; }
+      if (board[q] == 0) { count++; }
+      else if (board[q] == color && libs[q] == 0 && sp < 63) {
+        libs[q] = 1;
+        stack[sp] = q; sp++;
+      }
+    }
+  }
+  return count;
+}
+int main() {
+  int i; int move; long total = 0;
+  for (i = 0; i < 361; i++) { board[i] = rng_range(3); }
+  for (move = 0; move < 2600; move++) {
+    int p = rng_range(361);
+    board[p] = 1 + (move & 1);
+    int score = 0;
+    score += pattern0(p); score += pattern1(p); score += pattern2(p);
+    score += pattern3(p); score += pattern4(p); score += pattern5(p);
+    score += pattern6(p); score += pattern7(p); score += pattern8(p);
+    score += pattern9(p);
+    for (i = 0; i < 361; i++) { libs[i] = 0; }
+    if (board[p] != 0) { score += flood_liberties(p); }
+    if (score < 0) { board[p] = 0; }
+    total += (long)score;
+  }
+  print_long(total); print_nl();
+  return 0;
+}`,
+		Notes: "many small branchy functions; paper 1.53x/1.56x",
+	}
+}
+
+// 450.soplex: sparse simplex-style pivoting: indirect indexing, doubles,
+// and virtual-function-style dispatch through function pointers
+// (paper 1.48x/1.33x; the paper calls out its indirect-call misses).
+func soplex() *Workload {
+	return &Workload{
+		Name: "450.soplex",
+		Source: specProlog + `
+int ROWS = 160;
+int NNZ = 12;
+double vals[160][12];
+int cols[160][12];
+double x[160]; double y[160];
+double ratio_pricer(int r) {
+  double best = 1000000.0; int k;
+  for (k = 0; k < NNZ; k++) {
+    double v = vals[r][k];
+    if (v > 0.001) {
+      double cand = x[cols[r][k]] / v;
+      if (cand < best) { best = cand; }
+    }
+  }
+  return best;
+}
+double devex_pricer(int r) {
+  double s = 0.0; int k;
+  for (k = 0; k < NNZ; k++) {
+    double v = vals[r][k];
+    s += v * v * x[cols[r][k]];
+  }
+  return s + 1.0;
+}
+double steepest_pricer(int r) {
+  double s = 0.0; int k;
+  for (k = 0; k < NNZ; k++) { s += vals[r][k] * y[cols[r][k]]; }
+  if (s < 0.0) { s = -s; }
+  return s + 0.5;
+}
+int main() {
+  int r; int k; int iter;
+  for (r = 0; r < ROWS; r++) {
+    x[r] = (double)(rng_range(100) + 1) * 0.1;
+    y[r] = (double)(rng_range(100) + 1) * 0.05;
+    for (k = 0; k < NNZ; k++) {
+      vals[r][k] = (double)rng_range(1000) * 0.003;
+      cols[r][k] = rng_range(ROWS);
+    }
+  }
+  double total = 0.0;
+  for (iter = 0; iter < 140; iter++) {
+    int which = iter % 3;
+    double (*pricer)(int);
+    if (which == 0) { pricer = ratio_pricer; }
+    else if (which == 1) { pricer = devex_pricer; }
+    else { pricer = steepest_pricer; }
+    double best = -1.0; int bestRow = 0;
+    for (r = 0; r < ROWS; r++) {
+      double v = pricer(r);
+      if (v > best) { best = v; bestRow = r; }
+    }
+    /* pivot update */
+    for (k = 0; k < NNZ; k++) {
+      int c = cols[bestRow][k];
+      x[c] = x[c] * 0.98 + vals[bestRow][k] * 0.01;
+      y[c] = y[c] + vals[bestRow][k] * 0.002;
+    }
+    total += best;
+  }
+  print_fixed(total); print_nl();
+  return 0;
+}`,
+		Notes: "sparse indirection + function-pointer pricers; paper 1.48x/1.33x",
+	}
+}
+
+// 453.povray: ray tracing with per-shape virtual dispatch and sqrt-heavy
+// intersection math. The paper's worst case (2.5x Chrome / 2.08x Firefox):
+// dense calls, FP spills, indirect-call checks.
+func povray() *Workload {
+	return &Workload{
+		Name: "453.povray",
+		Source: specProlog + `
+struct Shape {
+  double cx; double cy; double cz;
+  double r;
+  double (*hit)(struct Shape*, double, double, double, double, double, double);
+};
+double sphere_hit(struct Shape *s, double ox, double oy, double oz,
+                  double dx, double dy, double dz) {
+  double lx = s->cx - ox; double ly = s->cy - oy; double lz = s->cz - oz;
+  double tca = lx*dx + ly*dy + lz*dz;
+  if (tca < 0.0) { return -1.0; }
+  double d2 = lx*lx + ly*ly + lz*lz - tca*tca;
+  double r2 = s->r * s->r;
+  if (d2 > r2) { return -1.0; }
+  return tca - sqrt(r2 - d2);
+}
+double plane_hit(struct Shape *s, double ox, double oy, double oz,
+                 double dx, double dy, double dz) {
+  if (dy > -0.001 && dy < 0.001) { return -1.0; }
+  double t = (s->cy - oy) / dy;
+  if (t < 0.0) { return -1.0; }
+  return t;
+}
+double blob_hit(struct Shape *s, double ox, double oy, double oz,
+                double dx, double dy, double dz) {
+  double t = 0.4; int i;
+  for (i = 0; i < 3; i++) {
+    double px = ox + dx*t - s->cx;
+    double py = oy + dy*t - s->cy;
+    double pz = oz + dz*t - s->cz;
+    double f = px*px + py*py + pz*pz - s->r*s->r;
+    if (f < 0.02 && f > -0.02) { return t; }
+    t = t + f * 0.1;
+    if (t < 0.0) { return -1.0; }
+  }
+  return -1.0;
+}
+int NSHAPES = 24;
+struct Shape shapes[24];
+int main() {
+  int i; int px; int py;
+  for (i = 0; i < NSHAPES; i++) {
+    shapes[i].cx = (double)(rng_range(200) - 100) * 0.05;
+    shapes[i].cy = (double)(rng_range(200) - 100) * 0.05;
+    shapes[i].cz = (double)(rng_range(100) + 20) * 0.1;
+    shapes[i].r = 0.3 + (double)rng_range(100) * 0.01;
+    if (i % 3 == 0) { shapes[i].hit = sphere_hit; }
+    else if (i % 3 == 1) { shapes[i].hit = plane_hit; }
+    else { shapes[i].hit = blob_hit; }
+  }
+  double img = 0.0;
+  for (py = 0; py < 40; py++) {
+    for (px = 0; px < 40; px++) {
+      double dx = ((double)px - 20.0) / 40.0;
+      double dy = ((double)py - 20.0) / 40.0;
+      double dz = 1.0;
+      double n = sqrt(dx*dx + dy*dy + dz*dz);
+      dx /= n; dy /= n; dz /= n;
+      double best = 1000000.0; int hitIdx = -1;
+      for (i = 0; i < NSHAPES; i++) {
+        double t = shapes[i].hit(&shapes[i], 0.0, 0.0, 0.0, dx, dy, dz);
+        if (t > 0.0 && t < best) { best = t; hitIdx = i; }
+      }
+      if (hitIdx >= 0) {
+        img += 1.0 / (1.0 + best) + 0.01 * (double)hitIdx;
+      }
+    }
+  }
+  print_fixed(img); print_nl();
+  return 0;
+}`,
+		Notes: "virtual dispatch per shape, sqrt-heavy; paper 2.5x/2.08x (worst case)",
+	}
+}
+
+// 458.sjeng: chess search with a large flat code footprint: dozens of
+// distinct evaluation routines. The wasm builds inflate past the 32 KB L1
+// i-cache (paper: 26.5x/18.6x more icache misses; 1.68x/1.62x slowdown).
+func sjeng() *Workload {
+	var fns strings.Builder
+	var calls strings.Builder
+	const nEvals = 20
+	for k := 0; k < nEvals; k++ {
+		// Each evaluator is distinct code with its own constants and
+		// mix of operations, so the footprint is genuinely large.
+		fmt.Fprintf(&fns, `
+int eval%d(int sq) {
+  int s = 0; int f = sq %% 8; int rk = sq / 8;
+  int a0 = sqboard[sq]; int a1 = centers[(sq + 1) & 63]; int a2 = history[sq & 255];
+  int a3 = sqboard[(sq + 2) & 63]; int a4 = centers[(sq + 3) & 63]; int a5 = sqboard[(sq + 5) & 63];
+  int a6 = centers[(sq + 7) & 63]; int a7 = history[(sq + 9) & 255];
+  s += (f * %d + rk * %d) %% 23;
+  if (sqboard[sq] == %d) { s += %d; } else if (sqboard[sq] > 2) { s -= %d; }
+  s += centers[(sq + %d) %% 64];
+  if (f > 1 && f < 6) { s += sqboard[(sq + %d) %% 64] * %d; }
+  if (rk == %d) { s += %d; }
+  s ^= (s << %d);
+  s += history[(sq * %d + %d) %% 256] %% 17;
+  s += (sqboard[(sq * 3 + %d) %% 64] * centers[(sq + rk) %% 64]) %% 29;
+  if ((s & 7) == %d) { s += f * rk; } else { s -= (f + rk) %% 9; }
+  if (s > 90) { s = 90 - (s %% 13); }
+  if (s < -90) { s = -90 + (s %% 11); }
+  s += a0 * 3 + a1 - a2 + a3 * 2 - a4 + a5 - a6 * 2 + a7;
+  return s;
+}
+`, k, k%7+1, k%5+2, k%6, k%9+3, k%4+1, k*3%64, k*5%64, k%3+1,
+			k%8, k%12+4, k%5+1, k*7%13+1, k*11%251, k*13%61+1, k%8)
+		fmt.Fprintf(&calls, "    if (kind == %d) { score += eval%d(sq); }\n", k, k)
+	}
+	return &Workload{
+		Name: "458.sjeng",
+		Source: specProlog + `
+int sqboard[64];
+int centers[64];
+int history[256];
+` + fns.String() + `
+int evaluate(int sq, int kind) {
+  int score = 0;
+` + calls.String() + `
+  return score;
+}
+int search(int depth, int alpha, int beta, int sq) {
+  if (depth == 0) { return evaluate(sq % 64, (sq * 13 + depth) % ` + fmt.Sprint(nEvals) + `); }
+  int best = -10000; int m;
+  for (m = 0; m < 5; m++) {
+    int nsq = (sq * 5 + m * 11 + depth) % 64;
+    int v = -search(depth - 1, -beta, -alpha, nsq);
+    if (v > best) { best = v; }
+    if (best > alpha) { alpha = best; }
+    if (alpha >= beta) { break; }
+  }
+  history[(sq + depth) % 256] += 1;
+  return best;
+}
+int main() {
+  int i; long total = 0;
+  for (i = 0; i < 64; i++) { sqboard[i] = rng_range(12); centers[i] = rng_range(9) - 4; }
+  for (i = 0; i < 256; i++) { history[i] = 0; }
+  for (i = 0; i < 28; i++) {
+    total += (long)search(6, -10000, 10000, rng_range(64));
+  }
+  print_long(total); print_nl();
+  return 0;
+}`,
+		Notes: "huge flat code footprint; paper icache misses 26.5x/18.6x, slowdown 1.68x/1.62x",
+	}
+}
+
+// 462.libquantum: quantum register simulation: bit manipulation streamed
+// over a large state array (paper 1.35x/1.17x).
+func libquantum() *Workload {
+	return &Workload{
+		Name: "462.libquantum",
+		Source: specProlog + `
+int N = 131072;
+unsigned state[131072];
+int main() {
+  int i; int gate;
+  for (i = 0; i < N; i++) { state[i] = rng(); }
+  long total = 0;
+  for (gate = 0; gate < 22; gate++) {
+    int control = gate % 17;
+    int target = (gate * 7 + 3) % 19;
+    for (i = 0; i < N; i++) {
+      unsigned v = state[i];
+      if (v & (1u << control)) {
+        v = v ^ (1u << target);
+        v = (v << 1) | (v >> 31);
+      }
+      state[i] = v;
+    }
+    /* phase accumulation */
+    unsigned acc = 0;
+    for (i = 0; i < N; i += 16) { acc += state[i] >> 16; }
+    total += (long)(acc & 0xffffu);
+  }
+  print_long(total); print_nl();
+  return 0;
+}`,
+		Notes: "streaming bit ops; paper 1.35x/1.17x",
+	}
+}
+
+// 464.h264ref: motion-estimation SAD loops over byte frames, plus output
+// file writes (the BrowserFS append-path workload from §2; paper
+// 2.07x/1.88x).
+func h264ref() *Workload {
+	return &Workload{
+		Name: "464.h264ref",
+		Source: specProlog + `
+int W = 176; int H = 144;
+char cur[25344];
+char ref[25344];
+int sad16(int cx, int cy, int rx, int ry) {
+  int s = 0; int y; int x;
+  for (y = 0; y < 16; y++) {
+    int co = (cy + y) * W + cx;
+    int ro = (ry + y) * W + rx;
+    for (x = 0; x < 16; x++) {
+      int d = (cur[co + x] & 255) - (ref[ro + x] & 255);
+      if (d < 0) { d = -d; }
+      s += d;
+    }
+  }
+  return s;
+}
+int main() {
+  int i; int frame;
+  int out = sys_open("/out/rec.yuv", 64 | 512 | 1, 0);
+  long total = 0;
+  for (i = 0; i < W * H; i++) { ref[i] = (char)rng_range(220); }
+  for (frame = 0; frame < 3; frame++) {
+    for (i = 0; i < W * H; i++) {
+      int v = (ref[i] & 255) + rng_range(9) - 4;
+      if (v < 0) { v = 0; }
+      if (v > 255) { v = 255; }
+      cur[i] = (char)v;
+    }
+    int by; int bx;
+    for (by = 0; by + 16 <= H; by += 16) {
+      for (bx = 0; bx + 16 <= W; bx += 16) {
+        int best = 1 << 30; int bmx = 0; int bmy = 0;
+        int my; int mx;
+        for (my = -3; my <= 3; my++) {
+          for (mx = -3; mx <= 3; mx++) {
+            int rx = bx + mx; int ry = by + my;
+            if (rx < 0 || ry < 0 || rx + 16 > W || ry + 16 > H) { continue; }
+            int s = sad16(bx, by, rx, ry);
+            if (s < best) { best = s; bmx = mx; bmy = my; }
+          }
+        }
+        total += (long)(best + bmx + bmy);
+        /* write reconstructed block row by row (appends) */
+        char hdr[4];
+        hdr[0] = (char)bx; hdr[1] = (char)by; hdr[2] = (char)(best & 127); hdr[3] = (char)10;
+        sys_write(out, hdr, 4);
+      }
+    }
+    for (i = 0; i < W * H; i++) { ref[i] = cur[i]; }
+  }
+  sys_close(out);
+  print_long(total); print_nl();
+  return 0;
+}`,
+		Files: map[string][]byte{"/out/.keep": {}},
+		Notes: "byte SAD loops + append-heavy output; paper 2.07x/1.88x",
+	}
+}
+
+// 470.lbm: lattice-Boltzmann streaming stencil over large double arrays
+// (memory-bound; paper 1.19x/1.19x).
+func lbm() *Workload {
+	return &Workload{
+		Name: "470.lbm",
+		Source: specProlog + `
+int NX = 64; int NY = 64;
+double f0[4096]; double f1[4096]; double f2[4096]; double f3[4096]; double f4[4096];
+double g0[4096]; double g1[4096]; double g2[4096]; double g3[4096]; double g4[4096];
+int main() {
+  int i; int t; int x; int y;
+  for (i = 0; i < NX * NY; i++) {
+    f0[i] = 0.4; f1[i] = 0.15; f2[i] = 0.15; f3[i] = 0.15; f4[i] = 0.15;
+    if (i % 37 == 0) { f1[i] += 0.05; }
+  }
+  for (t = 0; t < 14; t++) {
+    for (y = 1; y < NY - 1; y++) {
+      for (x = 1; x < NX - 1; x++) {
+        int p = y * NX + x;
+        double rho = f0[p] + f1[p] + f2[p] + f3[p] + f4[p];
+        double ux = (f1[p] - f2[p]) / rho;
+        double uy = (f3[p] - f4[p]) / rho;
+        double usq = 1.5 * (ux*ux + uy*uy);
+        g0[p] = f0[p] + 0.6 * (rho * 0.4 * (1.0 - usq) - f0[p]);
+        g1[p + 1] = f1[p] + 0.6 * (rho * 0.15 * (1.0 + 3.0*ux + 4.5*ux*ux - usq) - f1[p]);
+        g2[p - 1] = f2[p] + 0.6 * (rho * 0.15 * (1.0 - 3.0*ux + 4.5*ux*ux - usq) - f2[p]);
+        g3[p + NX] = f3[p] + 0.6 * (rho * 0.15 * (1.0 + 3.0*uy + 4.5*uy*uy - usq) - f3[p]);
+        g4[p - NX] = f4[p] + 0.6 * (rho * 0.15 * (1.0 - 3.0*uy + 4.5*uy*uy - usq) - f4[p]);
+      }
+    }
+    for (i = 0; i < NX * NY; i++) {
+      f0[i] = g0[i]; f1[i] = g1[i]; f2[i] = g2[i]; f3[i] = g3[i]; f4[i] = g4[i];
+    }
+  }
+  double total = 0.0;
+  for (i = 0; i < NX * NY; i += 5) { total += f0[i] + f1[i]; }
+  print_fixed(total); print_nl();
+  return 0;
+}`,
+		Notes: "streaming stencil, memory-bound; paper 1.19x/1.19x",
+	}
+}
+
+// 473.astar: grid pathfinding with a binary heap (paper 1.59x/1.36x).
+func astar() *Workload {
+	return &Workload{
+		Name: "473.astar",
+		Source: specProlog + `
+int W = 128; int H = 128;
+char grid[16384];
+int dist[16384];
+int heap[16384]; int heapv[16384]; int hn = 0;
+void hpush(int node, int d) {
+  int i = hn; hn++;
+  heap[i] = node; heapv[i] = d;
+  while (i > 0) {
+    int p = (i - 1) / 2;
+    if (heapv[p] <= heapv[i]) { break; }
+    int tn = heap[p]; heap[p] = heap[i]; heap[i] = tn;
+    int tv = heapv[p]; heapv[p] = heapv[i]; heapv[i] = tv;
+    i = p;
+  }
+}
+int hpop() {
+  int top = heap[0];
+  hn--;
+  heap[0] = heap[hn]; heapv[0] = heapv[hn];
+  int i = 0;
+  while (1) {
+    int l = 2*i + 1; int r = 2*i + 2; int m = i;
+    if (l < hn && heapv[l] < heapv[m]) { m = l; }
+    if (r < hn && heapv[r] < heapv[m]) { m = r; }
+    if (m == i) { break; }
+    int tn = heap[m]; heap[m] = heap[i]; heap[i] = tn;
+    int tv = heapv[m]; heapv[m] = heapv[i]; heapv[i] = tv;
+    i = m;
+  }
+  return top;
+}
+int main() {
+  int i; int q; long total = 0;
+  for (i = 0; i < W * H; i++) { grid[i] = (char)(rng_range(100) < 22 ? 1 : 0); }
+  for (q = 0; q < 10; q++) {
+    int start = rng_range(W * H);
+    int goal = rng_range(W * H);
+    for (i = 0; i < W * H; i++) { dist[i] = 1 << 29; }
+    hn = 0;
+    dist[start] = 0;
+    hpush(start, 0);
+    int expanded = 0;
+    while (hn > 0 && expanded < 24000) {
+      int u = hpop();
+      expanded++;
+      if (u == goal) { break; }
+      int ux = u % W; int uy = u / W;
+      int d;
+      for (d = 0; d < 4; d++) {
+        int vx = ux; int vy = uy;
+        if (d == 0) { vx++; } else if (d == 1) { vx--; }
+        else if (d == 2) { vy++; } else { vy--; }
+        if (vx < 0 || vy < 0 || vx >= W || vy >= H) { continue; }
+        int v = vy * W + vx;
+        if (grid[v]) { continue; }
+        int nd = dist[u] + 1;
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          int hx = vx - goal % W; if (hx < 0) { hx = -hx; }
+          int hy = vy - goal / W; if (hy < 0) { hy = -hy; }
+          hpush(v, nd + hx + hy);
+        }
+      }
+    }
+    total += (long)(dist[goal] < (1 << 29) ? dist[goal] : -1) + (long)expanded;
+  }
+  print_long(total); print_nl();
+  return 0;
+}`,
+		Notes: "heap + grid search; paper 1.59x/1.36x",
+	}
+}
+
+// 482.sphinx3: acoustic scoring: gaussian dot products with table-driven
+// log-add (paper 2.19x/1.87x).
+func sphinx3() *Workload {
+	return &Workload{
+		Name: "482.sphinx3",
+		Source: specProlog + `
+int NSEN = 120; int NDIM = 32; int NFRAMES = 40;
+double means[120][32];
+double vars[120][32];
+double feat[32];
+int logtab[512];
+int main() {
+  int s; int d; int fno;
+  for (s = 0; s < NSEN; s++) { for (d = 0; d < NDIM; d++) {
+    means[s][d] = (double)(rng_range(200) - 100) * 0.01;
+    vars[s][d] = 0.5 + (double)rng_range(100) * 0.01;
+  } }
+  for (s = 0; s < 512; s++) { logtab[s] = (512 - s) * 3 / 2; }
+  long total = 0;
+  for (fno = 0; fno < NFRAMES; fno++) {
+    for (d = 0; d < NDIM; d++) { feat[d] = (double)(rng_range(200) - 100) * 0.01; }
+    int bestScore = -(1 << 30);
+    for (s = 0; s < NSEN; s++) {
+      double acc = 0.0;
+      for (d = 0; d < NDIM; d++) {
+        double diff = feat[d] - means[s][d];
+        acc += diff * diff * vars[s][d];
+      }
+      int score = -(int)(acc * 64.0);
+      /* table-driven log-add */
+      int delta = bestScore - score;
+      if (delta < 0) { delta = -delta; }
+      if (delta < 512) { score += logtab[delta]; }
+      if (score > bestScore) { bestScore = score; }
+    }
+    total += (long)bestScore;
+  }
+  print_long(total); print_nl();
+  return 0;
+}`,
+		Notes: "gaussian scoring + table lookups; paper 2.19x/1.87x",
+	}
+}
+
+// 641.leela_s: Monte-Carlo tree search playouts on a small board: branchy
+// integer work with some FP in the UCT formula (paper 1.77x/1.54x).
+func leela() *Workload {
+	return &Workload{
+		Name: "641.leela_s",
+		Source: specProlog + `
+int board[81];
+int visits[81];
+double wins[81];
+int playout(int start) {
+  int pos = start; int steps = 0; int score = 0;
+  while (steps < 60) {
+    int mv = (pos * 31 + (int)(rng() & 63u)) % 81;
+    if (board[mv] == 0) {
+      board[mv] = 1 + (steps & 1);
+      score += (board[(mv + 1) % 81] == board[mv]) ? 2 : -1;
+      pos = mv;
+    } else {
+      pos = (pos + 7) % 81;
+      score -= 1;
+    }
+    steps++;
+  }
+  /* undo */
+  int i;
+  for (i = 0; i < 81; i++) { if (board[i] != 9 && visits[i] == 0) { } }
+  return score;
+}
+int main() {
+  int i; int iter; long total = 0;
+  for (i = 0; i < 81; i++) { board[i] = 0; visits[i] = 0; wins[i] = 0.0; }
+  for (iter = 0; iter < 2400; iter++) {
+    /* UCT selection */
+    double bestU = -1000000.0; int best = 0;
+    double logN = 1.0;
+    int n = iter + 1;
+    while (n > 1) { logN += 0.7; n >>= 1; }
+    for (i = 0; i < 81; i += 4) {
+      double u;
+      if (visits[i] == 0) { u = 10000.0 - (double)i; }
+      else { u = wins[i] / (double)visits[i] + 1.4 * sqrt(logN / (double)visits[i]); }
+      if (u > bestU) { bestU = u; best = i; }
+    }
+    int sc = playout(best);
+    visits[best] += 1;
+    wins[best] += (double)(sc > 0 ? 1 : 0);
+    total += (long)sc;
+    if ((iter & 127) == 0) { for (i = 0; i < 81; i++) { board[i] = 0; } }
+  }
+  print_long(total); print_nl();
+  return 0;
+}`,
+		Notes: "MCTS playouts, branchy int + UCT FP; paper 1.77x/1.54x",
+	}
+}
+
+// 644.nab_s: nucleic-acid molecular mechanics: FP force kernels with
+// divisions and square roots (paper 1.47x/1.55x).
+func nab() *Workload {
+	return &Workload{
+		Name: "644.nab_s",
+		Source: specProlog + `
+int N = 560;
+double pos[1680];
+double frc[1680];
+double chg[560];
+int main() {
+  int i; int j; int step;
+  for (i = 0; i < N; i++) {
+    pos[i*3] = (double)rng_range(500) * 0.02;
+    pos[i*3+1] = (double)rng_range(500) * 0.02;
+    pos[i*3+2] = (double)rng_range(500) * 0.02;
+    chg[i] = (double)(rng_range(21) - 10) * 0.1;
+    frc[i*3] = 0.0; frc[i*3+1] = 0.0; frc[i*3+2] = 0.0;
+  }
+  for (step = 0; step < 3; step++) {
+    for (i = 0; i < N; i++) {
+      for (j = i + 1; j < N; j++) {
+        double dx = pos[i*3] - pos[j*3];
+        double dy = pos[i*3+1] - pos[j*3+1];
+        double dz = pos[i*3+2] - pos[j*3+2];
+        double r2 = dx*dx + dy*dy + dz*dz + 0.04;
+        double r = sqrt(r2);
+        double e = chg[i] * chg[j] / r;
+        double f = e / r2;
+        frc[i*3] += f * dx; frc[i*3+1] += f * dy; frc[i*3+2] += f * dz;
+        frc[j*3] -= f * dx; frc[j*3+1] -= f * dy; frc[j*3+2] -= f * dz;
+      }
+    }
+    for (i = 0; i < 3 * N; i++) { pos[i] += frc[i] * 0.00001; }
+  }
+  double total = 0.0;
+  for (i = 0; i < 3 * N; i += 3) { total += frc[i]; }
+  print_fixed(total); print_nl();
+  return 0;
+}`,
+		Notes: "FP with div/sqrt; paper 1.47x/1.55x",
+	}
+}

@@ -1,0 +1,67 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/toolchain"
+	"repro/internal/workloads"
+)
+
+// runWorkload executes w on cfg, returning stdout.
+func runWorkload(t *testing.T, w *workloads.Workload, cfg *codegen.EngineConfig) string {
+	t.Helper()
+	res, err := toolchain.Run(w.Source, cfg, append([]string{w.Name}, w.Args...), w.Files)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", w.Name, cfg.Name, err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("%s on %s: exit %d, stdout %q", w.Name, cfg.Name, res.ExitCode, res.Stdout)
+	}
+	if res.Stdout == "" {
+		t.Fatalf("%s on %s: no output", w.Name, cfg.Name)
+	}
+	return res.Stdout
+}
+
+// TestPolybenchDifferential runs every Polybench kernel on native and
+// Chrome and requires identical output (the cmp validation).
+func TestPolybenchDifferential(t *testing.T) {
+	for _, w := range workloads.Polybench() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			nat := runWorkload(t, w, codegen.Native())
+			chr := runWorkload(t, w, codegen.Chrome())
+			if nat != chr {
+				t.Errorf("output mismatch: native %q vs chrome %q", nat, chr)
+			}
+		})
+	}
+}
+
+// TestSPECDifferential runs every SPEC-shaped workload on native, Chrome,
+// and Firefox and requires identical output.
+func TestSPECDifferential(t *testing.T) {
+	for _, w := range workloads.SPECCPU() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			nat := runWorkload(t, w, codegen.Native())
+			chr := runWorkload(t, w, codegen.Chrome())
+			ff := runWorkload(t, w, codegen.Firefox())
+			if nat != chr || nat != ff {
+				t.Errorf("output mismatch: native %q chrome %q firefox %q", nat, chr, ff)
+			}
+		})
+	}
+}
+
+func TestWorkloadCounts(t *testing.T) {
+	if n := len(workloads.Polybench()); n != 23 {
+		t.Errorf("polybench has %d kernels, want 23", n)
+	}
+	if n := len(workloads.SPECCPU()); n != 15 {
+		t.Errorf("spec suite has %d benchmarks, want 15", n)
+	}
+}

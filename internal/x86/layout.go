@@ -1,0 +1,44 @@
+package x86
+
+// Simulated process address-space layout. Linear (wasm) memory occupies low
+// addresses so that wasm pointers are process addresses; engine-managed
+// structures (globals area, indirect-call table, stack limit word, constant
+// pool) and the native machine stack live in a high region that guard-page
+// checking keeps out of reach of linear memory.
+const (
+	// LinearBase is the base of wasm linear memory.
+	LinearBase = 0x0
+
+	// LinearMax caps linear memory (1 GiB, mirroring the paper's
+	// TOTAL_MEMORY=1073741824 Emscripten flag).
+	LinearMax = 0x4000_0000
+
+	// GlobalsBase is the engine's wasm-globals area (8 bytes per global).
+	GlobalsBase = 0xE000_0000
+
+	// TableBase is the indirect-call table: 16 bytes per entry,
+	// [signature id: 8][code entry: 8].
+	TableBase = 0xE010_0000
+
+	// TableEntrySize is the byte size of one indirect-call table entry.
+	TableEntrySize = 16
+
+	// StackLimitAddr holds the machine stack limit used by the per-function
+	// stack-overflow checks the paper describes in §6.2.2.
+	StackLimitAddr = 0xE020_0000
+
+	// MemPagesAddr holds the current linear-memory size in pages.
+	MemPagesAddr = 0xE020_0008
+
+	// RodataBase is the constant pool (f64 literals, jump tables).
+	RodataBase = 0xE030_0000
+
+	// StackTop is the initial RSP; the machine stack grows down.
+	StackTop = 0xF000_0000
+
+	// StackSize is the machine stack reservation (8 MiB).
+	StackSize = 8 << 20
+
+	// TextBase is where code layout starts (i-cache simulation only).
+	TextBase = 0x1000
+)

@@ -1,0 +1,159 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FuncInfo describes one compiled function inside a Program.
+type FuncInfo struct {
+	Name  string
+	Label int // entry label id
+	// Start/End delimit the function's instructions (indices into Code).
+	Start, End int
+	SigID      int // signature id for indirect-call checks
+}
+
+// Program is a laid-out machine program: a flat instruction stream, label
+// definitions, and per-function metadata.
+type Program struct {
+	Code   []Inst
+	Funcs  []FuncInfo
+	labels map[int]int // label id -> instruction index
+
+	// FuncByLabel maps entry label ids to function numbers.
+	FuncByLabel map[int]int
+
+	// CodeBytes is the total encoded size after layout.
+	CodeBytes uint32
+
+	// HostSigs records, for each host-function index, the number of i64
+	// argument slots it takes (used by the simulator's calling convention).
+	HostNames []string
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{labels: map[int]int{}, FuncByLabel: map[int]int{}}
+}
+
+// Append adds an instruction and returns its index.
+func (p *Program) Append(in Inst) int {
+	p.Code = append(p.Code, in)
+	return len(p.Code) - 1
+}
+
+// Bind associates label id with the next instruction index.
+func (p *Program) Bind(label int) {
+	p.labels[label] = len(p.Code)
+}
+
+// LabelTarget resolves a label to an instruction index.
+func (p *Program) LabelTarget(label int) (int, bool) {
+	idx, ok := p.labels[label]
+	return idx, ok
+}
+
+// Layout assigns code addresses and sizes. Call after all code is appended.
+func (p *Program) Layout() {
+	addr := uint32(0x1000) // text base
+	for i := range p.Code {
+		in := &p.Code[i]
+		in.Size = in.EncodedSize()
+		in.Addr = addr
+		addr += uint32(in.Size)
+	}
+	p.CodeBytes = addr - 0x1000
+}
+
+// ResolveTargets converts label-id targets into instruction indices, storing
+// them back into Target. It must run after all labels are bound.
+func (p *Program) ResolveTargets() error {
+	for i := range p.Code {
+		in := &p.Code[i]
+		switch in.Op {
+		case OJmp, OJcc, OCall:
+			idx, ok := p.labels[in.Target]
+			if !ok {
+				return fmt.Errorf("x86: undefined label L%d at %d", in.Target, i)
+			}
+			in.Target = idx
+		case OJmpTable:
+			for k, t := range in.TableTargets {
+				idx, ok := p.labels[t]
+				if !ok {
+					return fmt.Errorf("x86: undefined jump-table label L%d at %d", t, i)
+				}
+				in.TableTargets[k] = idx
+			}
+		}
+	}
+	return nil
+}
+
+// FuncEntry returns the instruction index of the function's entry.
+func (p *Program) FuncEntry(fn int) int {
+	idx, _ := p.labels[p.Funcs[fn].Label]
+	return idx
+}
+
+// Disasm renders the instructions of function fn as an assembly listing with
+// local labels, in the style of the paper's Figure 7.
+func (p *Program) Disasm(fn int) string {
+	f := p.Funcs[fn]
+	// Collect branch targets inside the function for label printing.
+	targets := map[int]int{}
+	next := 1
+	for i := f.Start; i < f.End; i++ {
+		in := &p.Code[i]
+		if in.Op == OJmp || in.Op == OJcc {
+			if in.Target >= f.Start && in.Target <= f.End {
+				if _, ok := targets[in.Target]; !ok {
+					targets[in.Target] = next
+					next++
+				}
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:  # %d instructions, %d bytes\n", f.Name, f.End-f.Start, p.funcBytes(fn))
+	for i := f.Start; i < f.End; i++ {
+		in := p.Code[i]
+		if l, ok := targets[i]; ok {
+			fmt.Fprintf(&sb, "L%d:\n", l)
+		}
+		s := in.String()
+		if in.Op == OJmp || in.Op == OJcc {
+			if l, ok := targets[in.Target]; ok {
+				s = strings.Replace(s, fmt.Sprintf("L%d", in.Target), fmt.Sprintf("L%d", l), 1)
+			}
+		}
+		fmt.Fprintf(&sb, "    %s\n", s)
+	}
+	return sb.String()
+}
+
+func (p *Program) funcBytes(fn int) uint32 {
+	f := p.Funcs[fn]
+	var n uint32
+	for i := f.Start; i < f.End; i++ {
+		n += uint32(p.Code[i].Size)
+	}
+	return n
+}
+
+// FuncInstCount returns the instruction count of function fn (including nops).
+func (p *Program) FuncInstCount(fn int) int {
+	f := p.Funcs[fn]
+	return f.End - f.Start
+}
+
+// FindFunc returns the function number with the given name.
+func (p *Program) FindFunc(name string) (int, bool) {
+	for i, f := range p.Funcs {
+		if f.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,71 @@
+package x86
+
+import "testing"
+
+func TestCCNegate(t *testing.T) {
+	pairs := map[CC]CC{
+		CCE: CCNE, CCL: CCGE, CCLE: CCG, CCB: CCAE, CCBE: CCA, CCS: CCNS, CCP: CCNP,
+	}
+	for a, b := range pairs {
+		if a.Negate() != b || b.Negate() != a {
+			t.Errorf("negate %v <-> %v broken", a, b)
+		}
+	}
+}
+
+func TestEncodedSizesReasonable(t *testing.T) {
+	cases := []struct {
+		in       Inst
+		min, max uint8
+	}{
+		{Inst{Op: ONop}, 1, 1},
+		{Inst{Op: ORet}, 1, 1},
+		{Inst{Op: OMov, W: 8, Dst: R(RAX), Src: R(RCX)}, 3, 3},
+		{Inst{Op: OMov, W: 4, Dst: R(RAX), Src: R(RCX)}, 2, 2},
+		{Inst{Op: OJcc, CC: CCE}, 6, 6},
+		{Inst{Op: OAdd, W: 4, Dst: R(RAX), Src: Imm(1)}, 3, 3},
+		{Inst{Op: OAdd, W: 4, Dst: R(RAX), Src: Imm(100000)}, 6, 6},
+		{Inst{Op: OMov, W: 8, Dst: R(RAX), Src: MB(RBP, -8)}, 4, 4},
+	}
+	for _, c := range cases {
+		got := c.in.EncodedSize()
+		if got < c.min || got > c.max {
+			t.Errorf("%s: size %d, want [%d,%d]", c.in.String(), got, c.min, c.max)
+		}
+	}
+}
+
+func TestMemStringAndClassify(t *testing.T) {
+	in := Inst{Op: OAdd, W: 4, Dst: M(Mem{Base: RDI, Index: RCX, Scale: 4, Disp: 0x1130}), Src: R(RBX)}
+	if !in.ReadsMem() || !in.WritesMem() {
+		t.Error("add [mem], reg is read-modify-write")
+	}
+	cmp := Inst{Op: OCmp, W: 4, Dst: M(Mem{Base: RDI, Index: NoReg}), Src: Imm(1)}
+	if cmp.WritesMem() {
+		t.Error("cmp must not write memory")
+	}
+	if s := in.Dst.String(); s == "" {
+		t.Error("empty operand string")
+	}
+	jmp := Inst{Op: OJmp}
+	if !jmp.IsBranch() {
+		t.Error("jmp is a branch")
+	}
+}
+
+func TestProgramLabels(t *testing.T) {
+	p := NewProgram()
+	p.Append(Inst{Op: OJmp, Target: 7})
+	p.Bind(7)
+	p.Append(Inst{Op: ORet})
+	if err := p.ResolveTargets(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Target != 1 {
+		t.Errorf("jmp resolved to %d, want 1", p.Code[0].Target)
+	}
+	p.Layout()
+	if p.Code[1].Addr <= p.Code[0].Addr {
+		t.Error("layout addresses must increase")
+	}
+}
