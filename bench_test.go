@@ -413,6 +413,34 @@ func BenchmarkAblation_BrowserFSAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkSimThroughput measures raw simulator speed — the engine that
+// produces every number in this file — as simulated instructions retired
+// per wall-clock second. The sim-inst/s metric is the headline for the
+// pre-decoded micro-op engine and tracks the speedup trajectory across PRs.
+func BenchmarkSimThroughput(b *testing.B) {
+	for _, cfg := range []*codegen.EngineConfig{codegen.Native(), codegen.Chrome()} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			w := workloads.Polybench()[0] // 2mm: FP matrix kernel
+			cm, err := toolchain.Build(w.Source, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				res, err := toolchain.RunCompiled(cm, nil, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts += res.Proc.Inst.Counters.Instructions
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(insts)/secs, "sim-inst/s")
+			}
+		})
+	}
+}
+
 // BenchmarkCompile_Chrome measures raw module compile throughput for the
 // browser backend (the "fast to compile" design goal).
 func BenchmarkCompile_Chrome(b *testing.B) {

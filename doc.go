@@ -6,9 +6,9 @@
 // Browsix-Wasm kernel, and the Browsix-SPEC harness that regenerates every
 // table and figure of the paper's evaluation.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results. The root-level benchmarks (bench_test.go)
-// regenerate each experiment:
+// See DESIGN.md for the package inventory and the simulator's execution
+// engine design. The root-level benchmarks (bench_test.go) regenerate each
+// experiment:
 //
 //	go test -bench . -benchtime 1x
 package repro

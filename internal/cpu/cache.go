@@ -2,9 +2,21 @@ package cpu
 
 // Cache simulates a set-associative cache with LRU replacement. It tracks
 // hits and misses only (contents are not modeled).
+//
+// The storage layout is optimized for the simulator's hot path: all lines
+// live in one flat backing array indexed set-major (set s occupies
+// lines[s*ways : (s+1)*ways]), and a per-set MRU index implements way
+// prediction — the common repeat hit to a set is a single tag compare
+// instead of an associative scan. Replacement decisions, hit/miss outcomes,
+// and statistics are bit-identical to the straightforward LRU model: a line
+// with used == 0 is invalid, ticks start at 1, and the victim scan's strict
+// minimum over used picks the first invalid way when one exists, exactly as
+// an explicit invalid-first scan would.
 type Cache struct {
-	sets     [][]line
+	lines    []line   // nsets * ways, way-stride 1
+	mru      []uint32 // per-set absolute index of the most recently used line
 	setMask  uint32
+	ways     uint32
 	lineBits uint32
 	tick     uint64
 	Misses   uint64
@@ -12,9 +24,8 @@ type Cache struct {
 }
 
 type line struct {
-	tag   uint64
-	valid bool
-	used  uint64
+	tag  uint64
+	used uint64 // last-touch tick; 0 marks an invalid line
 }
 
 // NewCache builds a cache of size bytes with the given line size and
@@ -22,11 +33,13 @@ type line struct {
 func NewCache(size, lineSize, ways int) *Cache {
 	nsets := size / lineSize / ways
 	c := &Cache{
-		sets:    make([][]line, nsets),
+		lines:   make([]line, nsets*ways),
+		mru:     make([]uint32, nsets),
 		setMask: uint32(nsets - 1),
+		ways:    uint32(ways),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, ways)
+	for i := range c.mru {
+		c.mru[i] = uint32(i) * c.ways
 	}
 	for lineSize > 1 {
 		lineSize >>= 1
@@ -35,40 +48,52 @@ func NewCache(size, lineSize, ways int) *Cache {
 	return c
 }
 
-// Access touches addr, returning true on hit.
+// Access touches addr, returning true on hit. The way-predicted MRU check
+// is kept small enough to inline at call sites; the associative scan and
+// replacement live in accessSlow.
 func (c *Cache) Access(addr uint32) bool {
 	c.Accesses++
 	c.tick++
 	lineAddr := uint64(addr >> c.lineBits)
-	set := c.sets[uint32(lineAddr)&c.setMask]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			set[i].used = c.tick
+	set := uint32(lineAddr) & c.setMask
+	if l := &c.lines[c.mru[set]]; l.tag == lineAddr && l.used != 0 {
+		l.used = c.tick
+		return true
+	}
+	return c.accessSlow(lineAddr, set)
+}
+
+// accessSlow scans the set associatively, tracking the LRU victim in the
+// same pass so a miss costs one sweep, and replaces it on miss.
+func (c *Cache) accessSlow(lineAddr uint64, set uint32) bool {
+	base := set * c.ways
+	ways := c.lines[base : base+c.ways]
+	victim := 0
+	for i := range ways {
+		if ways[i].used != 0 && ways[i].tag == lineAddr {
+			ways[i].used = c.tick
+			c.mru[set] = base + uint32(i)
 			return true
+		}
+		// Invalid ways have used 0 and therefore win the strict-minimum
+		// scan, reproducing an explicit invalid-first policy.
+		if ways[i].used < ways[victim].used {
+			victim = i
 		}
 	}
 	c.Misses++
-	// Replace LRU.
-	victim := 0
-	for i := 1; i < len(set); i++ {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if set[i].used < set[victim].used {
-			victim = i
-		}
-	}
-	set[victim] = line{tag: lineAddr, valid: true, used: c.tick}
+	ways[victim] = line{tag: lineAddr, used: c.tick}
+	c.mru[set] = base + uint32(victim)
 	return false
 }
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	for i := range c.mru {
+		c.mru[i] = uint32(i) * c.ways
 	}
 	c.Misses, c.Accesses, c.tick = 0, 0, 0
 }

@@ -1,6 +1,15 @@
 package cpu
 
+// Micro-op dispatch engine. The hot loop walks the pre-decoded uop stream
+// (see decode.go): one dense switch, no per-instruction operand-kind or
+// register-class interpretation, effective addresses computed from flat
+// templates, and the instruction-cache line check inlined against the
+// precomputed line number. All counter and cycle accounting is bit-identical
+// to the legacy interpreter in exec_legacy.go, which remains the reference
+// semantics and the fallback for unspecialized shapes (uSlow).
+
 import (
+	"encoding/binary"
 	"math"
 	"math/bits"
 
@@ -29,26 +38,1076 @@ func (m *Machine) Call(entry int) (uint64, error) {
 	return m.Regs[x86.RAX], nil
 }
 
+// extWidth maps extension modes to their source load width.
+var extWidth = [5]uint8{extZX8: 1, extZX16: 2, extSX8: 1, extSX16: 2, extSXD: 4}
+
 func (m *Machine) run() error {
-	code := m.Prog.Code
+	if m.NoPredecode {
+		return m.runLegacy()
+	}
+	ops := m.uops
 	for !m.halted {
-		if m.rip < 0 || m.rip >= len(code) {
+		if uint(m.rip) >= uint(len(ops)) {
 			return &TrapError{Msg: "execution left code segment", PC: m.rip}
 		}
-		in := &code[m.rip]
-		m.Counters.Instructions++
-		m.q(qBase)
-		m.icache(in.Addr)
+		u := &ops[m.rip]
+		m.Counters.Instructions++ // qBase is charged in FlushCycles
+		if u.line != m.lastILine {
+			// Inlined icache walk against the precomputed line number.
+			// Unlike the legacy engine's lastLine (which taken branches
+			// reset to force a probe), lastILine tracks the last line
+			// actually probed: a repeat probe of that line is a guaranteed
+			// hit with no counter or cycle effect, and dropping consecutive
+			// duplicate touches never changes LRU order, so branches back
+			// into the current line skip the probe bit-identically.
+			m.lastILine = u.line
+			// Every cache level has 64-byte lines, so line<<6 is
+			// indistinguishable from the full fetch address here.
+			if !m.L1I.Access(u.line << 6) {
+				m.Counters.L1IMisses++
+				if m.L2.Access(u.line << 6) {
+					m.qacc += qL1IMiss
+				} else {
+					m.qacc += qL2IMiss
+				}
+			}
+		}
 		if m.MaxInstructions > 0 && m.Counters.Instructions > m.MaxInstructions {
 			return &TrapError{Msg: "instruction budget exhausted", PC: m.rip}
 		}
-		if err := m.exec(in); err != nil {
+
+		var err error
+		switch u.kind {
+		case uSlow:
+			err = m.exec(&m.Prog.Code[m.rip])
+
+		case uNop:
+			m.rip++
+
+		case uMovRR:
+			v := m.Regs[u.src]
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[u.dst] = v
+			m.rip++
+
+		case uMovRI:
+			m.Regs[u.dst] = u.imm
+			m.rip++
+
+		case uMovLoad:
+			var v uint64
+			if v, err = m.load(m.uea(u), u.w); err == nil {
+				m.Regs[u.dst] = v
+				m.rip++
+			}
+
+		case uMovStore:
+			if err = m.store(m.uea(u), u.w, m.Regs[u.src]); err == nil {
+				m.rip++
+			}
+
+		case uMovStoreI:
+			if err = m.store(m.uea(u), u.w, u.imm); err == nil {
+				m.rip++
+			}
+
+		case uExtR:
+			v := extend(m.Regs[u.src], u.alu)
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[u.dst] = v
+			m.rip++
+
+		case uExtM:
+			var v uint64
+			if v, err = m.load(m.uea(u), extWidth[u.alu]); err == nil {
+				v = extend(v, u.alu)
+				if u.w == 4 {
+					v = uint64(uint32(v))
+				}
+				m.Regs[u.dst] = v
+				m.rip++
+			}
+
+		case uLea:
+			v := uint64(m.uea(u))
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[u.dst] = v
+			m.rip++
+
+		case uAluRR:
+			m.Regs[u.dst] = m.aluOp(u, m.Regs[u.dst], m.Regs[u.src])
+			m.rip++
+
+		case uAluRI:
+			m.Regs[u.dst] = m.aluOp(u, m.Regs[u.dst], u.imm)
+			m.rip++
+
+		case uAluRM:
+			var b uint64
+			if b, err = m.load(m.uea(u), u.w); err == nil {
+				m.Regs[u.dst] = m.aluOp(u, m.Regs[u.dst], b)
+				m.rip++
+			}
+
+		case uAluMR:
+			ea := m.uea(u)
+			var a uint64
+			if a, err = m.load(ea, u.w); err == nil {
+				if err = m.store(ea, u.w, m.aluOp(u, a, m.Regs[u.src])); err == nil {
+					m.rip++
+				}
+			}
+
+		case uAluMI:
+			ea := m.uea(u)
+			var a uint64
+			if a, err = m.load(ea, u.w); err == nil {
+				if err = m.store(ea, u.w, m.aluOp(u, a, u.imm)); err == nil {
+					m.rip++
+				}
+			}
+
+		case uShiftR:
+			var s uint
+			if u.w == 4 {
+				s = uint(m.Regs[u.src] & 31)
+			} else {
+				s = uint(m.Regs[u.src] & 63)
+			}
+			m.Regs[u.dst] = shiftOp(u, m.Regs[u.dst], s)
+			m.rip++
+
+		case uShiftI:
+			m.Regs[u.dst] = shiftOp(u, m.Regs[u.dst], uint(u.imm))
+			m.rip++
+
+		case uNegR:
+			v := -m.Regs[u.dst]
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[u.dst] = v
+			m.rip++
+
+		case uNotR:
+			v := ^m.Regs[u.dst]
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[u.dst] = v
+			m.rip++
+
+		case uBitR:
+			m.Regs[u.dst] = bitOp(u, m.Regs[u.src])
+			m.rip++
+
+		case uBitM:
+			var v uint64
+			if v, err = m.load(m.uea(u), u.w); err == nil {
+				m.Regs[u.dst] = bitOp(u, v)
+				m.rip++
+			}
+
+		case uCdq:
+			m.execCdq(u.w)
+			m.rip++
+
+		case uDivR:
+			d := m.Regs[u.dst]
+			if u.w == 4 {
+				d = uint64(uint32(d))
+			}
+			if err = m.execDiv(d, u.w, u.alu == 1); err == nil {
+				m.rip++
+			}
+
+		case uDivM:
+			var d uint64
+			if d, err = m.load(m.uea(u), u.w); err == nil {
+				if err = m.execDiv(d, u.w, u.alu == 1); err == nil {
+					m.rip++
+				}
+			}
+
+		case uCmpRR:
+			m.setCmpFlags(m.Regs[u.dst], m.Regs[u.src], u.w)
+			m.rip++
+
+		case uCmpRI:
+			m.setCmpFlags(m.Regs[u.dst], u.imm, u.w)
+			m.rip++
+
+		case uCmpRM:
+			var b uint64
+			if b, err = m.load(m.uea(u), u.w); err == nil {
+				m.setCmpFlags(m.Regs[u.dst], b, u.w)
+				m.rip++
+			}
+
+		case uCmpMR:
+			var a uint64
+			if a, err = m.load(m.uea(u), u.w); err == nil {
+				m.setCmpFlags(a, m.Regs[u.src], u.w)
+				m.rip++
+			}
+
+		case uCmpMI:
+			var a uint64
+			if a, err = m.load(m.uea(u), u.w); err == nil {
+				m.setCmpFlags(a, u.imm, u.w)
+				m.rip++
+			}
+
+		case uTestRR:
+			m.setTestFlags(m.Regs[u.dst], m.Regs[u.src], u.w)
+			m.rip++
+
+		case uTestRI:
+			m.setTestFlags(m.Regs[u.dst], u.imm, u.w)
+			m.rip++
+
+		case uSet:
+			var v uint64
+			if m.cc(u.cc) {
+				v = 1
+			}
+			m.Regs[u.dst] = (m.Regs[u.dst] &^ 0xff) | v
+			m.rip++
+
+		case uCmovRR:
+			if m.cc(u.cc) {
+				v := m.Regs[u.src]
+				if u.w == 4 {
+					v = uint64(uint32(v))
+				}
+				m.Regs[u.dst] = v
+			}
+			m.rip++
+
+		case uCmovRM:
+			// cmov with a memory source performs the load either way.
+			var v uint64
+			if v, err = m.load(m.uea(u), u.w); err == nil {
+				if m.cc(u.cc) {
+					m.Regs[u.dst] = v
+				}
+				m.rip++
+			}
+
+		// Branch kinds inline the unconditional branchTo body. The legacy
+		// engine's lastLine reset is not needed here: the micro-op engine
+		// tracks the last probed line (lastILine), which branches must not
+		// disturb.
+		case uJmp:
+			m.Counters.Branches++
+			m.qacc += qBranch
+			m.rip = int(u.tgt)
+
+		case uJcc:
+			m.Counters.Branches++
+			m.Counters.CondBranches++
+			m.qacc += qBranch
+			taken := m.cc(u.cc)
+			if !m.BP.Predict(uint32(u.imm), taken) {
+				m.Counters.BranchMiss++
+				m.qacc += qMispred
+			}
+			if taken {
+				m.rip = int(u.tgt)
+			} else {
+				m.rip++
+			}
+
+		case uJmpTable:
+			targets := m.Prog.Code[m.rip].TableTargets
+			idx := int(uint32(m.Regs[u.dst]))
+			if idx < 0 || idx >= len(targets) {
+				err = &TrapError{Msg: "jump table index out of range", PC: m.rip}
+				break
+			}
+			m.Counters.Loads++ // table entry fetch
+			m.qacc += qLoad
+			m.Counters.Branches++
+			m.qacc += qBranch
+			m.rip = targets[idx]
+
+		case uCall:
+			m.Regs[x86.RSP] -= 8
+			a := uint32(m.Regs[x86.RSP])
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Stores++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				binary.LittleEndian.PutUint64(s[off:], uint64(m.rip+1))
+			} else if err = m.store(a, 8, uint64(m.rip+1)); err != nil {
+				break
+			}
+			m.Counters.Branches++
+			m.qacc += qBranch
+			m.rip = int(u.tgt)
+
+		case uCallR, uCallM:
+			var t uint64
+			if u.kind == uCallR {
+				t = m.Regs[u.dst]
+			} else if t, err = m.load(m.uea(u), 8); err != nil {
+				break
+			}
+			if t >= uint64(len(ops)) {
+				err = &TrapError{Msg: "indirect call to invalid target", PC: m.rip}
+				break
+			}
+			m.Regs[x86.RSP] -= 8
+			a := uint32(m.Regs[x86.RSP])
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Stores++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				binary.LittleEndian.PutUint64(s[off:], uint64(m.rip+1))
+			} else if err = m.store(a, 8, uint64(m.rip+1)); err != nil {
+				break
+			}
+			m.Counters.Branches++
+			m.qacc += qBranch
+			m.rip = int(t)
+
+		case uRet:
+			a := uint32(m.Regs[x86.RSP])
+			var ra uint64
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Loads++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				ra = binary.LittleEndian.Uint64(s[off:])
+			} else if ra, err = m.load(a, 8); err != nil {
+				break
+			}
+			m.Regs[x86.RSP] += 8
+			m.Counters.Branches++
+			if ra == haltSentinel {
+				m.halted = true
+			} else {
+				m.qacc += qBranch
+				m.rip = int(ra)
+			}
+
+		case uPushR:
+			m.Regs[x86.RSP] -= 8
+			a := uint32(m.Regs[x86.RSP])
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Stores++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				binary.LittleEndian.PutUint64(s[off:], m.Regs[u.src])
+				m.rip++
+			} else if err = m.store(a, 8, m.Regs[u.src]); err == nil {
+				m.rip++
+			}
+
+		case uPushI:
+			m.Regs[x86.RSP] -= 8
+			if err = m.store(uint32(m.Regs[x86.RSP]), 8, u.imm); err == nil {
+				m.rip++
+			}
+
+		case uPushM:
+			var v uint64
+			if v, err = m.load(m.uea(u), 8); err == nil {
+				m.Regs[x86.RSP] -= 8
+				if err = m.store(uint32(m.Regs[x86.RSP]), 8, v); err == nil {
+					m.rip++
+				}
+			}
+
+		case uPop:
+			a := uint32(m.Regs[x86.RSP])
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Loads++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				m.Regs[x86.RSP] += 8
+				m.Regs[u.dst] = binary.LittleEndian.Uint64(s[off:])
+				m.rip++
+			} else {
+				var v uint64
+				if v, err = m.load(a, 8); err == nil {
+					m.Regs[x86.RSP] += 8
+					m.Regs[u.dst] = v
+					m.rip++
+				}
+			}
+
+		case uUd2:
+			err = &TrapError{Msg: "unreachable executed (ud2)", PC: m.rip}
+
+		case uCallHost:
+			if m.Host == nil {
+				err = &TrapError{Msg: "host call with no host bound", PC: m.rip}
+				break
+			}
+			m.Counters.Branches++
+			m.qacc += qCallHost
+			if err = m.Host(m, int(u.tgt)); err == nil {
+				m.rip++
+			}
+
+		case uMovsdRR:
+			m.Xmm[u.dst] = m.Xmm[u.src]
+			m.rip++
+
+		case uMovsdLoad:
+			var v uint64
+			if v, err = m.load(m.uea(u), u.w); err == nil {
+				m.Xmm[u.dst] = v
+				m.rip++
+			}
+
+		case uMovsdStore:
+			if err = m.store(m.uea(u), u.w, m.Xmm[u.src]); err == nil {
+				m.rip++
+			}
+
+		case uFAluRR:
+			m.Xmm[u.dst] = bitsOf(m.fAluOp(u, f64of(m.Xmm[u.dst], u.w), f64of(m.Xmm[u.src], u.w)), u.w)
+			m.rip++
+
+		case uFAluRM:
+			a := f64of(m.Xmm[u.dst], u.w)
+			var bv uint64
+			if bv, err = m.load(m.uea(u), u.w); err == nil {
+				m.Xmm[u.dst] = bitsOf(m.fAluOp(u, a, f64of(bv, u.w)), u.w)
+				m.rip++
+			}
+
+		case uSqrtR:
+			m.qacc += qFSqrt
+			m.Xmm[u.dst] = bitsOf(math.Sqrt(f64of(m.Xmm[u.src], u.w)), u.w)
+			m.rip++
+
+		case uSqrtM:
+			var bv uint64
+			if bv, err = m.load(m.uea(u), u.w); err == nil {
+				m.qacc += qFSqrt
+				m.Xmm[u.dst] = bitsOf(math.Sqrt(f64of(bv, u.w)), u.w)
+				m.rip++
+			}
+
+		case uUcomiR:
+			m.setUcomiFlags(f64of(m.Xmm[u.dst], u.w), f64of(m.Xmm[u.src], u.w))
+			m.rip++
+
+		case uUcomiM:
+			a := f64of(m.Xmm[u.dst], u.w)
+			var bv uint64
+			if bv, err = m.load(m.uea(u), u.w); err == nil {
+				m.setUcomiFlags(a, f64of(bv, u.w))
+				m.rip++
+			}
+
+		case uCvtSI2SDR:
+			m.qacc += qCvt
+			m.Xmm[u.dst] = math.Float64bits(cvtIntToF64(m.Regs[u.src], u.w, u.uns))
+			m.rip++
+
+		case uCvtSI2SDM:
+			var v uint64
+			if v, err = m.load(m.uea(u), u.w); err == nil {
+				m.qacc += qCvt
+				m.Xmm[u.dst] = math.Float64bits(cvtIntToF64(v, u.w, u.uns))
+				m.rip++
+			}
+
+		case uCvtTSD2SIR:
+			var r uint64
+			if r, err = m.cvtF64ToInt(f64of(m.Xmm[u.src], u.alu), u.w, u.uns); err == nil {
+				m.Regs[u.dst] = r
+				m.rip++
+			}
+
+		case uCvtTSD2SIM:
+			var bv uint64
+			if bv, err = m.load(m.uea(u), u.alu); err == nil {
+				var r uint64
+				if r, err = m.cvtF64ToInt(f64of(bv, u.alu), u.w, u.uns); err == nil {
+					m.Regs[u.dst] = r
+					m.rip++
+				}
+			}
+
+		case uCvtSD2SSR:
+			m.qacc += qCvt
+			m.Xmm[u.dst] = uint64(math.Float32bits(float32(math.Float64frombits(m.Xmm[u.src]))))
+			m.rip++
+
+		case uCvtSD2SSM:
+			var bv uint64
+			if bv, err = m.load(m.uea(u), 8); err == nil {
+				m.qacc += qCvt
+				m.Xmm[u.dst] = uint64(math.Float32bits(float32(math.Float64frombits(bv))))
+				m.rip++
+			}
+
+		case uCvtSS2SDR:
+			m.qacc += qCvt
+			m.Xmm[u.dst] = math.Float64bits(float64(math.Float32frombits(uint32(m.Xmm[u.src]))))
+			m.rip++
+
+		case uCvtSS2SDM:
+			var bv uint64
+			if bv, err = m.load(m.uea(u), 4); err == nil {
+				m.qacc += qCvt
+				m.Xmm[u.dst] = math.Float64bits(float64(math.Float32frombits(uint32(bv))))
+				m.rip++
+			}
+
+		case uMovqXR:
+			v := m.Regs[u.src]
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Xmm[u.dst] = v
+			m.rip++
+
+		case uMovqRX:
+			v := m.Xmm[u.src]
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[u.dst] = v
+			m.rip++
+
+		case uLogicXX:
+			if u.alu == 0 {
+				m.Xmm[u.dst] &= m.Xmm[u.src]
+			} else {
+				m.Xmm[u.dst] ^= m.Xmm[u.src]
+			}
+			m.rip++
+
+		case uLogicXM:
+			var b uint64
+			if b, err = m.load(m.uea(u), 8); err == nil {
+				if u.alu == 0 {
+					m.Xmm[u.dst] &= b
+				} else {
+					m.Xmm[u.dst] ^= b
+				}
+				m.rip++
+			}
+
+		case uRoundR:
+			m.qacc += qCvt
+			m.Xmm[u.dst] = bitsOf(roundMode(f64of(m.Xmm[u.src], u.w), u.alu), u.w)
+			m.rip++
+
+		case uRoundM:
+			var bv uint64
+			if bv, err = m.load(m.uea(u), u.w); err == nil {
+				m.qacc += qCvt
+				m.Xmm[u.dst] = bitsOf(roundMode(f64of(bv, u.w), u.alu), u.w)
+				m.rip++
+			}
+
+		// Width-specialized memory kinds: the whole linear-memory fast path
+		// (bounds check, retired-access counter, dcache memo, fixed-width
+		// access) is inlined here; anything outside linear memory falls back
+		// to the generic load/store with identical semantics.
+		case uMovLoad64:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Loads++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				m.Regs[u.dst] = binary.LittleEndian.Uint64(s[off:])
+				m.rip++
+			} else {
+				var v uint64
+				if v, err = m.load(a, 8); err == nil {
+					m.Regs[u.dst] = v
+					m.rip++
+				}
+			}
+
+		case uMovLoad32:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 4); ok {
+				m.Counters.Loads++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				m.Regs[u.dst] = uint64(binary.LittleEndian.Uint32(s[off:]))
+				m.rip++
+			} else {
+				var v uint64
+				if v, err = m.load(a, 4); err == nil {
+					m.Regs[u.dst] = v
+					m.rip++
+				}
+			}
+
+		case uMovStore64:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Stores++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				binary.LittleEndian.PutUint64(s[off:], m.Regs[u.src])
+				m.rip++
+			} else if err = m.store(a, 8, m.Regs[u.src]); err == nil {
+				m.rip++
+			}
+
+		case uMovStore32:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 4); ok {
+				m.Counters.Stores++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				binary.LittleEndian.PutUint32(s[off:], uint32(m.Regs[u.src]))
+				m.rip++
+			} else if err = m.store(a, 4, m.Regs[u.src]); err == nil {
+				m.rip++
+			}
+
+		case uFLoad64:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Loads++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				m.Xmm[u.dst] = binary.LittleEndian.Uint64(s[off:])
+				m.rip++
+			} else {
+				var v uint64
+				if v, err = m.load(a, 8); err == nil {
+					m.Xmm[u.dst] = v
+					m.rip++
+				}
+			}
+
+		case uFLoad32:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 4); ok {
+				m.Counters.Loads++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				m.Xmm[u.dst] = uint64(binary.LittleEndian.Uint32(s[off:]))
+				m.rip++
+			} else {
+				var v uint64
+				if v, err = m.load(a, 4); err == nil {
+					m.Xmm[u.dst] = v
+					m.rip++
+				}
+			}
+
+		case uFStore64:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Stores++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				binary.LittleEndian.PutUint64(s[off:], m.Xmm[u.src])
+				m.rip++
+			} else if err = m.store(a, 8, m.Xmm[u.src]); err == nil {
+				m.rip++
+			}
+
+		case uFStore32:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 4); ok {
+				m.Counters.Stores++
+				if a>>6 == m.lastDLine {
+					m.qacc += qLoad
+				} else {
+					m.dcacheWalk(a)
+				}
+				binary.LittleEndian.PutUint32(s[off:], uint32(m.Xmm[u.src]))
+				m.rip++
+			} else if err = m.store(a, 4, m.Xmm[u.src]); err == nil {
+				m.rip++
+			}
+
+		case uCmpRRJcc:
+			m.setCmpFlags(m.Regs[u.dst], m.Regs[u.src], u.w)
+			if !m.fusedJcc(u) {
+				return &TrapError{Msg: "instruction budget exhausted", PC: m.rip}
+			}
+
+		case uCmpRIJcc:
+			m.setCmpFlags(m.Regs[u.dst], u.imm, u.w)
+			if !m.fusedJcc(u) {
+				return &TrapError{Msg: "instruction budget exhausted", PC: m.rip}
+			}
+
+		case uTestRRJcc:
+			m.setTestFlags(m.Regs[u.dst], m.Regs[u.src], u.w)
+			if !m.fusedJcc(u) {
+				return &TrapError{Msg: "instruction budget exhausted", PC: m.rip}
+			}
+
+		}
+
+		if err != nil {
 			m.FlushCycles()
 			return err
 		}
 	}
 	m.FlushCycles()
 	return nil
+}
+
+// fusedJcc retires the branch half of a fused compare-and-branch pair: the
+// per-instruction bookkeeping the main loop would have done for the jcc
+// (instruction count, budget check; its icache fetch is a guaranteed
+// same-line skip) followed by the branch itself. It returns false when the
+// instruction budget expires at the branch, with rip advanced to it so the
+// caller's trap carries the same PC the unfused engine would report.
+func (m *Machine) fusedJcc(u *uop) bool {
+	m.Counters.Instructions++
+	if m.MaxInstructions > 0 && m.Counters.Instructions > m.MaxInstructions {
+		m.rip++
+		return false
+	}
+	m.Counters.Branches++
+	m.Counters.CondBranches++
+	m.qacc += qBranch
+	taken := m.cc(u.cc)
+	if !m.BP.Predict(uint32(u.disp), taken) {
+		m.Counters.BranchMiss++
+		m.qacc += qMispred
+	}
+	if taken {
+		m.rip = int(u.tgt)
+	} else {
+		m.rip += 2
+	}
+	return true
+}
+
+// uea computes the effective address from a micro-op's pre-extracted
+// addressing template. Base-less operands zero-extend the displacement (the
+// engine's absolute structures live above 2 GiB), matching Machine.ea.
+func (m *Machine) uea(u *uop) uint32 {
+	var a uint64
+	if u.base != 0xff {
+		a = m.Regs[u.base] + uint64(int64(u.disp))
+	} else {
+		a = uint64(uint32(u.disp))
+	}
+	if u.idx != 0xff {
+		a += m.Regs[u.idx] * uint64(u.scale)
+	}
+	return uint32(a)
+}
+
+// aluOp applies the integer ALU sub-operation, charging the multiply cost
+// and applying 32-bit result truncation exactly like the legacy engine.
+func (m *Machine) aluOp(u *uop, a, b uint64) uint64 {
+	var r uint64
+	switch u.alu {
+	case aluAdd:
+		r = a + b
+	case aluSub:
+		r = a - b
+	case aluAnd:
+		r = a & b
+	case aluOr:
+		r = a | b
+	case aluXor:
+		r = a ^ b
+	case aluImul:
+		r = a * b
+		m.qacc += qMul
+	}
+	if u.w == 4 {
+		r = uint64(uint32(r))
+	}
+	return r
+}
+
+// shiftOp applies a shift/rotate with a pre-masked count.
+func shiftOp(u *uop, a uint64, s uint) uint64 {
+	var r uint64
+	switch u.alu {
+	case shfShl:
+		r = a << s
+	case shfShr:
+		if u.w == 4 {
+			r = uint64(uint32(a) >> s)
+		} else {
+			r = a >> s
+		}
+	case shfSar:
+		if u.w == 4 {
+			r = uint64(uint32(int32(uint32(a)) >> s))
+		} else {
+			r = uint64(int64(a) >> s)
+		}
+	case shfRol:
+		if u.w == 4 {
+			r = uint64(bits.RotateLeft32(uint32(a), int(s)))
+		} else {
+			r = bits.RotateLeft64(a, int(s))
+		}
+	case shfRor:
+		if u.w == 4 {
+			r = uint64(bits.RotateLeft32(uint32(a), -int(s)))
+		} else {
+			r = bits.RotateLeft64(a, -int(s))
+		}
+	}
+	if u.w == 4 {
+		r = uint64(uint32(r))
+	}
+	return r
+}
+
+// extend applies a zero/sign-extension mode.
+func extend(v uint64, mode uint8) uint64 {
+	switch mode {
+	case extZX8:
+		return v & 0xff
+	case extZX16:
+		return v & 0xffff
+	case extSX8:
+		return uint64(int64(int8(v)))
+	case extSX16:
+		return uint64(int64(int16(v)))
+	default: // extSXD
+		return uint64(int64(int32(uint32(v))))
+	}
+}
+
+// bitOp applies bsr/bsf/popcnt (modeled as lzcnt/tzcnt/popcnt).
+func bitOp(u *uop, v uint64) uint64 {
+	switch u.alu {
+	case bitBsr:
+		if u.w == 4 {
+			return uint64(bits.LeadingZeros32(uint32(v)))
+		}
+		return uint64(bits.LeadingZeros64(v))
+	case bitBsf:
+		if u.w == 4 {
+			return uint64(bits.TrailingZeros32(uint32(v)))
+		}
+		return uint64(bits.TrailingZeros64(v))
+	default: // bitPopcnt
+		if u.w == 4 {
+			return uint64(bits.OnesCount32(uint32(v)))
+		}
+		return uint64(bits.OnesCount64(v))
+	}
+}
+
+// fAluOp applies a scalar float op with Wasm min/max semantics and float32
+// re-rounding at width 4, charging the op's cycle cost.
+func (m *Machine) fAluOp(u *uop, a, b float64) float64 {
+	var r float64
+	switch u.alu {
+	case fAdd:
+		r = a + b
+		m.qacc += qFALU
+	case fSub:
+		r = a - b
+		m.qacc += qFALU
+	case fMul:
+		r = a * b
+		m.qacc += qFALU
+	case fDiv:
+		r = a / b
+		m.qacc += qFDiv
+	case fMin:
+		r = wasmMin(a, b)
+		m.qacc += qFALU
+	case fMax:
+		r = wasmMax(a, b)
+		m.qacc += qFALU
+	}
+	if u.w == 4 {
+		// float32 rounding at each step
+		r = float64(float32(r))
+	}
+	return r
+}
+
+// execCdq sign-extends RAX into RDX (cdq/cqo).
+func (m *Machine) execCdq(w uint8) {
+	if w == 4 {
+		if int32(uint32(m.Regs[x86.RAX])) < 0 {
+			m.Regs[x86.RDX] = uint64(uint32(0xffffffff))
+		} else {
+			m.Regs[x86.RDX] = 0
+		}
+	} else {
+		if int64(m.Regs[x86.RAX]) < 0 {
+			m.Regs[x86.RDX] = ^uint64(0)
+		} else {
+			m.Regs[x86.RDX] = 0
+		}
+	}
+}
+
+// execDiv divides RDX:RAX (modeled as RAX alone) by d, writing quotient and
+// remainder to RAX/RDX with trap semantics and cycle charges.
+func (m *Machine) execDiv(d uint64, w uint8, signed bool) error {
+	if w == 4 {
+		m.q(qDiv32)
+	} else {
+		m.q(qDiv64)
+	}
+	if w == 4 {
+		div := uint32(d)
+		if div == 0 {
+			return &TrapError{Msg: "integer divide by zero", PC: m.rip}
+		}
+		a := uint32(m.Regs[x86.RAX])
+		if signed {
+			if int32(a) == math.MinInt32 && int32(div) == -1 {
+				return &TrapError{Msg: "integer overflow", PC: m.rip}
+			}
+			q := int32(a) / int32(div)
+			r := int32(a) % int32(div)
+			m.Regs[x86.RAX] = uint64(uint32(q))
+			m.Regs[x86.RDX] = uint64(uint32(r))
+		} else {
+			m.Regs[x86.RAX] = uint64(a / div)
+			m.Regs[x86.RDX] = uint64(a % div)
+		}
+		return nil
+	}
+	if d == 0 {
+		return &TrapError{Msg: "integer divide by zero", PC: m.rip}
+	}
+	a := m.Regs[x86.RAX]
+	if signed {
+		if int64(a) == math.MinInt64 && int64(d) == -1 {
+			return &TrapError{Msg: "integer overflow", PC: m.rip}
+		}
+		m.Regs[x86.RAX] = uint64(int64(a) / int64(d))
+		m.Regs[x86.RDX] = uint64(int64(a) % int64(d))
+	} else {
+		m.Regs[x86.RAX] = a / d
+		m.Regs[x86.RDX] = a % d
+	}
+	return nil
+}
+
+// setUcomiFlags sets the flags of an unordered float compare.
+func (m *Machine) setUcomiFlags(a, b float64) {
+	f := &m.Flags
+	f.OF, f.SF = false, false
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b):
+		f.ZF, f.CF, f.PF = true, true, true
+	case a < b:
+		f.ZF, f.CF, f.PF = false, true, false
+	case a > b:
+		f.ZF, f.CF, f.PF = false, false, false
+	default:
+		f.ZF, f.CF, f.PF = true, false, false
+	}
+}
+
+// cvtIntToF64 converts an integer of width w (signed or unsigned) to f64.
+func cvtIntToF64(v uint64, w uint8, uns bool) float64 {
+	if uns {
+		if w == 4 {
+			return float64(uint32(v))
+		}
+		return float64(v)
+	}
+	if w == 4 {
+		return float64(int32(uint32(v)))
+	}
+	return float64(int64(v))
+}
+
+// cvtF64ToInt truncates f to an integer of width w with wasm trap
+// semantics, charging the conversion cost.
+func (m *Machine) cvtF64ToInt(f float64, w uint8, uns bool) (uint64, error) {
+	m.q(qCvt)
+	if math.IsNaN(f) {
+		return 0, &TrapError{Msg: "invalid conversion to integer", PC: m.rip}
+	}
+	t := math.Trunc(f)
+	if uns {
+		if w == 4 {
+			if t < 0 || t > math.MaxUint32 {
+				return 0, &TrapError{Msg: "integer overflow in conversion", PC: m.rip}
+			}
+			return uint64(uint32(t)), nil
+		}
+		if t < 0 || t >= math.MaxUint64 {
+			return 0, &TrapError{Msg: "integer overflow in conversion", PC: m.rip}
+		}
+		return uint64(t), nil
+	}
+	if w == 4 {
+		if t < math.MinInt32 || t > math.MaxInt32 {
+			return 0, &TrapError{Msg: "integer overflow in conversion", PC: m.rip}
+		}
+		return uint64(uint32(int32(t))), nil
+	}
+	if t < math.MinInt64 || t >= math.MaxInt64 {
+		return 0, &TrapError{Msg: "integer overflow in conversion", PC: m.rip}
+	}
+	return uint64(int64(t)), nil
+}
+
+// roundMode applies a roundsd rounding mode.
+func roundMode(f float64, mode uint8) float64 {
+	switch mode {
+	case 0:
+		return math.RoundToEven(f)
+	case 1:
+		return math.Floor(f)
+	case 2:
+		return math.Ceil(f)
+	default:
+		return math.Trunc(f)
+	}
 }
 
 // branchTo redirects control and charges branch costs.
@@ -68,650 +1127,4 @@ func (m *Machine) branchTo(target int, conditional, taken bool, addr uint32) {
 	} else {
 		m.rip++
 	}
-}
-
-func (m *Machine) exec(in *x86.Inst) error {
-	switch in.Op {
-	case x86.ONop:
-		m.rip++
-
-	case x86.OMov:
-		v, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		if in.Dst.Kind == x86.KMem {
-			if err := m.store(m.ea(&in.Dst.Mem), in.W, v); err != nil {
-				return err
-			}
-		} else {
-			m.writeGP(in.Dst.Reg, in.W, v)
-		}
-		m.rip++
-
-	case x86.OMovImm:
-		m.writeGP(in.Dst.Reg, in.W, uint64(in.Src.Imm))
-		m.rip++
-
-	case x86.OMovZX8, x86.OMovZX16, x86.OMovSX8, x86.OMovSX16, x86.OMovSXD:
-		var rw uint8 = 1
-		switch in.Op {
-		case x86.OMovZX16, x86.OMovSX16:
-			rw = 2
-		case x86.OMovSXD:
-			rw = 4
-		}
-		v, err := m.readOperand(&in.Src, rw)
-		if err != nil {
-			return err
-		}
-		switch in.Op {
-		case x86.OMovSX8:
-			v = uint64(int64(int8(v)))
-		case x86.OMovSX16:
-			v = uint64(int64(int16(v)))
-		case x86.OMovSXD:
-			v = uint64(int64(int32(v)))
-		case x86.OMovZX8:
-			v &= 0xff
-		case x86.OMovZX16:
-			v &= 0xffff
-		}
-		m.writeGP(in.Dst.Reg, in.W, v)
-		m.rip++
-
-	case x86.OLea:
-		m.writeGP(in.Dst.Reg, in.W, uint64(m.ea(&in.Src.Mem)))
-		m.rip++
-
-	case x86.OAdd, x86.OSub, x86.OAnd, x86.OOr, x86.OXor, x86.OImul:
-		var a uint64
-		var err error
-		memDst := in.Dst.Kind == x86.KMem
-		var ea uint32
-		if memDst {
-			ea = m.ea(&in.Dst.Mem)
-			a, err = m.load(ea, in.W)
-		} else {
-			a, err = m.readOperand(&in.Dst, in.W)
-		}
-		if err != nil {
-			return err
-		}
-		b, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		var r uint64
-		switch in.Op {
-		case x86.OAdd:
-			r = a + b
-		case x86.OSub:
-			r = a - b
-		case x86.OAnd:
-			r = a & b
-		case x86.OOr:
-			r = a | b
-		case x86.OXor:
-			r = a ^ b
-		case x86.OImul:
-			r = a * b
-			m.q(qMul)
-		}
-		if memDst {
-			if err := m.store(ea, in.W, r); err != nil {
-				return err
-			}
-		} else {
-			m.writeGP(in.Dst.Reg, in.W, r)
-		}
-		m.rip++
-
-	case x86.OShl, x86.OSar, x86.OShr, x86.ORol, x86.ORor:
-		a, err := m.readOperand(&in.Dst, in.W)
-		if err != nil {
-			return err
-		}
-		b, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		var mask uint64 = 63
-		if in.W == 4 {
-			mask = 31
-		}
-		s := uint(b & mask)
-		var r uint64
-		switch in.Op {
-		case x86.OShl:
-			r = a << s
-		case x86.OShr:
-			if in.W == 4 {
-				r = uint64(uint32(a) >> s)
-			} else {
-				r = a >> s
-			}
-		case x86.OSar:
-			if in.W == 4 {
-				r = uint64(uint32(int32(uint32(a)) >> s))
-			} else {
-				r = uint64(int64(a) >> s)
-			}
-		case x86.ORol:
-			if in.W == 4 {
-				r = uint64(bits.RotateLeft32(uint32(a), int(s)))
-			} else {
-				r = bits.RotateLeft64(a, int(s))
-			}
-		case x86.ORor:
-			if in.W == 4 {
-				r = uint64(bits.RotateLeft32(uint32(a), -int(s)))
-			} else {
-				r = bits.RotateLeft64(a, -int(s))
-			}
-		}
-		m.writeGP(in.Dst.Reg, in.W, r)
-		m.rip++
-
-	case x86.ONeg:
-		a, _ := m.readOperand(&in.Dst, in.W)
-		m.writeGP(in.Dst.Reg, in.W, -a)
-		m.rip++
-
-	case x86.ONot:
-		a, _ := m.readOperand(&in.Dst, in.W)
-		m.writeGP(in.Dst.Reg, in.W, ^a)
-		m.rip++
-
-	case x86.OBsr: // modeled as lzcnt
-		v, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		var r uint64
-		if in.W == 4 {
-			r = uint64(bits.LeadingZeros32(uint32(v)))
-		} else {
-			r = uint64(bits.LeadingZeros64(v))
-		}
-		m.writeGP(in.Dst.Reg, in.W, r)
-		m.rip++
-
-	case x86.OBsf: // modeled as tzcnt
-		v, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		var r uint64
-		if in.W == 4 {
-			r = uint64(bits.TrailingZeros32(uint32(v)))
-		} else {
-			r = uint64(bits.TrailingZeros64(v))
-		}
-		m.writeGP(in.Dst.Reg, in.W, r)
-		m.rip++
-
-	case x86.OPopcnt:
-		v, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		if in.W == 4 {
-			v = uint64(bits.OnesCount32(uint32(v)))
-		} else {
-			v = uint64(bits.OnesCount64(v))
-		}
-		m.writeGP(in.Dst.Reg, in.W, v)
-		m.rip++
-
-	case x86.OCdq:
-		if in.W == 4 {
-			if int32(uint32(m.Regs[x86.RAX])) < 0 {
-				m.Regs[x86.RDX] = uint64(uint32(0xffffffff))
-			} else {
-				m.Regs[x86.RDX] = 0
-			}
-		} else {
-			if int64(m.Regs[x86.RAX]) < 0 {
-				m.Regs[x86.RDX] = ^uint64(0)
-			} else {
-				m.Regs[x86.RDX] = 0
-			}
-		}
-		m.rip++
-
-	case x86.OIdiv, x86.ODiv:
-		d, err := m.readOperand(&in.Dst, in.W)
-		if err != nil {
-			return err
-		}
-		if in.W == 4 {
-			m.q(qDiv32)
-		} else {
-			m.q(qDiv64)
-		}
-		if in.W == 4 {
-			div := uint32(d)
-			if div == 0 {
-				return &TrapError{Msg: "integer divide by zero", PC: m.rip}
-			}
-			a := uint32(m.Regs[x86.RAX])
-			if in.Op == x86.OIdiv {
-				if int32(a) == math.MinInt32 && int32(div) == -1 {
-					return &TrapError{Msg: "integer overflow", PC: m.rip}
-				}
-				q := int32(a) / int32(div)
-				r := int32(a) % int32(div)
-				m.Regs[x86.RAX] = uint64(uint32(q))
-				m.Regs[x86.RDX] = uint64(uint32(r))
-			} else {
-				m.Regs[x86.RAX] = uint64(a / div)
-				m.Regs[x86.RDX] = uint64(a % div)
-			}
-		} else {
-			if d == 0 {
-				return &TrapError{Msg: "integer divide by zero", PC: m.rip}
-			}
-			a := m.Regs[x86.RAX]
-			if in.Op == x86.OIdiv {
-				if int64(a) == math.MinInt64 && int64(d) == -1 {
-					return &TrapError{Msg: "integer overflow", PC: m.rip}
-				}
-				m.Regs[x86.RAX] = uint64(int64(a) / int64(d))
-				m.Regs[x86.RDX] = uint64(int64(a) % int64(d))
-			} else {
-				m.Regs[x86.RAX] = a / d
-				m.Regs[x86.RDX] = a % d
-			}
-		}
-		m.rip++
-
-	case x86.OCmp:
-		a, err := m.readOperand(&in.Dst, in.W)
-		if err != nil {
-			return err
-		}
-		b, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		m.setCmpFlags(a, b, in.W)
-		m.rip++
-
-	case x86.OTest:
-		a, err := m.readOperand(&in.Dst, in.W)
-		if err != nil {
-			return err
-		}
-		b, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		m.setTestFlags(a, b, in.W)
-		m.rip++
-
-	case x86.OSet:
-		var v uint64
-		if m.cc(in.CC) {
-			v = 1
-		}
-		r := in.Dst.Reg
-		m.Regs[r] = (m.Regs[r] &^ 0xff) | v
-		m.rip++
-
-	case x86.OCmov:
-		if m.cc(in.CC) {
-			v, err := m.readOperand(&in.Src, in.W)
-			if err != nil {
-				return err
-			}
-			m.writeGP(in.Dst.Reg, in.W, v)
-		} else if in.Src.Kind == x86.KMem {
-			// cmov with a memory source still performs the load.
-			if _, err := m.load(m.ea(&in.Src.Mem), in.W); err != nil {
-				return err
-			}
-		}
-		m.rip++
-
-	case x86.OJmp:
-		m.branchTo(in.Target, false, true, in.Addr)
-
-	case x86.OJcc:
-		m.branchTo(in.Target, true, m.cc(in.CC), in.Addr)
-
-	case x86.OJmpTable:
-		idx := int(uint32(m.Regs[in.Dst.Reg]))
-		if idx < 0 || idx >= len(in.TableTargets) {
-			return &TrapError{Msg: "jump table index out of range", PC: m.rip}
-		}
-		m.Counters.Loads++ // table entry fetch
-		m.q(qLoad)
-		m.branchTo(in.TableTargets[idx], false, true, in.Addr)
-
-	case x86.OCall:
-		m.Regs[x86.RSP] -= 8
-		if err := m.store(uint32(m.Regs[x86.RSP]), 8, uint64(m.rip+1)); err != nil {
-			return err
-		}
-		m.branchTo(in.Target, false, true, in.Addr)
-
-	case x86.OCallR:
-		t, err := m.readOperand(&in.Dst, 8)
-		if err != nil {
-			return err
-		}
-		if t >= uint64(len(m.Prog.Code)) {
-			return &TrapError{Msg: "indirect call to invalid target", PC: m.rip}
-		}
-		m.Regs[x86.RSP] -= 8
-		if err := m.store(uint32(m.Regs[x86.RSP]), 8, uint64(m.rip+1)); err != nil {
-			return err
-		}
-		m.branchTo(int(t), false, true, in.Addr)
-
-	case x86.ORet:
-		ra, err := m.load(uint32(m.Regs[x86.RSP]), 8)
-		if err != nil {
-			return err
-		}
-		m.Regs[x86.RSP] += 8
-		if ra == haltSentinel {
-			m.halted = true
-			m.Counters.Branches++
-			return nil
-		}
-		m.branchTo(int(ra), false, true, in.Addr)
-
-	case x86.OPush:
-		v, err := m.readOperand(&in.Dst, 8)
-		if err != nil {
-			return err
-		}
-		m.Regs[x86.RSP] -= 8
-		if err := m.store(uint32(m.Regs[x86.RSP]), 8, v); err != nil {
-			return err
-		}
-		m.rip++
-
-	case x86.OPop:
-		v, err := m.load(uint32(m.Regs[x86.RSP]), 8)
-		if err != nil {
-			return err
-		}
-		m.Regs[x86.RSP] += 8
-		m.writeGP(in.Dst.Reg, 8, v)
-		m.rip++
-
-	case x86.OUd2:
-		return &TrapError{Msg: "unreachable executed (ud2)", PC: m.rip}
-
-	case x86.OCallHost:
-		if m.Host == nil {
-			return &TrapError{Msg: "host call with no host bound", PC: m.rip}
-		}
-		m.Counters.Branches++
-		m.q(qCallHost)
-		if err := m.Host(m, in.Host); err != nil {
-			return err
-		}
-		m.rip++
-
-	default:
-		return m.execSSE(in)
-	}
-	return nil
-}
-
-func (m *Machine) execSSE(in *x86.Inst) error {
-	switch in.Op {
-	case x86.OMovsd:
-		if in.Dst.Kind == x86.KMem {
-			v := m.Xmm[in.Src.Reg-x86.XMM0]
-			if err := m.store(m.ea(&in.Dst.Mem), in.W, v); err != nil {
-				return err
-			}
-			m.rip++
-			return nil
-		}
-		v, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		m.Xmm[in.Dst.Reg-x86.XMM0] = v
-		m.rip++
-
-	case x86.OAddsd, x86.OSubsd, x86.OMulsd, x86.ODivsd, x86.OMinsd, x86.OMaxsd:
-		a := f64of(m.Xmm[in.Dst.Reg-x86.XMM0], in.W)
-		bv, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		b := f64of(bv, in.W)
-		var r float64
-		switch in.Op {
-		case x86.OAddsd:
-			r = a + b
-			m.q(qFALU)
-		case x86.OSubsd:
-			r = a - b
-			m.q(qFALU)
-		case x86.OMulsd:
-			r = a * b
-			m.q(qFALU)
-		case x86.ODivsd:
-			r = a / b
-			m.q(qFDiv)
-		case x86.OMinsd:
-			r = wasmMin(a, b)
-			m.q(qFALU)
-		case x86.OMaxsd:
-			r = wasmMax(a, b)
-			m.q(qFALU)
-		}
-		if in.W == 4 {
-			// float32 rounding at each step
-			r = float64(float32(r))
-		}
-		m.Xmm[in.Dst.Reg-x86.XMM0] = bitsOf(r, in.W)
-		m.rip++
-
-	case x86.OSqrtsd:
-		bv, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		m.q(qFSqrt)
-		m.Xmm[in.Dst.Reg-x86.XMM0] = bitsOf(math.Sqrt(f64of(bv, in.W)), in.W)
-		m.rip++
-
-	case x86.OUcomisd:
-		a := f64of(m.Xmm[in.Dst.Reg-x86.XMM0], in.W)
-		bv, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		b := f64of(bv, in.W)
-		f := &m.Flags
-		f.OF, f.SF = false, false
-		switch {
-		case math.IsNaN(a) || math.IsNaN(b):
-			f.ZF, f.CF, f.PF = true, true, true
-		case a < b:
-			f.ZF, f.CF, f.PF = false, true, false
-		case a > b:
-			f.ZF, f.CF, f.PF = false, false, false
-		default:
-			f.ZF, f.CF, f.PF = true, false, false
-		}
-		m.rip++
-
-	case x86.OCvtsi2sd:
-		v, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		m.q(qCvt)
-		var r float64
-		if in.Uns {
-			if in.W == 4 {
-				r = float64(uint32(v))
-			} else {
-				r = float64(v)
-			}
-		} else {
-			if in.W == 4 {
-				r = float64(int32(uint32(v)))
-			} else {
-				r = float64(int64(v))
-			}
-		}
-		m.Xmm[in.Dst.Reg-x86.XMM0] = math.Float64bits(r)
-		m.rip++
-
-	case x86.OCvttsd2si:
-		srcW := uint8(in.Target)
-		if srcW == 0 {
-			srcW = 8
-		}
-		bv, err := m.readOperand(&in.Src, srcW)
-		if err != nil {
-			return err
-		}
-		f := f64of(bv, srcW)
-		m.q(qCvt)
-		if math.IsNaN(f) {
-			return &TrapError{Msg: "invalid conversion to integer", PC: m.rip}
-		}
-		t := math.Trunc(f)
-		var r uint64
-		if in.Uns {
-			if in.W == 4 {
-				if t < 0 || t > math.MaxUint32 {
-					return &TrapError{Msg: "integer overflow in conversion", PC: m.rip}
-				}
-				r = uint64(uint32(t))
-			} else {
-				if t < 0 || t >= math.MaxUint64 {
-					return &TrapError{Msg: "integer overflow in conversion", PC: m.rip}
-				}
-				r = uint64(t)
-			}
-		} else {
-			if in.W == 4 {
-				if t < math.MinInt32 || t > math.MaxInt32 {
-					return &TrapError{Msg: "integer overflow in conversion", PC: m.rip}
-				}
-				r = uint64(uint32(int32(t)))
-			} else {
-				if t < math.MinInt64 || t >= math.MaxInt64 {
-					return &TrapError{Msg: "integer overflow in conversion", PC: m.rip}
-				}
-				r = uint64(int64(t))
-			}
-		}
-		m.writeGP(in.Dst.Reg, in.W, r)
-		m.rip++
-
-	case x86.OCvtsd2ss:
-		bv, err := m.readOperand(&in.Src, 8)
-		if err != nil {
-			return err
-		}
-		m.q(qCvt)
-		m.Xmm[in.Dst.Reg-x86.XMM0] = uint64(math.Float32bits(float32(math.Float64frombits(bv))))
-		m.rip++
-
-	case x86.OCvtss2sd:
-		bv, err := m.readOperand(&in.Src, 4)
-		if err != nil {
-			return err
-		}
-		m.q(qCvt)
-		m.Xmm[in.Dst.Reg-x86.XMM0] = math.Float64bits(float64(math.Float32frombits(uint32(bv))))
-		m.rip++
-
-	case x86.OMovq:
-		if in.Dst.Reg.IsXMM() {
-			v, err := m.readOperand(&in.Src, in.W)
-			if err != nil {
-				return err
-			}
-			m.Xmm[in.Dst.Reg-x86.XMM0] = v
-		} else {
-			m.writeGP(in.Dst.Reg, in.W, m.Xmm[in.Src.Reg-x86.XMM0])
-		}
-		m.rip++
-
-	case x86.OAndpd, x86.OXorpd:
-		a := m.Xmm[in.Dst.Reg-x86.XMM0]
-		var b uint64
-		var err error
-		if in.Src.Kind == x86.KReg && in.Src.Reg.IsXMM() {
-			b = m.Xmm[in.Src.Reg-x86.XMM0]
-		} else {
-			b, err = m.readOperand(&in.Src, 8)
-			if err != nil {
-				return err
-			}
-		}
-		if in.Op == x86.OAndpd {
-			m.Xmm[in.Dst.Reg-x86.XMM0] = a & b
-		} else {
-			m.Xmm[in.Dst.Reg-x86.XMM0] = a ^ b
-		}
-		m.rip++
-
-	case x86.ORound:
-		bv, err := m.readOperand(&in.Src, in.W)
-		if err != nil {
-			return err
-		}
-		f := f64of(bv, in.W)
-		m.q(qCvt)
-		var r float64
-		switch in.Target {
-		case 0:
-			r = math.RoundToEven(f)
-		case 1:
-			r = math.Floor(f)
-		case 2:
-			r = math.Ceil(f)
-		default:
-			r = math.Trunc(f)
-		}
-		m.Xmm[in.Dst.Reg-x86.XMM0] = bitsOf(r, in.W)
-		m.rip++
-
-	default:
-		return &TrapError{Msg: "unimplemented opcode " + in.String(), PC: m.rip}
-	}
-	return nil
-}
-
-// wasmMin/Max implement Wasm float semantics (NaN-propagating, signed zero).
-func wasmMin(x, y float64) float64 {
-	if math.IsNaN(x) || math.IsNaN(y) {
-		return math.NaN()
-	}
-	if x == 0 && y == 0 {
-		if math.Signbit(x) {
-			return x
-		}
-		return y
-	}
-	return math.Min(x, y)
-}
-
-func wasmMax(x, y float64) float64 {
-	if math.IsNaN(x) || math.IsNaN(y) {
-		return math.NaN()
-	}
-	if x == 0 && y == 0 {
-		if !math.Signbit(x) {
-			return x
-		}
-		return y
-	}
-	return math.Max(x, y)
 }

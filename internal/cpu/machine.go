@@ -68,25 +68,45 @@ type Machine struct {
 	globals  []byte
 	tableMem []byte
 	rodata   []byte
+	// stack covers [stackLow, StackTop): it grows downward on demand so a
+	// fresh machine does not zero the full 8 MiB reservation. Lazily
+	// materialized pages read as zero, exactly like the eager allocation.
 	stack    []byte
+	stackLow uint32
 	misc     [64]byte // stack limit + mem pages words
 
 	Counters perf.Counters
 	L1I      *Cache
 	L1D      *Cache
 	L2       *Cache
-	L3       *Cache
-	BP       *BranchPredictor
+	// L3 is allocated lazily on the first L2 data miss (its metadata is
+	// ~4 MB and short-lived processes often never reach it), so it is nil
+	// until then.
+	L3 *Cache
+	BP *BranchPredictor
 
 	Host HostFunc
 
-	rip      int
-	halted   bool
-	lastLine uint32
-	qacc     uint64
+	rip       int
+	halted    bool
+	lastLine  uint32 // legacy engine: line of the last fetch, ^0 after branches
+	lastILine uint32 // micro-op engine: line of the last real L1I probe
+	lastDLine uint32 // line of the last dcache access (same-line fast path)
+	qacc      uint64
+	qInstBase uint64 // Instructions value at the last cycle flush
+
+	// uops is the pre-decoded micro-op stream (1:1 with Prog.Code), shared
+	// across machines running the same program.
+	uops []uop
 
 	// MaxInstructions bounds execution (0 = unlimited).
 	MaxInstructions uint64
+
+	// NoPredecode forces the legacy instruction-at-a-time interpreter
+	// instead of the pre-decoded micro-op engine. The two are bit-identical
+	// in all counters; the legacy path exists as a differential-testing
+	// oracle and debugging aid.
+	NoPredecode bool
 }
 
 // Region base helpers.
@@ -103,13 +123,18 @@ func NewMachine(prog *x86.Program, pages, maxPages uint32) *Machine {
 		MaxPages: maxPages,
 		globals:  make([]byte, 64*1024),
 		tableMem: make([]byte, 256*1024),
-		stack:    make([]byte, x86.StackSize),
+		stack:    make([]byte, 64*1024),
+		stackLow: uint32(x86.StackTop) - 64*1024,
 		L1I:      NewCache(32*1024, 64, 8),
 		L1D:      NewCache(32*1024, 64, 8),
 		L2:       NewCache(256*1024, 64, 8),
-		L3:       NewCache(15*1024*1024, 64, 16),
 		BP:       NewBranchPredictor(4096),
 	}
+	// L3 metadata is ~4 MB; it is only reachable through L2 misses, and
+	// short-lived processes (the Browsix-SPEC runspec/specinvoke chain)
+	// often never miss L2, so it is allocated on first use in dcacheWalk.
+	m.uops = predecode(prog)
+	m.lastDLine = ^uint32(0)
 	m.setMisc()
 	m.Regs[x86.RSP] = uint64(x86.StackTop - 64)
 	return m
@@ -157,14 +182,41 @@ func (m *Machine) GrowLinear(delta uint32) int32 {
 // simulated clock, in quarter-cycles.
 func (m *Machine) AddCycles(q uint64) { m.Counters.Cycles += q / 4 }
 
-// slab resolves an address to a memory region.
-func (m *Machine) slab(addr uint32, size uint32) ([]byte, uint32, bool) {
+// fastSlab resolves the two hot regions — linear memory and the machine
+// stack — and is small enough to inline; ok=false routes everything else
+// (globals, tables, rodata, misc, faults, unmaterialized stack) to the
+// generic path.
+func (m *Machine) fastSlab(addr uint32, size uint32) ([]byte, uint32, bool) {
 	if int(addr)+int(size) <= len(m.Linear) {
 		return m.Linear, addr, true
 	}
+	// The end-of-range compare is done in uint64: addr+size would wrap for
+	// wild guest pointers near 4 GiB and alias into the stack window.
+	if addr >= m.stackLow && uint64(addr)+uint64(size) <= uint64(x86.StackTop) {
+		return m.stack, addr - m.stackLow, true
+	}
+	return nil, 0, false
+}
+
+// slab resolves an address to a memory region.
+func (m *Machine) slab(addr uint32, size uint32) ([]byte, uint32, bool) {
+	if s, off, ok := m.fastSlab(addr, size); ok {
+		return s, off, true
+	}
+	return m.slabSlow(addr, size)
+}
+
+// slabSlow resolves addresses outside linear memory (stack, globals,
+// tables, rodata, misc words).
+func (m *Machine) slabSlow(addr uint32, size uint32) ([]byte, uint32, bool) {
 	switch {
-	case addr >= stackBase && addr+size <= uint32(x86.StackTop):
-		return m.stack, addr - stackBase, true
+	case addr >= stackBase && uint64(addr)+uint64(size) <= uint64(x86.StackTop):
+		// Below the materialized window (fastSlab handles the rest of the
+		// stack range): extend it downward first.
+		if addr < m.stackLow {
+			m.growStack(addr)
+		}
+		return m.stack, addr - m.stackLow, true
 	case addr >= uint32(x86.GlobalsBase) && int(addr-uint32(x86.GlobalsBase))+int(size) <= len(m.globals):
 		return m.globals, addr - uint32(x86.GlobalsBase), true
 	case addr >= uint32(x86.TableBase) && int(addr-uint32(x86.TableBase))+int(size) <= len(m.tableMem):
@@ -215,10 +267,57 @@ func (m *Machine) store(addr uint32, w uint8, v uint64) error {
 	return nil
 }
 
-// dcache walks the data-cache hierarchy for addr and charges cycles.
+// growStack extends the materialized stack window down to cover addr,
+// doubling to amortize the copy of the already-live top portion.
+func (m *Machine) growStack(addr uint32) {
+	size := uint32(len(m.stack))
+	for uint32(x86.StackTop)-size > addr {
+		size *= 2
+	}
+	if size > uint32(x86.StackSize) {
+		size = uint32(x86.StackSize)
+	}
+	ns := make([]byte, size)
+	copy(ns[size-uint32(len(m.stack)):], m.stack)
+	m.stack = ns
+	m.stackLow = uint32(x86.StackTop) - size
+}
+
+// dcache walks the data-cache hierarchy for addr and charges cycles. A
+// repeat access to the immediately preceding line is known to hit L1D (the
+// previous access either hit or installed the line, and nothing else can
+// evict it in between), so the common stack/struct locality case charges
+// the hit cost without an associative probe. LRU state is unaffected:
+// dropping consecutive duplicate touches of one line never changes the
+// relative last-use order of any two lines in a set.
 func (m *Machine) dcache(addr uint32) {
-	if m.L1D.Access(addr) {
-		m.q(qLoad)
+	if addr>>6 == m.lastDLine {
+		m.qacc += qLoad
+		return
+	}
+	m.dcacheWalk(addr)
+}
+
+// dcacheWalk probes L1D/L2/L3 in order, charging the first level that hits.
+// The L1D way-predicted probe is hand-inlined (this is the hottest cache
+// path in the simulator); L2/L3 stay behind calls on the miss path.
+func (m *Machine) dcacheWalk(addr uint32) {
+	m.lastDLine = addr >> 6
+	c := m.L1D
+	c.Accesses++
+	c.tick++
+	lineAddr := uint64(addr >> c.lineBits)
+	set := uint32(lineAddr) & c.setMask
+	// The &(len-1) is purely a bounds-check-elimination hint: mru entries
+	// are always in range and line counts are powers of two, so the mask is
+	// a no-op that lets the compiler drop the slice bounds check.
+	if l := &c.lines[c.mru[set]&uint32(len(c.lines)-1)]; l.tag == lineAddr && l.used != 0 {
+		l.used = c.tick
+		m.qacc += qLoad
+		return
+	}
+	if c.accessSlow(lineAddr, set) {
+		m.qacc += qLoad
 		return
 	}
 	m.Counters.L1DMisses++
@@ -227,6 +326,9 @@ func (m *Machine) dcache(addr uint32) {
 		return
 	}
 	m.Counters.L2Misses++
+	if m.L3 == nil {
+		m.L3 = NewCache(15*1024*1024, 64, 16)
+	}
 	if m.L3.Access(addr) {
 		m.q(qL2DMiss)
 		return
@@ -255,8 +357,13 @@ func (m *Machine) icache(addr uint32) {
 // q charges quarter-cycles; they are folded into Counters.Cycles lazily.
 func (m *Machine) q(n uint64) { m.qacc += n }
 
-// FlushCycles folds accumulated quarter-cycles into the cycle counter.
+// FlushCycles folds accumulated quarter-cycles into the cycle counter. The
+// per-instruction base cost is not charged in the fetch loop at all: every
+// instruction costs exactly qBase, so it is reconstructed here from the
+// retired-instruction count since the previous flush.
 func (m *Machine) FlushCycles() {
+	m.qacc += (m.Counters.Instructions - m.qInstBase) * qBase
+	m.qInstBase = m.Counters.Instructions
 	m.Counters.Cycles += m.qacc / 4
 	m.qacc %= 4
 }

@@ -1,0 +1,223 @@
+package cpu
+
+// Pinning tests for the memory-hierarchy and branch-predictor models. These
+// lock down the exact observable behavior (hit/miss sequences, eviction
+// decisions, counter values, cycle charges) so that engine rewrites can be
+// checked for bit-identity at the unit level, not only by the slow
+// differential suites.
+
+import (
+	"testing"
+
+	"repro/internal/x86"
+)
+
+// TestLRUEvictionSequence pins the per-access hit/miss outcomes of a 2-way
+// set under LRU, including the eviction order after recency updates.
+func TestLRUEvictionSequence(t *testing.T) {
+	c := NewCache(1024, 64, 2) // 8 sets; addresses 0, 1024, 2048... share set 0
+	seq := []struct {
+		addr uint32
+		hit  bool
+	}{
+		{0, false},    // cold miss, A resident
+		{1024, false}, // cold miss, B resident
+		{0, true},     // A hit; recency now B < A
+		{2048, false}, // C evicts LRU = B
+		{0, true},     // A survived
+		{1024, false}, // B was evicted; reinsert evicts LRU = C
+		{2048, false}, // C was evicted by B's reinsertion
+		{0, false},    // A was evicted by C's reinsertion (LRU after B touch)
+	}
+	for i, s := range seq {
+		if got := c.Access(s.addr); got != s.hit {
+			t.Fatalf("access %d (addr %d): got hit=%v, want %v", i, s.addr, got, s.hit)
+		}
+	}
+	if c.Accesses != 8 || c.Misses != 6 {
+		t.Errorf("accesses=%d misses=%d, want 8/6", c.Accesses, c.Misses)
+	}
+}
+
+// TestCacheSameLineHits pins that all addresses within one 64-byte line hit
+// after the line is resident.
+func TestCacheSameLineHits(t *testing.T) {
+	c := NewCache(32*1024, 64, 8)
+	if c.Access(640) {
+		t.Fatal("cold access should miss")
+	}
+	for off := uint32(0); off < 64; off++ {
+		if !c.Access(640 - 640%64 + off) {
+			t.Fatalf("offset %d within resident line should hit", off)
+		}
+	}
+}
+
+// TestCacheAssociativityFill pins that a W-way set holds exactly W distinct
+// conflicting lines before evictions begin.
+func TestCacheAssociativityFill(t *testing.T) {
+	c := NewCache(32*1024, 64, 8) // 64 sets; stride 4096 conflicts in set 0
+	for i := uint32(0); i < 8; i++ {
+		if c.Access(i * 4096) {
+			t.Fatalf("fill access %d should miss", i)
+		}
+	}
+	for i := uint32(0); i < 8; i++ {
+		if !c.Access(i * 4096) {
+			t.Fatalf("all 8 ways should be resident, lost way %d", i)
+		}
+	}
+	// The 9th line evicts exactly one way (the LRU, which is line 0 after
+	// the in-order re-touch above).
+	if c.Access(8 * 4096) {
+		t.Fatal("9th conflicting line should miss")
+	}
+	if c.Access(0) {
+		t.Fatal("line 0 should have been the LRU victim")
+	}
+	if !c.Access(2 * 4096) {
+		t.Fatal("line 2 should still be resident")
+	}
+}
+
+// TestDcacheHierarchySequence pins the L1D/L2/L3 walk: which level services
+// each access, the per-level miss counters, and the quarter-cycle charges.
+func TestDcacheHierarchySequence(t *testing.T) {
+	m := NewMachine(x86.NewProgram(), 1, 1)
+	type step struct {
+		addr                 uint32
+		l1dMiss, l2Miss, qor uint64 // counter deltas and q charge
+	}
+	steps := []step{
+		{0, 1, 1, qL3DMiss},    // cold: misses everywhere
+		{0, 0, 0, qLoad},       // L1D hit
+		{32, 0, 0, qLoad},      // same line
+		{4096, 1, 1, qL3DMiss}, // new line, conflicting L1D set, cold L2/L3
+		{8192, 1, 1, qL3DMiss},
+	}
+	for i, s := range steps {
+		base := m.Counters
+		m.qacc = 0
+		m.dcache(s.addr)
+		if d := m.Counters.L1DMisses - base.L1DMisses; d != s.l1dMiss {
+			t.Errorf("step %d (addr %d): L1D miss delta %d, want %d", i, s.addr, d, s.l1dMiss)
+		}
+		if d := m.Counters.L2Misses - base.L2Misses; d != s.l2Miss {
+			t.Errorf("step %d (addr %d): L2 miss delta %d, want %d", i, s.addr, d, s.l2Miss)
+		}
+		if m.qacc != s.qor {
+			t.Errorf("step %d (addr %d): charged %d quarter-cycles, want %d", i, s.addr, m.qacc, s.qor)
+		}
+	}
+	// Fill the rest of L1D set 0 (64 sets, 8 ways; stride 4096).
+	for i := uint32(3); i < 8; i++ {
+		m.dcache(i * 4096)
+	}
+	// The 9th conflicting line evicts line 0 (the LRU) from L1D, but L2
+	// (512 sets) still holds it: the re-access is an L1D miss serviced by
+	// L2 at the qL1DMiss charge.
+	m.dcache(8 * 4096)
+	m.qacc = 0
+	m.Counters.L1DMisses, m.Counters.L2Misses = 0, 0
+	m.dcache(0)
+	if m.Counters.L1DMisses != 1 || m.Counters.L2Misses != 0 {
+		t.Errorf("evicted line reload: L1D misses=%d L2 misses=%d, want 1/0",
+			m.Counters.L1DMisses, m.Counters.L2Misses)
+	}
+	if m.qacc != qL1DMiss {
+		t.Errorf("evicted line reload charged %d quarter-cycles, want %d", m.qacc, qL1DMiss)
+	}
+}
+
+// TestIcacheMemo pins the icache fast path: consecutive fetches from one
+// line probe the cache once, and a taken branch forces a re-probe.
+func TestIcacheMemo(t *testing.T) {
+	m := NewMachine(x86.NewProgram(), 1, 1)
+	m.icache(0x1000)
+	if m.Counters.L1IMisses != 1 {
+		t.Fatalf("cold fetch: L1I misses=%d, want 1", m.Counters.L1IMisses)
+	}
+	probes := m.L1I.Accesses
+	m.icache(0x1004)
+	m.icache(0x103f)
+	if m.L1I.Accesses != probes {
+		t.Error("same-line fetches must not probe the L1I")
+	}
+	m.icache(0x1040)
+	if m.L1I.Accesses != probes+1 || m.Counters.L1IMisses != 2 {
+		t.Error("next line must probe and miss")
+	}
+	// Simulate a taken branch back into the first line: the memo is
+	// invalidated, the probe happens, and it hits this time.
+	m.lastLine = ^uint32(0)
+	m.icache(0x1000)
+	if m.L1I.Accesses != probes+2 {
+		t.Error("post-branch fetch must re-probe")
+	}
+	if m.Counters.L1IMisses != 2 {
+		t.Error("post-branch fetch of a resident line must hit")
+	}
+}
+
+// TestBranchPredictorTransitions pins the 2-bit saturating counter state
+// machine: predictions and counter movement from the cold state.
+func TestBranchPredictorTransitions(t *testing.T) {
+	p := NewBranchPredictor(64)
+	seq := []struct {
+		taken   bool
+		correct bool
+	}{
+		{true, false},  // ctr 0: predict not-taken, actual taken -> 1
+		{true, false},  // ctr 1: predict not-taken -> 2
+		{true, true},   // ctr 2: predict taken -> 3
+		{true, true},   // ctr 3: saturated
+		{false, false}, // ctr 3: predict taken, actual not -> 2
+		{true, true},   // ctr 2: predict taken -> 3 (hysteresis survives one miss)
+		{false, false}, // 3 -> 2
+		{false, false}, // ctr 2 still predicts taken: miss -> 1
+		{false, true},  // ctr 1: predict not-taken -> 0
+	}
+	for i, s := range seq {
+		if got := p.Predict(0x40, s.taken); got != s.correct {
+			t.Fatalf("branch %d (taken=%v): predicted-correct=%v, want %v", i, s.taken, got, s.correct)
+		}
+	}
+	if p.Total != 9 || p.Misses != 5 {
+		t.Errorf("total=%d misses=%d, want 9/5", p.Total, p.Misses)
+	}
+}
+
+// TestWildPointerTraps pins that accesses near the top of the 4 GiB
+// address space fault cleanly instead of wrapping into the stack window
+// and panicking the host.
+func TestWildPointerTraps(t *testing.T) {
+	m := NewMachine(x86.NewProgram(), 1, 1)
+	for _, addr := range []uint32{0xFFFFFFFC, 0xFFFFFFFF, uint32(x86.StackTop) - 4} {
+		if _, err := m.load(addr, 8); err == nil {
+			t.Errorf("8-byte load at %#x should trap", addr)
+		}
+		if err := m.store(addr, 8, 1); err == nil {
+			t.Errorf("8-byte store at %#x should trap", addr)
+		}
+	}
+	// A straddling 8-byte access just below StackTop faults; an aligned one
+	// inside the window succeeds.
+	if _, err := m.load(uint32(x86.StackTop)-8, 8); err != nil {
+		t.Errorf("in-window load should succeed: %v", err)
+	}
+}
+
+// TestBranchPredictorAliasing pins the table indexing: branches 4 bytes
+// apart use different counters; branches table-size*4 apart alias.
+func TestBranchPredictorAliasing(t *testing.T) {
+	p := NewBranchPredictor(64)
+	for i := 0; i < 4; i++ {
+		p.Predict(0x100, true)
+	}
+	if p.Predict(0x104, true) {
+		t.Error("adjacent branch has its own cold counter")
+	}
+	if !p.Predict(0x100+64*4, true) {
+		t.Error("aliased branch shares the warmed counter")
+	}
+}

@@ -32,6 +32,17 @@ const (
 	ServiceCycles = 900
 )
 
+// auxPool recycles aux buffers across process lifetimes: the buffer is
+// pure staging (every syscall writes the region it then reads), so a
+// recycled buffer's stale contents are never observable, and reuse avoids
+// zeroing 64 MB on every spawn.
+var auxPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, AuxBufferSize)
+		return &b
+	},
+}
+
 // ExitError unwinds a process on exit().
 type ExitError struct{ Code int }
 
@@ -202,7 +213,7 @@ func (k *Kernel) Spawn(parent *Process, path string, argv []string, stdio [3]*FD
 		Inst:   inst,
 		Args:   argv,
 		Path:   path,
-		aux:    make([]byte, AuxBufferSize),
+		aux:    *auxPool.Get().(*[]byte),
 		done:   make(chan struct{}),
 		parent: parent,
 	}
@@ -227,6 +238,11 @@ func (k *Kernel) Spawn(parent *Process, path string, argv []string, stdio [3]*FD
 // run executes the process to completion.
 func (p *Process) run() {
 	defer close(p.done)
+	defer func() {
+		aux := p.aux
+		p.aux = nil
+		auxPool.Put(&aux)
+	}()
 	defer p.closeAllFDs()
 	argc, argvPtr, err := p.writeArgs()
 	if err != nil {

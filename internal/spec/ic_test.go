@@ -9,6 +9,9 @@ import (
 )
 
 func TestSjengICache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sjeng triple-engine run is slow")
+	}
 	h := spec.NewHarness()
 	var w *workloads.Workload
 	for _, x := range workloads.SPECCPU() {

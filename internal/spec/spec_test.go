@@ -35,10 +35,13 @@ func TestHarnessSingleBenchmark(t *testing.T) {
 // geomean slowdown > 1 for both browsers on a compute-bound subset.
 func TestWasmSlowerThanNativeOnSPEC(t *testing.T) {
 	h := spec.NewHarness()
+	names := map[string]bool{"444.namd": true, "453.povray": true, "473.astar": true}
+	if testing.Short() {
+		names = map[string]bool{"473.astar": true}
+	}
 	subset := []*workloads.Workload{}
 	for _, w := range workloads.SPECCPU() {
-		switch w.Name {
-		case "444.namd", "453.povray", "473.astar":
+		if names[w.Name] {
 			subset = append(subset, w)
 		}
 	}

@@ -2,7 +2,7 @@
 // 23 PolybenchC kernels (§4.1, Figures 1 and 3a) and 15 SPEC CPU-shaped
 // programs (§4.2), all written in mini-C and compiled per engine by the
 // toolchain. Problem sizes are scaled down so the simulated CPU finishes in
-// milliseconds; EXPERIMENTS.md records the scales.
+// milliseconds; each workload's source records its scale.
 package workloads
 
 import "fmt"

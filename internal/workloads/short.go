@@ -1,0 +1,44 @@
+package workloads
+
+// Short-mode subsets: `go test -short` runs the differential suites over
+// the cheapest workloads (by simulated instruction count) so the whole
+// repository tests in a few seconds while still crossing every engine
+// configuration and the full compile-link-simulate path. The full suites
+// remain the source of truth for counter bit-identity.
+
+// shortPolybench lists the fastest Polybench kernels.
+var shortPolybench = map[string]bool{
+	"durbin":   true,
+	"trisolv":  true,
+	"bicg":     true,
+	"ludcmp":   true,
+	"cholesky": true,
+	"mvt":      true,
+}
+
+// shortSPEC lists the fastest SPEC-shaped workloads.
+var shortSPEC = map[string]bool{
+	"641.leela_s": true,
+	"470.lbm":     true,
+	"445.gobmk":   true,
+}
+
+// ShortPolybench returns the scaled-down Polybench suite for -short runs.
+func ShortPolybench() []*Workload {
+	return filter(Polybench(), shortPolybench)
+}
+
+// ShortSPEC returns the scaled-down SPEC suite for -short runs.
+func ShortSPEC() []*Workload {
+	return filter(SPECCPU(), shortSPEC)
+}
+
+func filter(ws []*Workload, keep map[string]bool) []*Workload {
+	var out []*Workload
+	for _, w := range ws {
+		if keep[w.Name] {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -25,9 +25,14 @@ func runWorkload(t *testing.T, w *workloads.Workload, cfg *codegen.EngineConfig)
 }
 
 // TestPolybenchDifferential runs every Polybench kernel on native and
-// Chrome and requires identical output (the cmp validation).
+// Chrome and requires identical output (the cmp validation). Short mode
+// runs the scaled-down subset.
 func TestPolybenchDifferential(t *testing.T) {
-	for _, w := range workloads.Polybench() {
+	suite := workloads.Polybench()
+	if testing.Short() {
+		suite = workloads.ShortPolybench()
+	}
+	for _, w := range suite {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -41,9 +46,14 @@ func TestPolybenchDifferential(t *testing.T) {
 }
 
 // TestSPECDifferential runs every SPEC-shaped workload on native, Chrome,
-// and Firefox and requires identical output.
+// and Firefox and requires identical output. Short mode runs the
+// scaled-down subset.
 func TestSPECDifferential(t *testing.T) {
-	for _, w := range workloads.SPECCPU() {
+	suite := workloads.SPECCPU()
+	if testing.Short() {
+		suite = workloads.ShortSPEC()
+	}
+	for _, w := range suite {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()

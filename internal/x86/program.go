@@ -30,6 +30,13 @@ type Program struct {
 	// HostSigs records, for each host-function index, the number of i64
 	// argument slots it takes (used by the simulator's calling convention).
 	HostNames []string
+
+	// Predecoded caches a consumer-specific predecoded view of Code: the
+	// cpu package stores its micro-op translation here so that every
+	// Machine instantiated from one laid-out Program (the spec harness
+	// memoizes builds) shares a single decode. The field is owned and
+	// synchronized entirely by the consumer; Program itself never reads it.
+	Predecoded any
 }
 
 // NewProgram returns an empty program.
