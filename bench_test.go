@@ -15,6 +15,7 @@ import (
 	"repro/internal/browserfs"
 	"repro/internal/codegen"
 	"repro/internal/perf"
+	"repro/internal/pipeline"
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/toolchain"
@@ -438,6 +439,42 @@ func BenchmarkSimThroughput(b *testing.B) {
 				b.ReportMetric(float64(insts)/secs, "sim-inst/s")
 			}
 		})
+	}
+}
+
+// BenchmarkSpawnAllocs measures per-process allocation on the spawn path:
+// build once through the shared cache, then spawn/run/tear down repeatedly.
+// With the machine-memory recycle pool, allocations and bytes per spawn stay
+// flat instead of scaling with process count (each un-pooled spawn used to
+// allocate the full linear/globals/table/stack image).
+func BenchmarkSpawnAllocs(b *testing.B) {
+	const src = `
+int main() {
+  int acc; int j;
+  acc = 0;
+  for (j = 0; j < 1000; j++) { acc += j; }
+  print_int(acc);
+  print_nl();
+  return 0;
+}`
+	cm, err := pipeline.Build(src, codegen.Chrome())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pools.
+	if _, err := pipeline.Exec(cm, nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.Exec(cm, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ExitCode != 0 {
+			b.Fatalf("exit %d", res.ExitCode)
+		}
 	}
 }
 

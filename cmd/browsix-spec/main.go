@@ -19,9 +19,11 @@ func main() {
 	table := flag.String("table", "", "regenerate a table (1-4)")
 	fig := flag.String("fig", "", "regenerate a figure (1, 3a, 3b, 4-10)")
 	all := flag.Bool("all", false, "regenerate everything")
+	workers := flag.Int("workers", 0, "suite parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	h := spec.NewHarness()
+	h.Workers = *workers
 	emit := func(s string, err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "browsix-spec:", err)

@@ -13,8 +13,8 @@ import (
 	"os"
 
 	"repro/internal/codegen"
+	"repro/internal/pipeline"
 	"repro/internal/spec"
-	"repro/internal/toolchain"
 )
 
 func main() {
@@ -52,7 +52,7 @@ func main() {
 	}
 
 	for _, cfg := range cfgs {
-		cm, err := toolchain.Build(src, cfg)
+		cm, err := pipeline.Build(src, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wasm2x86:", err)
 			os.Exit(1)

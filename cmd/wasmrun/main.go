@@ -12,7 +12,7 @@ import (
 	"os"
 
 	"repro/internal/codegen"
-	"repro/internal/toolchain"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -46,7 +46,7 @@ func main() {
 	}
 
 	argv := append([]string{flag.Arg(0)}, flag.Args()[1:]...)
-	res, err := toolchain.Run(string(src), cfg, argv, nil)
+	res, err := pipeline.Run(string(src), cfg, argv, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wasmrun:", err)
 		os.Exit(1)

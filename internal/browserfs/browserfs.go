@@ -269,6 +269,18 @@ func (fs *FS) WriteFile(p string, data []byte) error {
 	return nil
 }
 
+// WriteFileAll replaces the contents of p, creating any missing parent
+// directories first. This is the one place run paths materialize filesystem
+// images from host-side maps (workload inputs, test fixtures).
+func (fs *FS) WriteFileAll(p string, data []byte) error {
+	if dir := path.Dir(path.Clean("/" + p)); dir != "/" {
+		if err := fs.MkdirAll(dir); err != nil {
+			return err
+		}
+	}
+	return fs.WriteFile(p, data)
+}
+
 // ReadFile returns a copy of p's contents.
 func (fs *FS) ReadFile(p string) ([]byte, error) {
 	ino, err := fs.Open(p)

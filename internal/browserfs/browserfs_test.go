@@ -33,6 +33,28 @@ func TestCreateReadWrite(t *testing.T) {
 	}
 }
 
+func TestWriteFileAll(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFileAll("/spec/inputs/deep/in.dat", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/spec/inputs/deep/in.dat")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	// Root-level files need no directories.
+	if err := fs.WriteFileAll("/top.txt", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	// Existing directories are fine; contents are replaced.
+	if err := fs.WriteFileAll("/spec/inputs/deep/in.dat", []byte("zz")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile("/spec/inputs/deep/in.dat"); string(got) != "zz" {
+		t.Fatalf("overwrite: %q", got)
+	}
+}
+
 func TestRename(t *testing.T) {
 	fs := New()
 	if err := fs.WriteFile("/x", []byte("data")); err != nil {

@@ -111,6 +111,12 @@ func NewBranchPredictor(entries int) *BranchPredictor {
 	return &BranchPredictor{table: make([]uint8, entries), mask: uint32(entries - 1)}
 }
 
+// Reset clears the predictor's counters and statistics.
+func (p *BranchPredictor) Reset() {
+	clear(p.table)
+	p.Misses, p.Total = 0, 0
+}
+
 // Predict consumes the outcome of a conditional branch at addr, returning
 // true if it was predicted correctly.
 func (p *BranchPredictor) Predict(addr uint32, taken bool) bool {

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/perf"
 	"repro/internal/x86"
@@ -114,30 +115,103 @@ const (
 	stackBase = uint32(x86.StackTop - x86.StackSize)
 )
 
+// machineMem is the recyclable memory image of one machine: the big buffers
+// and the cache/predictor metadata. Buffers in the pool are fully scrubbed
+// (zero over their whole length, caches and predictor reset), so a machine
+// built from a pooled image is bit-identical to a freshly allocated one —
+// only the allocations are saved. This mirrors the kernel's aux-buffer pool:
+// the Browsix-SPEC chain spawns three processes per run, and without
+// recycling each spawn allocates tens of MB of linear memory, globals,
+// table, and stack.
+type machineMem struct {
+	linear, globals, tableMem, stack []byte
+	l1i, l1d, l2, l3                 *Cache
+	bp                               *BranchPredictor
+}
+
+var memPool = sync.Pool{}
+
+// grow0 resizes b to n bytes, reusing capacity when possible. Any byte the
+// caller can observe is zero: the region beyond b's previous length is
+// cleared explicitly (pool scrubbing guarantees [0:len(b)] already is).
+func grow0(b []byte, n int) []byte {
+	if n <= cap(b) {
+		old := len(b)
+		b = b[:n]
+		if n > old {
+			clear(b[old:])
+		}
+		return b
+	}
+	return make([]byte, n)
+}
+
 // NewMachine builds a machine for prog with the given initial linear memory
-// pages.
+// pages, drawing the memory image from the recycle pool when one is
+// available.
 func NewMachine(prog *x86.Program, pages, maxPages uint32) *Machine {
 	m := &Machine{
 		Prog:     prog,
-		Linear:   make([]byte, int(pages)*65536),
 		MaxPages: maxPages,
-		globals:  make([]byte, 64*1024),
-		tableMem: make([]byte, 256*1024),
-		stack:    make([]byte, 64*1024),
 		stackLow: uint32(x86.StackTop) - 64*1024,
-		L1I:      NewCache(32*1024, 64, 8),
-		L1D:      NewCache(32*1024, 64, 8),
-		L2:       NewCache(256*1024, 64, 8),
-		BP:       NewBranchPredictor(4096),
+	}
+	if v := memPool.Get(); v != nil {
+		mm := v.(*machineMem)
+		m.Linear = grow0(mm.linear, int(pages)*65536)
+		m.globals = mm.globals
+		m.tableMem = mm.tableMem
+		m.stack = mm.stack[:64*1024]
+		m.L1I, m.L1D, m.L2, m.L3 = mm.l1i, mm.l1d, mm.l2, mm.l3
+		m.BP = mm.bp
+	} else {
+		m.Linear = make([]byte, int(pages)*65536)
+		m.globals = make([]byte, 64*1024)
+		m.tableMem = make([]byte, 256*1024)
+		m.stack = make([]byte, 64*1024)
+		m.L1I = NewCache(32*1024, 64, 8)
+		m.L1D = NewCache(32*1024, 64, 8)
+		m.L2 = NewCache(256*1024, 64, 8)
+		m.BP = NewBranchPredictor(4096)
 	}
 	// L3 metadata is ~4 MB; it is only reachable through L2 misses, and
 	// short-lived processes (the Browsix-SPEC runspec/specinvoke chain)
-	// often never miss L2, so it is allocated on first use in dcacheWalk.
+	// often never miss L2, so it is allocated on first use in dcacheWalk
+	// (and then travels with the pooled image).
 	m.uops = predecode(prog)
 	m.lastDLine = ^uint32(0)
 	m.setMisc()
 	m.Regs[x86.RSP] = uint64(x86.StackTop - 64)
 	return m
+}
+
+// ReleaseMemory scrubs the machine's memory image and returns it to the
+// recycle pool. The machine keeps its counters (results outlive processes)
+// but loses its memory: it must not execute again. Safe to call more than
+// once.
+func (m *Machine) ReleaseMemory() {
+	if m.globals == nil {
+		return
+	}
+	clear(m.Linear)
+	clear(m.stack)
+	clear(m.globals)
+	clear(m.tableMem)
+	m.L1I.Reset()
+	m.L1D.Reset()
+	m.L2.Reset()
+	if m.L3 != nil {
+		m.L3.Reset()
+	}
+	m.BP.Reset()
+	memPool.Put(&machineMem{
+		linear: m.Linear, globals: m.globals, tableMem: m.tableMem,
+		stack: m.stack,
+		l1i:   m.L1I, l1d: m.L1D, l2: m.L2, l3: m.L3,
+		bp: m.BP,
+	})
+	m.Linear, m.globals, m.tableMem, m.stack, m.rodata = nil, nil, nil, nil, nil
+	m.L1I, m.L1D, m.L2, m.L3, m.BP = nil, nil, nil, nil, nil
+	m.uops = nil
 }
 
 func (m *Machine) setMisc() {
@@ -167,13 +241,24 @@ func (m *Machine) Global(idx int) uint64 {
 	return binary.LittleEndian.Uint64(m.globals[idx*8:])
 }
 
-// GrowLinear adds delta pages, returning the old page count or -1.
+// GrowLinear adds delta pages, returning the old page count or -1. Growth
+// reuses spare capacity from the recycle pool when available, zeroing only
+// the newly exposed region.
 func (m *Machine) GrowLinear(delta uint32) int32 {
 	old := uint32(len(m.Linear) / 65536)
 	if uint64(old)+uint64(delta) > uint64(m.MaxPages) {
 		return -1
 	}
-	m.Linear = append(m.Linear, make([]byte, int(delta)*65536)...)
+	oldLen := len(m.Linear)
+	need := oldLen + int(delta)*65536
+	if need <= cap(m.Linear) {
+		m.Linear = m.Linear[:need]
+		clear(m.Linear[oldLen:])
+	} else {
+		nb := make([]byte, need)
+		copy(nb, m.Linear)
+		m.Linear = nb
+	}
 	m.setMisc()
 	return int32(old)
 }
@@ -268,7 +353,10 @@ func (m *Machine) store(addr uint32, w uint8, v uint64) error {
 }
 
 // growStack extends the materialized stack window down to cover addr,
-// doubling to amortize the copy of the already-live top portion.
+// doubling to amortize the copy of the already-live top portion. A pooled
+// buffer with enough spare capacity is grown in place: the live top of the
+// window shifts to the end (memmove semantics) and the vacated prefix is
+// zeroed, which is exactly the state a freshly allocated window would have.
 func (m *Machine) growStack(addr uint32) {
 	size := uint32(len(m.stack))
 	for uint32(x86.StackTop)-size > addr {
@@ -277,9 +365,20 @@ func (m *Machine) growStack(addr uint32) {
 	if size > uint32(x86.StackSize) {
 		size = uint32(x86.StackSize)
 	}
-	ns := make([]byte, size)
-	copy(ns[size-uint32(len(m.stack)):], m.stack)
-	m.stack = ns
+	old := uint32(len(m.stack))
+	if int(size) <= cap(m.stack) {
+		ns := m.stack[:size]
+		copy(ns[size-old:], ns[:old])
+		// The window at least doubled, so the vacated prefix covers every
+		// byte the old window occupied; beyond old, pool scrubbing keeps
+		// spare capacity zero.
+		clear(ns[:size-old])
+		m.stack = ns
+	} else {
+		ns := make([]byte, size)
+		copy(ns[size-old:], m.stack)
+		m.stack = ns
+	}
 	m.stackLow = uint32(x86.StackTop) - size
 }
 

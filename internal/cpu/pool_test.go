@@ -1,0 +1,106 @@
+package cpu
+
+// Tests for the machine-memory recycle pool: a machine built from a pooled
+// image must be bit-identical to one built from fresh allocations — same
+// results, same counters, fully zeroed memory — and growth paths must never
+// expose stale bytes from a previous process.
+
+import (
+	"testing"
+
+	"repro/internal/x86"
+)
+
+// TestMachineMemoryRecycling runs the golden program repeatedly, releasing
+// each machine's memory back to the pool, and demands the exact same return
+// value and counter snapshot every time.
+func TestMachineMemoryRecycling(t *testing.T) {
+	prog := buildGoldenProgram()
+	var first *Machine
+	for i := 0; i < 5; i++ {
+		m := NewMachine(prog, 1, 1)
+		ret, err := m.Call(0)
+		if err != nil {
+			t.Fatalf("iteration %d trapped: %v", i, err)
+		}
+		if want := uint64(7109254968427); ret != want {
+			t.Fatalf("iteration %d returned %d, want %d", i, ret, want)
+		}
+		if m.Counters != goldenCounters {
+			t.Fatalf("iteration %d counters diverged:\n got:  %v\n want: %v",
+				i, m.Counters.String(), goldenCounters.String())
+		}
+		if first == nil {
+			first = m
+		}
+		m.ReleaseMemory()
+		if m.Linear != nil || m.L1D != nil || m.BP != nil {
+			t.Fatal("release must detach the memory image")
+		}
+		m.ReleaseMemory() // double release is a no-op
+	}
+	// Counters survive release: results outlive processes.
+	if first.Counters != goldenCounters {
+		t.Error("released machine lost its counters")
+	}
+}
+
+// TestRecycledMemoryIsZero dirties every pooled region, releases, and checks
+// a reused image reads as all-zero, including linear growth into recycled
+// spare capacity.
+func TestRecycledMemoryIsZero(t *testing.T) {
+	prog := buildGoldenProgram()
+	m := NewMachine(prog, 2, 4)
+	for i := range m.Linear {
+		m.Linear[i] = 0xAB
+	}
+	m.SetGlobal(7, ^uint64(0))
+	m.SetTableEntry(3, 123, 456)
+	// Dirty the stack through the store path, forcing window growth.
+	if err := m.store(uint32(x86.StackTop)-200*1024, 8, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseMemory()
+
+	r := NewMachine(prog, 1, 4)
+	for i, b := range r.Linear {
+		if b != 0 {
+			t.Fatalf("recycled linear memory dirty at %d: %#x", i, b)
+		}
+	}
+	if g := r.Global(7); g != 0 {
+		t.Fatalf("recycled globals dirty: %#x", g)
+	}
+	if old := r.GrowLinear(2); old != 1 {
+		t.Fatalf("grow returned %d", old)
+	}
+	for i, b := range r.Linear {
+		if b != 0 {
+			t.Fatalf("grown linear memory dirty at %d: %#x", i, b)
+		}
+	}
+	if v, err := r.load(uint32(x86.StackTop)-200*1024, 8); err != nil || v != 0 {
+		t.Fatalf("recycled stack dirty: %#x (err %v)", v, err)
+	}
+	r.ReleaseMemory()
+}
+
+// TestPooledSpawnAllocations proves machine construction from the pool does
+// not re-allocate the memory image.
+func TestPooledSpawnAllocations(t *testing.T) {
+	prog := buildGoldenProgram()
+	// Warm the pool and the predecode cache.
+	NewMachine(prog, 1, 1).ReleaseMemory()
+	avg := testing.AllocsPerRun(20, func() {
+		m := NewMachine(prog, 1, 1)
+		if _, err := m.Call(0); err != nil {
+			t.Fatal(err)
+		}
+		m.ReleaseMemory()
+	})
+	// A fresh image is hundreds of allocations' worth of cache lines plus
+	// multi-MB buffers; a pooled run is the Machine struct and little else.
+	if avg > 8 {
+		t.Errorf("pooled machine run allocates %.0f objects per spawn", avg)
+	}
+}

@@ -146,9 +146,14 @@ func (p *Process) chargeBrowsix(cycles uint64) {
 }
 
 // chargeCopy charges an aux-buffer copy of n bytes, chunked at the aux
-// buffer size (§2: transfers larger than 64 MB are split).
+// buffer size (§2: transfers larger than 64 MB are split). A transfer that
+// exactly fills k buffers is k chunks — k-1 extra message round-trips —
+// not k+1.
 func (p *Process) chargeCopy(n int) {
-	chunks := 1 + n/AuxBufferSize
+	chunks := (n + AuxBufferSize - 1) / AuxBufferSize
+	if chunks == 0 {
+		chunks = 1
+	}
 	p.chargeBrowsix(uint64(float64(n)*CopyCyclesPerByte) + uint64(chunks-1)*MsgRoundTripCycles)
 }
 
@@ -243,6 +248,10 @@ func (p *Process) run() {
 		p.aux = nil
 		auxPool.Put(&aux)
 	}()
+	// A process's memory image dies with it, like a real exiting process:
+	// the machine's buffers are scrubbed and recycled for future spawns.
+	// Counters survive on the instance — results outlive processes.
+	defer p.Inst.ReleaseMemory()
 	defer p.closeAllFDs()
 	argc, argvPtr, err := p.writeArgs()
 	if err != nil {

@@ -4,7 +4,39 @@ import (
 	"testing"
 
 	"repro/internal/browserfs"
+	"repro/internal/cpu"
+	"repro/internal/x86"
 )
+
+// TestChargeCopyChunks pins the §2 chunking accounting: a transfer that
+// exactly fills k aux buffers is k chunks and k-1 extra message round-trips
+// (the historical off-by-one charged k+1 chunks at exact multiples).
+func TestChargeCopyChunks(t *testing.T) {
+	cost := func(n int) uint64 {
+		p := &Process{Inst: &cpu.Instance{Machine: cpu.NewMachine(x86.NewProgram(), 1, 1)}}
+		p.chargeCopy(n)
+		return p.BrowsixCycles
+	}
+	bytesCost := func(n int) uint64 { return uint64(float64(n) * CopyCyclesPerByte) }
+	cases := []struct {
+		n    int
+		want uint64
+	}{
+		{0, 0},
+		{1, bytesCost(1)},
+		{AuxBufferSize - 1, bytesCost(AuxBufferSize - 1)},
+		// Exactly one full buffer: one chunk, zero extra round-trips.
+		{AuxBufferSize, bytesCost(AuxBufferSize)},
+		{AuxBufferSize + 1, bytesCost(AuxBufferSize+1) + MsgRoundTripCycles},
+		// Exactly two full buffers: two chunks, one extra round-trip.
+		{2 * AuxBufferSize, bytesCost(2*AuxBufferSize) + MsgRoundTripCycles},
+	}
+	for _, c := range cases {
+		if got := cost(c.n); got != c.want {
+			t.Errorf("chargeCopy(%d): %d browsix cycles, want %d", c.n, got, c.want)
+		}
+	}
+}
 
 func TestPipeRoundTrip(t *testing.T) {
 	p := NewPipe()

@@ -1,0 +1,50 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/kernel"
+)
+
+// RunResult captures one program execution under the kernel.
+type RunResult struct {
+	ExitCode int
+	Stdout   string
+	Proc     *kernel.Process
+}
+
+// Exec executes an already-built binary in a fresh kernel populated with
+// files, spawns it with argv, and waits for completion. This is the single
+// run path shared by the toolchain front-end, the workloads differential
+// tests, and the benchmarks.
+func Exec(cm *codegen.CompiledModule, argv []string, files map[string][]byte) (*RunResult, error) {
+	k := kernel.New(nil)
+	for p, data := range files {
+		if err := k.FS.WriteFileAll(p, data); err != nil {
+			return nil, fmt.Errorf("pipeline: populating %s: %w", p, err)
+		}
+	}
+	k.RegisterBinary("/bin/prog", cm)
+	if len(argv) == 0 {
+		argv = []string{"prog"}
+	}
+	p, err := k.Spawn(nil, "/bin/prog", argv, [3]*kernel.FD{})
+	if err != nil {
+		return nil, err
+	}
+	code, err := k.WaitPID(p.PID)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: process failed: %w", err)
+	}
+	return &RunResult{ExitCode: code, Stdout: string(k.Console), Proc: p}, nil
+}
+
+// Run builds src for cfg through the shared cache and executes it.
+func Run(src string, cfg *codegen.EngineConfig, argv []string, files map[string][]byte) (*RunResult, error) {
+	cm, err := Build(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(cm, argv, files)
+}

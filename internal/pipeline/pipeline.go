@@ -1,0 +1,104 @@
+// Package pipeline is the shared artifact and execution layer every run
+// path in the reproduction sits on: a process-wide content-addressed build
+// cache (one compile per distinct mini-C source × engine configuration, no
+// matter how many harnesses, tests, or CLIs ask for it), a bounded job
+// scheduler for suite fan-out, and the canonical "run one binary in a fresh
+// kernel" helper. The spec harness, the toolchain front-end, the workloads
+// differential tests, and the cmd/* binaries all build and execute through
+// this package, so builds are shared and suite parallelism is governed in
+// one place.
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/codegen"
+	"repro/internal/minic"
+)
+
+// ABIFor returns the data model an engine compiles: x86-64 for the native
+// configuration, wasm32 for the browser engines.
+func ABIFor(cfg *codegen.EngineConfig) minic.ABI {
+	if cfg.Name == "native" {
+		return minic.ABI64
+	}
+	return minic.ABI32
+}
+
+// Key returns the content address of one build: a hash of the mini-C source
+// and the full engine configuration. Two configs that differ in any field —
+// not just the name — hash differently, so ablation configs never collide
+// with the stock engines even when a caller forgets to rename them.
+func Key(src string, cfg *codegen.EngineConfig) string {
+	h := sha256.New()
+	io.WriteString(h, src)
+	h.Write([]byte{0})
+	// %#v spells out every exported field by name, so the key tracks
+	// EngineConfig growth without a hand-maintained encoder.
+	fmt.Fprintf(h, "%#v", *cfg)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// buildEntry is one cache slot. The entry is published in the map before
+// the compile runs; once.Do makes concurrent requesters of the same key
+// share a single compile instead of racing.
+type buildEntry struct {
+	once sync.Once
+	cm   *codegen.CompiledModule
+	err  error
+}
+
+var (
+	buildMu    sync.Mutex
+	buildCache = map[string]*buildEntry{}
+	cacheHits  uint64
+	cacheMiss  uint64
+)
+
+// Build compiles src for cfg through the process-wide cache. The returned
+// module is shared (the same pointer for the same content) and must be
+// treated as immutable; instantiation state lives in cpu.Machine, not here.
+// Failed builds are cached too: identical inputs fail identically.
+func Build(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
+	k := Key(src, cfg)
+	buildMu.Lock()
+	e, ok := buildCache[k]
+	if !ok {
+		e = &buildEntry{}
+		buildCache[k] = e
+		cacheMiss++
+	} else {
+		cacheHits++
+	}
+	buildMu.Unlock()
+	e.once.Do(func() {
+		e.cm, e.err = buildUncached(src, cfg)
+	})
+	return e.cm, e.err
+}
+
+// buildUncached is the raw mini-C → engine pipeline with no caching.
+func buildUncached(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
+	abi := ABIFor(cfg)
+	m, err := minic.Compile(src, abi)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := codegen.Compile(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cm.PtrSize = abi.PtrSize
+	return cm, nil
+}
+
+// CacheStats reports build-cache hits and misses since process start.
+func CacheStats() (hits, misses uint64) {
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	return cacheHits, cacheMiss
+}

@@ -6,8 +6,8 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/perf"
+	"repro/internal/pipeline"
 	"repro/internal/stats"
-	"repro/internal/toolchain"
 	"repro/internal/workloads"
 )
 
@@ -317,7 +317,7 @@ func Fig7() (string, error) {
 	var sb strings.Builder
 	sb.WriteString("Figure 7 — matmul code generation\n\n")
 	for _, cfg := range []*codegen.EngineConfig{codegen.Native(), codegen.Chrome()} {
-		cm, err := toolchain.Build(src, cfg)
+		cm, err := pipeline.Build(src, cfg)
 		if err != nil {
 			return "", err
 		}

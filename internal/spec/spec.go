@@ -8,13 +8,14 @@
 package spec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/codegen"
 	"repro/internal/kernel"
 	"repro/internal/perf"
-	"repro/internal/toolchain"
+	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
 
@@ -79,17 +80,21 @@ type Result struct {
 	CodeBytes uint32
 }
 
-// Harness caches builds and runs (executions are deterministic).
+// Harness memoizes runs (executions are deterministic). Builds are not
+// harness state: they come from the process-wide content-addressed cache in
+// internal/pipeline, so concurrent harnesses share compiles.
 type Harness struct {
+	// Workers bounds suite parallelism; 0 selects the scheduler default
+	// (GOMAXPROCS).
+	Workers int
+
 	mu      sync.Mutex
-	builds  map[string]*codegen.CompiledModule
 	results map[string]*Result
 }
 
 // NewHarness returns an empty harness.
 func NewHarness() *Harness {
 	return &Harness{
-		builds:  map[string]*codegen.CompiledModule{},
 		results: map[string]*Result{},
 	}
 }
@@ -106,29 +111,22 @@ func AsmJSEngines() []*codegen.EngineConfig {
 	return []*codegen.EngineConfig{codegen.AsmJSChrome(), codegen.AsmJSFirefox()}
 }
 
-// build compiles src for cfg with caching.
+// build compiles src for cfg through the shared pipeline cache; key is only
+// used for error context.
 func (h *Harness) build(key, src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
-	k := key + "/" + cfg.Name
-	h.mu.Lock()
-	if cm, ok := h.builds[k]; ok {
-		h.mu.Unlock()
-		return cm, nil
-	}
-	h.mu.Unlock()
-	cm, err := toolchain.Build(src, cfg)
+	cm, err := pipeline.Build(src, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("spec: building %s for %s: %w", key, cfg.Name, err)
 	}
-	h.mu.Lock()
-	h.builds[k] = cm
-	h.mu.Unlock()
 	return cm, nil
 }
 
 // Run executes workload w under engine cfg through the full Figure 2 chain
-// and returns the measurement. Results are memoized.
+// and returns the measurement. Results are memoized under the same content
+// address as builds, so configs that differ in any field — not just the
+// name — never share a measurement.
 func (h *Harness) Run(w *workloads.Workload, cfg *codegen.EngineConfig) (*Result, error) {
-	key := w.Name + "/" + cfg.Name
+	key := w.Name + "/" + pipeline.Key(w.Source, cfg)
 	h.mu.Lock()
 	if r, ok := h.results[key]; ok {
 		h.mu.Unlock()
@@ -162,7 +160,7 @@ func (h *Harness) Run(w *workloads.Workload, cfg *codegen.EngineConfig) (*Result
 		return nil, err
 	}
 	for p, data := range w.Files {
-		if err := writeWithDirs(k, p, data); err != nil {
+		if err := k.FS.WriteFileAll(p, data); err != nil {
 			return nil, err
 		}
 	}
@@ -221,55 +219,40 @@ func (h *Harness) Run(w *workloads.Workload, cfg *codegen.EngineConfig) (*Result
 	return res, nil
 }
 
-func writeWithDirs(k *kernel.Kernel, p string, data []byte) error {
-	dir := ""
-	for i := 1; i < len(p); i++ {
-		if p[i] == '/' {
-			dir = p[:i]
-			if err := k.FS.MkdirAll(dir); err != nil {
-				return err
-			}
-		}
-	}
-	return k.FS.WriteFile(p, data)
-}
-
 // RunSuite runs every workload in ws under every engine in cfgs, validating
 // outputs across engines with the cmp check, and returns results indexed
 // [workload][engine].
 func (h *Harness) RunSuite(ws []*workloads.Workload, cfgs []*codegen.EngineConfig) ([][]*Result, error) {
+	return h.RunSuiteContext(context.Background(), ws, cfgs)
+}
+
+// RunSuiteContext is RunSuite under a caller context: cancellation stops the
+// suite early. Executions run in parallel on the pipeline scheduler (each is
+// fully isolated in its own kernel), bounded by h.Workers, and every failing
+// workload/engine pair is reported in the returned error, not just the
+// first.
+func (h *Harness) RunSuiteContext(ctx context.Context, ws []*workloads.Workload, cfgs []*codegen.EngineConfig) ([][]*Result, error) {
 	out := make([][]*Result, len(ws))
-	type job struct{ wi, ci int }
-	var jobs []job
+	jobs := make([]pipeline.Job, 0, len(ws)*len(cfgs))
 	for wi := range ws {
 		out[wi] = make([]*Result, len(cfgs))
 		for ci := range cfgs {
-			jobs = append(jobs, job{wi, ci})
+			wi, ci := wi, ci
+			jobs = append(jobs, func(ctx context.Context) error {
+				if err := ctx.Err(); err != nil {
+					return nil // the scheduler reports the cancellation
+				}
+				r, err := h.Run(ws[wi], cfgs[ci])
+				if err != nil {
+					return err
+				}
+				out[wi][ci] = r
+				return nil
+			})
 		}
 	}
-	// Run in parallel: each execution is fully isolated (own kernel).
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(jobs))
-	sem := make(chan struct{}, 8)
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := h.Run(ws[j.wi], cfgs[j.ci])
-			if err != nil {
-				errCh <- err
-				return
-			}
-			out[j.wi][j.ci] = r
-		}(j)
-	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
+	if err := pipeline.RunJobs(ctx, h.Workers, jobs); err != nil {
 		return nil, err
-	default:
 	}
 	// cmp validation: all engines must produce identical output.
 	for wi, row := range out {

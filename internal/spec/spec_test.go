@@ -1,6 +1,7 @@
 package spec_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -8,6 +9,50 @@ import (
 	"repro/internal/spec"
 	"repro/internal/workloads"
 )
+
+// TestRunSuiteAggregatesFailures is the regression test for the old
+// first-error-only channel select: when several workloads fail, every
+// failure must appear in the returned error.
+func TestRunSuiteAggregatesFailures(t *testing.T) {
+	h := spec.NewHarness()
+	bad := func(name string, code int) *workloads.Workload {
+		return &workloads.Workload{
+			Name:   name,
+			Source: fmt.Sprintf("int main() { return %d; }", code),
+		}
+	}
+	ws := []*workloads.Workload{bad("bad-exit-a", 3), bad("bad-exit-b", 4)}
+	_, err := h.RunSuite(ws, []*codegen.EngineConfig{codegen.Native()})
+	if err == nil {
+		t.Fatal("failing workloads must error")
+	}
+	for _, want := range []string{"bad-exit-a", "bad-exit-b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregate error missing %s: %v", want, err)
+		}
+	}
+}
+
+// TestHarnessResultsKeyedByConfigContent checks the result memo is
+// content-addressed like the build cache: an ablated config under the stock
+// engine name must get its own measurement, not the cached stock one.
+func TestHarnessResultsKeyedByConfigContent(t *testing.T) {
+	h := spec.NewHarness()
+	w := &workloads.Workload{Name: "memo-probe", Source: spec.MatmulSource(10, 11, 12)}
+	stock, err := h.Run(w, codegen.Chrome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated := codegen.Chrome() // same Name, different codegen
+	ablated.StackCheck = false
+	abl, err := h.Run(w, ablated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stock.Counters.Instructions == abl.Counters.Instructions {
+		t.Error("ablated config returned the stock engine's memoized result")
+	}
+}
 
 // TestHarnessSingleBenchmark runs one benchmark through the full Figure 2
 // chain (runspec -> specinvoke -> benchmark) and checks the recording.

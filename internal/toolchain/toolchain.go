@@ -1,40 +1,26 @@
 // Package toolchain ties the mini-C compiler to the engine backends, the
 // way Browsix-Wasm ties Emscripten to the browsers: one source program is
 // built per engine, with the data model matching the target (wasm32 for the
-// browser engines, x86-64 for native).
+// browser engines, x86-64 for native). Builds and executions go through
+// internal/pipeline, so every caller in one process shares the same
+// content-addressed build cache and run path.
 package toolchain
 
 import (
-	"fmt"
-	"path"
-
 	"repro/internal/codegen"
-	"repro/internal/kernel"
 	"repro/internal/minic"
+	"repro/internal/pipeline"
 	"repro/internal/wasm"
 )
 
 // ABIFor returns the data model an engine compiles.
-func ABIFor(cfg *codegen.EngineConfig) minic.ABI {
-	if cfg.Name == "native" {
-		return minic.ABI64
-	}
-	return minic.ABI32
-}
+func ABIFor(cfg *codegen.EngineConfig) minic.ABI { return pipeline.ABIFor(cfg) }
 
-// Build compiles mini-C source for one engine.
+// Build compiles mini-C source for one engine through the shared
+// content-addressed cache; identical (source, config) pairs compile once
+// per process.
 func Build(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
-	abi := ABIFor(cfg)
-	m, err := minic.Compile(src, abi)
-	if err != nil {
-		return nil, err
-	}
-	cm, err := codegen.Compile(m, cfg)
-	if err != nil {
-		return nil, err
-	}
-	cm.PtrSize = abi.PtrSize
-	return cm, nil
+	return pipeline.Build(src, cfg)
 }
 
 // BuildWasm compiles mini-C to a raw wasm module (browser ABI), for
@@ -44,46 +30,15 @@ func BuildWasm(src string) (*wasm.Module, error) {
 }
 
 // RunResult captures one program execution under the kernel.
-type RunResult struct {
-	ExitCode int
-	Stdout   string
-	Proc     *kernel.Process
-}
+type RunResult = pipeline.RunResult
 
-// Run builds src for cfg, registers it in a fresh kernel over fs contents,
-// spawns it with argv, and waits for completion.
+// Run builds src for cfg (cached), registers it in a fresh kernel over fs
+// contents, spawns it with argv, and waits for completion.
 func Run(src string, cfg *codegen.EngineConfig, argv []string, files map[string][]byte) (*RunResult, error) {
-	cm, err := Build(src, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return RunCompiled(cm, argv, files)
+	return pipeline.Run(src, cfg, argv, files)
 }
 
 // RunCompiled executes an already-built binary in a fresh kernel.
 func RunCompiled(cm *codegen.CompiledModule, argv []string, files map[string][]byte) (*RunResult, error) {
-	k := kernel.New(nil)
-	for p, data := range files {
-		if dir := path.Dir(p); dir != "/" && dir != "." {
-			if err := k.FS.MkdirAll(dir); err != nil {
-				return nil, fmt.Errorf("toolchain: mkdir %s: %w", dir, err)
-			}
-		}
-		if err := k.FS.WriteFile(p, data); err != nil {
-			return nil, fmt.Errorf("toolchain: populating %s: %w", p, err)
-		}
-	}
-	k.RegisterBinary("/bin/prog", cm)
-	if len(argv) == 0 {
-		argv = []string{"prog"}
-	}
-	p, err := k.Spawn(nil, "/bin/prog", argv, [3]*kernel.FD{})
-	if err != nil {
-		return nil, err
-	}
-	code, err := k.WaitPID(p.PID)
-	if err != nil {
-		return nil, fmt.Errorf("toolchain: process failed: %w", err)
-	}
-	return &RunResult{ExitCode: code, Stdout: string(k.Console), Proc: p}, nil
+	return pipeline.Exec(cm, argv, files)
 }
