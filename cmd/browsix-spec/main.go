@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/pipeline"
 	"repro/internal/spec"
 )
 
@@ -20,13 +21,25 @@ func main() {
 	fig := flag.String("fig", "", "regenerate a figure (1, 3a, 3b, 4-10)")
 	all := flag.Bool("all", false, "regenerate everything")
 	workers := flag.Int("workers", 0, "suite parallelism (0 = GOMAXPROCS)")
+	cachestats := flag.Bool("cachestats", false, "report per-suite build-cache traffic (memory/disk/miss) on stderr")
 	flag.Parse()
 
 	h := spec.NewHarness()
 	h.Workers = *workers
+	reportTotals := func() {}
+	if *cachestats {
+		h.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "browsix-spec: "+format+"\n", args...)
+		}
+		reportTotals = func() { fmt.Fprintf(os.Stderr, "browsix-spec: totals %v\n", pipeline.Stats()) }
+		defer reportTotals()
+	}
 	emit := func(s string, err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "browsix-spec:", err)
+			// os.Exit skips deferred calls; a failing run is exactly when
+			// the cache picture matters, so report before exiting.
+			reportTotals()
 			os.Exit(1)
 		}
 		fmt.Println(s)

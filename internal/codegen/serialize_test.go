@@ -1,0 +1,140 @@
+package codegen_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/cpu"
+)
+
+// buildArtifactModule compiles the shared matmul module (loops, floats,
+// indirect-call table machinery absent but calls present) for cfg.
+func buildArtifactModule(t *testing.T, cfg *codegen.EngineConfig) *codegen.CompiledModule {
+	t.Helper()
+	cm, err := codegen.Compile(buildMatmulModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+// TestArtifactRoundTrip checks that an encoded module decodes to something
+// that executes bit-identically to the original: same result, same retired
+// instruction and cycle counters, same disassembly, and a byte-identical
+// re-encoding.
+func TestArtifactRoundTrip(t *testing.T) {
+	for _, cfg := range engines() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			cm := buildArtifactModule(t, cfg)
+			data, err := codegen.EncodeModule(cm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := codegen.DecodeModule(data, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			run := func(m *codegen.CompiledModule) (uint64, uint64, uint64) {
+				const cAddr, aAddr, bAddr = 0, 4096, 8192
+				inst, err := cpu.Load(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := inst.Invoke("init", aAddr, bAddr); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := inst.Invoke("matmul", cAddr, aAddr, bAddr); err != nil {
+					t.Fatal(err)
+				}
+				got, err := inst.Invoke("checksum", cAddr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inst.FlushCycles()
+				return got, inst.Counters.Instructions, inst.Counters.Cycles
+			}
+			v1, i1, c1 := run(cm)
+			v2, i2, c2 := run(dec)
+			if v1 != v2 {
+				t.Errorf("decoded module computed %d, original %d", v2, v1)
+			}
+			if i1 != i2 || c1 != c2 {
+				t.Errorf("counters diverged: insts %d/%d cycles %d/%d", i1, i2, c1, c2)
+			}
+
+			if cm.Prog.CodeBytes != dec.Prog.CodeBytes {
+				t.Errorf("CodeBytes %d != %d after relayout", dec.Prog.CodeBytes, cm.Prog.CodeBytes)
+			}
+			d1, ok1 := cm.DisasmFunc("matmul")
+			d2, ok2 := dec.DisasmFunc("matmul")
+			if !ok1 || !ok2 || d1 != d2 {
+				t.Errorf("disassembly diverged after round trip")
+			}
+			if cm.CompileTime != dec.CompileTime {
+				t.Errorf("CompileTime %v != %v", dec.CompileTime, cm.CompileTime)
+			}
+			if cm.PtrSize != dec.PtrSize || cm.TotalSpills != dec.TotalSpills {
+				t.Errorf("scalar fields diverged")
+			}
+
+			re, err := codegen.EncodeModule(dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, re) {
+				t.Errorf("re-encoding is not byte-identical (%d vs %d bytes)", len(data), len(re))
+			}
+		})
+	}
+}
+
+// TestArtifactRejectsDamage checks the decoder fails cleanly — an error, not
+// a panic or a silently wrong module — for every damage shape the disk store
+// must survive.
+func TestArtifactRejectsDamage(t *testing.T) {
+	cfg := codegen.Chrome()
+	cm := buildArtifactModule(t, cfg)
+	data, err := codegen.EncodeModule(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 4, 8, len(data) / 2, len(data) - 1} {
+			if _, err := codegen.DecodeModule(data[:n], cfg); err == nil {
+				t.Errorf("truncation to %d bytes not detected", n)
+			}
+		}
+	})
+	t.Run("bit-flip", func(t *testing.T) {
+		// Flip a bit in every region: header, early payload, late payload,
+		// trailer.
+		for _, off := range []int{5, 40, len(data) / 2, len(data) - 10} {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 0x10
+			if _, err := codegen.DecodeModule(mut, cfg); err == nil {
+				t.Errorf("bit flip at %d not detected", off)
+			}
+		}
+	})
+	t.Run("stale-version", func(t *testing.T) {
+		mut := append([]byte(nil), data...)
+		mut[4] = byte(codegen.ArtifactVersion + 1)
+		if _, err := codegen.DecodeModule(mut, cfg); err == nil {
+			t.Error("future version not rejected")
+		}
+		mut[4] = 0
+		if _, err := codegen.DecodeModule(mut, cfg); err == nil {
+			t.Error("version 0 not rejected")
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		mut := append([]byte(nil), data...)
+		mut[0] = 'X'
+		if _, err := codegen.DecodeModule(mut, cfg); err == nil {
+			t.Error("bad magic not rejected")
+		}
+	})
+}

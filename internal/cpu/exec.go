@@ -75,6 +75,13 @@ func (m *Machine) run() error {
 		if m.MaxInstructions > 0 && m.Counters.Instructions > m.MaxInstructions {
 			return &TrapError{Msg: "instruction budget exhausted", PC: m.rip}
 		}
+		if m.Counters.Instructions >= m.pollAt {
+			m.pollAt = m.Counters.Instructions + m.pollEvery
+			if err := m.interrupt(); err != nil {
+				m.FlushCycles()
+				return err
+			}
+		}
 
 		var err error
 		switch u.kind {

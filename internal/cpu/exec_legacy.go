@@ -27,6 +27,13 @@ func (m *Machine) runLegacy() error {
 		if m.MaxInstructions > 0 && m.Counters.Instructions > m.MaxInstructions {
 			return &TrapError{Msg: "instruction budget exhausted", PC: m.rip}
 		}
+		if m.Counters.Instructions >= m.pollAt {
+			m.pollAt = m.Counters.Instructions + m.pollEvery
+			if err := m.interrupt(); err != nil {
+				m.FlushCycles()
+				return err
+			}
+		}
 		if err := m.exec(in); err != nil {
 			m.FlushCycles()
 			return err

@@ -100,6 +100,14 @@ type Machine struct {
 	// across machines running the same program.
 	uops []uop
 
+	// interrupt, when installed via SetInterrupt, is polled every pollEvery
+	// retired instructions; a non-nil return aborts execution with that
+	// error. pollAt is the next Instructions value to poll at (^0 when
+	// disabled, so the hot loop pays one always-false compare).
+	interrupt func() error
+	pollEvery uint64
+	pollAt    uint64
+
 	// MaxInstructions bounds execution (0 = unlimited).
 	MaxInstructions uint64
 
@@ -179,6 +187,7 @@ func NewMachine(prog *x86.Program, pages, maxPages uint32) *Machine {
 	// (and then travels with the pooled image).
 	m.uops = predecode(prog)
 	m.lastDLine = ^uint32(0)
+	m.pollAt = ^uint64(0)
 	m.setMisc()
 	m.Regs[x86.RSP] = uint64(x86.StackTop - 64)
 	return m
@@ -212,6 +221,25 @@ func (m *Machine) ReleaseMemory() {
 	m.Linear, m.globals, m.tableMem, m.stack, m.rodata = nil, nil, nil, nil, nil
 	m.L1I, m.L1D, m.L2, m.L3, m.BP = nil, nil, nil, nil, nil
 	m.uops = nil
+}
+
+// SetInterrupt installs fn to be polled every `every` retired instructions
+// (both execution engines). A non-nil return from fn aborts the run with
+// that error — this is how the scheduler's context cancellation preempts
+// in-flight simulations instead of only queued ones. Polling never touches
+// counters or cycles, so an uninterrupted run is bit-identical with or
+// without an interrupt installed. A nil fn (or zero interval) disables
+// polling.
+func (m *Machine) SetInterrupt(every uint64, fn func() error) {
+	if fn == nil || every == 0 {
+		m.interrupt = nil
+		m.pollEvery = 0
+		m.pollAt = ^uint64(0)
+		return
+	}
+	m.interrupt = fn
+	m.pollEvery = every
+	m.pollAt = m.Counters.Instructions + every
 }
 
 func (m *Machine) setMisc() {

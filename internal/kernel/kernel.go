@@ -8,6 +8,7 @@
 package kernel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -16,6 +17,12 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/cpu"
 )
+
+// DefaultPollInterval is how many retired instructions a process executes
+// between context-cancellation polls (~10 ms of simulated work at the
+// engine's throughput): fine enough that cancellation preempts promptly,
+// coarse enough to be invisible in the profile.
+const DefaultPollInterval = 2 << 20
 
 // AuxBufferSize is the per-process auxiliary shared buffer (§2: 64 MB).
 const AuxBufferSize = 64 << 20
@@ -64,6 +71,16 @@ type Kernel struct {
 	// Hooks are the Browsix-SPEC perf callbacks fired by processes'
 	// perf_begin/perf_end runtime XHRs (Figure 2 steps 4 and 6).
 	Hooks PerfHooks
+
+	// Ctx, when non-nil, is polled by every process this kernel spawns
+	// (every PollInterval retired instructions): cancelling it preempts
+	// in-flight simulations, not just queued ones. Set it before the first
+	// Spawn.
+	Ctx context.Context
+
+	// PollInterval overrides DefaultPollInterval (retired instructions
+	// between polls).
+	PollInterval uint64
 }
 
 // New creates a kernel over the given filesystem.
@@ -208,6 +225,13 @@ func (k *Kernel) Spawn(parent *Process, path string, argv []string, stdio [3]*FD
 	inst, err := cpu.Load(cm)
 	if err != nil {
 		return nil, err
+	}
+	if ctx := k.Ctx; ctx != nil {
+		every := k.PollInterval
+		if every == 0 {
+			every = DefaultPollInterval
+		}
+		inst.Machine.SetInterrupt(every, func() error { return ctx.Err() })
 	}
 	k.mu.Lock()
 	pid := k.nextPID

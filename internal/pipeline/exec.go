@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/codegen"
@@ -19,7 +20,15 @@ type RunResult struct {
 // run path shared by the toolchain front-end, the workloads differential
 // tests, and the benchmarks.
 func Exec(cm *codegen.CompiledModule, argv []string, files map[string][]byte) (*RunResult, error) {
+	return ExecContext(context.Background(), cm, argv, files)
+}
+
+// ExecContext is Exec under a caller context. Every process in the run's
+// kernel polls ctx while executing, so cancellation preempts a simulation
+// mid-run — a hung workload does not outlive its scheduler.
+func ExecContext(ctx context.Context, cm *codegen.CompiledModule, argv []string, files map[string][]byte) (*RunResult, error) {
 	k := kernel.New(nil)
+	k.Ctx = ctx
 	for p, data := range files {
 		if err := k.FS.WriteFileAll(p, data); err != nil {
 			return nil, fmt.Errorf("pipeline: populating %s: %w", p, err)
@@ -42,9 +51,15 @@ func Exec(cm *codegen.CompiledModule, argv []string, files map[string][]byte) (*
 
 // Run builds src for cfg through the shared cache and executes it.
 func Run(src string, cfg *codegen.EngineConfig, argv []string, files map[string][]byte) (*RunResult, error) {
+	return RunContext(context.Background(), src, cfg, argv, files)
+}
+
+// RunContext builds src for cfg through the shared cache and executes it
+// under ctx (see ExecContext).
+func RunContext(ctx context.Context, src string, cfg *codegen.EngineConfig, argv []string, files map[string][]byte) (*RunResult, error) {
 	cm, err := Build(src, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return Exec(cm, argv, files)
+	return ExecContext(ctx, cm, argv, files)
 }

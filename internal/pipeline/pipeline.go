@@ -1,12 +1,14 @@
 // Package pipeline is the shared artifact and execution layer every run
 // path in the reproduction sits on: a process-wide content-addressed build
 // cache (one compile per distinct mini-C source × engine configuration, no
-// matter how many harnesses, tests, or CLIs ask for it), a bounded job
-// scheduler for suite fan-out, and the canonical "run one binary in a fresh
-// kernel" helper. The spec harness, the toolchain front-end, the workloads
-// differential tests, and the cmd/* binaries all build and execute through
-// this package, so builds are shared and suite parallelism is governed in
-// one place.
+// matter how many harnesses, tests, or CLIs ask for it) layered over a
+// disk-backed artifact store (one compile per content address across
+// processes — repeated CLI invocations, test runs, and CI jobs start warm),
+// a bounded job scheduler for suite fan-out, and the canonical "run one
+// binary in a fresh kernel" helper. The spec harness, the toolchain
+// front-end, the workloads differential tests, and the cmd/* binaries all
+// build and execute through this package, so builds are shared and suite
+// parallelism is governed in one place.
 package pipeline
 
 import (
@@ -55,14 +57,59 @@ type buildEntry struct {
 var (
 	buildMu    sync.Mutex
 	buildCache = map[string]*buildEntry{}
-	cacheHits  uint64
-	cacheMiss  uint64
+	stats      CacheStats
 )
 
-// Build compiles src for cfg through the process-wide cache. The returned
-// module is shared (the same pointer for the same content) and must be
-// treated as immutable; instantiation state lives in cpu.Machine, not here.
-// Failed builds are cached too: identical inputs fail identically.
+// CacheStats counts build-cache traffic since process start (or a snapshot,
+// via Sub). A memory hit found the module already resident; a disk hit
+// loaded it from the cross-process artifact store; a miss ran the compiler.
+type CacheStats struct {
+	MemHits  uint64
+	DiskHits uint64
+	Misses   uint64
+}
+
+// Sub returns the per-interval delta s - prev; bracket a suite with Stats()
+// calls to get its traffic.
+func (s CacheStats) Sub(prev CacheStats) CacheStats {
+	return CacheStats{
+		MemHits:  s.MemHits - prev.MemHits,
+		DiskHits: s.DiskHits - prev.DiskHits,
+		Misses:   s.Misses - prev.Misses,
+	}
+}
+
+// Compiles returns the number of compiler runs (misses).
+func (s CacheStats) Compiles() uint64 { return s.Misses }
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("mem=%d disk=%d miss=%d", s.MemHits, s.DiskHits, s.Misses)
+}
+
+// Stats snapshots the build-cache counters.
+func Stats() CacheStats {
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	return stats
+}
+
+func countDiskHit() {
+	buildMu.Lock()
+	stats.DiskHits++
+	buildMu.Unlock()
+}
+
+func countMiss() {
+	buildMu.Lock()
+	stats.Misses++
+	buildMu.Unlock()
+}
+
+// Build compiles src for cfg through the process-wide cache, layered over
+// the disk-backed artifact store. The returned module is shared (the same
+// pointer for the same content) and must be treated as immutable;
+// instantiation state lives in cpu.Machine, not here. Failed builds are
+// cached too (in memory only): identical inputs fail identically.
 func Build(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
 	k := Key(src, cfg)
 	buildMu.Lock()
@@ -70,13 +117,25 @@ func Build(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, erro
 	if !ok {
 		e = &buildEntry{}
 		buildCache[k] = e
-		cacheMiss++
 	} else {
-		cacheHits++
+		stats.MemHits++
 	}
 	buildMu.Unlock()
 	e.once.Do(func() {
+		if s := artifactStore(); s != nil {
+			if cm, ok := s.load(k, cfg); ok {
+				countDiskHit()
+				e.cm = cm
+				return
+			}
+		}
+		countMiss()
 		e.cm, e.err = buildUncached(src, cfg)
+		if e.err == nil {
+			if s := artifactStore(); s != nil {
+				s.save(k, e.cm)
+			}
+		}
 	})
 	return e.cm, e.err
 }
@@ -94,11 +153,4 @@ func buildUncached(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModu
 	}
 	cm.PtrSize = abi.PtrSize
 	return cm, nil
-}
-
-// CacheStats reports build-cache hits and misses since process start.
-func CacheStats() (hits, misses uint64) {
-	buildMu.Lock()
-	defer buildMu.Unlock()
-	return cacheHits, cacheMiss
 }

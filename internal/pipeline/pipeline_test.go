@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/codegen"
 	"repro/internal/pipeline"
@@ -210,6 +211,33 @@ func TestRunJobsCancellation(t *testing.T) {
 	// most one racing send goes out; the queue never fully dispatches.
 	if n := started.Load(); n == 16 {
 		t.Error("cancellation should stop dispatching queued jobs")
+	}
+}
+
+// TestCancelPreemptsInFlight checks the ROADMAP item this PR closes: the
+// simulator inner loop polls the scheduler context, so cancelling mid-run
+// preempts a hung workload instead of waiting for it to finish (it never
+// would).
+func TestCancelPreemptsInFlight(t *testing.T) {
+	const hung = `int main() { while (1) { } return 0; }`
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := pipeline.RunContext(ctx, hung, codegen.Native(), nil, nil)
+		done <- err
+	}()
+	// Give the workload time to compile and enter its infinite loop, then
+	// cancel while it is executing.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("preempted run returned %v, want context.Canceled in the chain", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation did not preempt the in-flight run")
 	}
 }
 

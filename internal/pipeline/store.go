@@ -1,0 +1,365 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/codegen"
+)
+
+// Disk-backed artifact store: the persistence layer under the in-memory
+// build cache. Artifacts are codegen.EncodeModule outputs (versioned header,
+// sha256 integrity trailer) stored one file per pipeline.Key in a two-level
+// fan-out directory. Everything is best-effort: a missing, truncated,
+// bit-flipped, or version-stale artifact reads as a cache miss and triggers
+// a recompile that overwrites it; an unwritable store directory disables the
+// layer entirely. The store never surfaces an error to Build callers.
+//
+// Cross-process safety comes from atomic publication: writers produce the
+// artifact in a temp file in the destination directory and rename it into
+// place, so readers only ever observe complete files, and concurrent writers
+// of one key (identical content by construction) just race renames.
+
+// Environment knobs.
+const (
+	// cacheDirEnv overrides the store location. The values "off", "0", and
+	// "none" disable the disk layer.
+	cacheDirEnv = "REPRO_CACHE_DIR"
+	// cacheMaxEnv overrides the store size budget in bytes.
+	cacheMaxEnv = "REPRO_CACHE_MAX_BYTES"
+	// summaryEnv names a file that ReportTotals appends to, so CI can
+	// surface per-process summaries that `go test` elides for passing
+	// packages.
+	summaryEnv = "REPRO_CACHE_SUMMARY"
+
+	// defaultMaxBytes bounds the store at 512 MB; the LRU sweep evicts
+	// oldest-read artifacts once the total exceeds it.
+	defaultMaxBytes = 512 << 20
+
+	artifactExt = ".rpa"
+)
+
+// ReportTotals prints the process's cache totals, labeled (the suites'
+// TestMain hooks call it on exit). `go test` only shows a passing package's
+// output under -v, so when $REPRO_CACHE_SUMMARY names a file the line is
+// also appended there — CI jobs cat it at the end to get the per-job
+// memory/disk hit-miss summary regardless of verbosity.
+func ReportTotals(label string) {
+	line := fmt.Sprintf("[pipeline] %s cache totals: %v\n", label, Stats())
+	fmt.Print(line)
+	if p := os.Getenv(summaryEnv); p != "" {
+		if f, err := os.OpenFile(p, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+			f.WriteString(line)
+			f.Close()
+		}
+	}
+}
+
+// diskStore is one artifact store rooted at dir.
+type diskStore struct {
+	dir      string
+	maxBytes int64
+
+	// evictMu serializes eviction sweeps within the process and guards
+	// curBytes/sized; sweeps from concurrent processes are safe (removal of
+	// a file another process just read is benign — the reader has its
+	// bytes) just wasteful.
+	evictMu sync.Mutex
+	// curBytes approximates the store's total size so publishes far under
+	// budget skip the full directory sweep; it is seeded by one scan and
+	// re-trued by every real sweep. Overwrites of an existing key
+	// over-count, which only makes a sweep happen sooner, never later.
+	curBytes int64
+	sized    bool
+}
+
+var (
+	storeMu  sync.Mutex
+	theStore *diskStore
+	storeSet bool
+)
+
+// artifactStore returns the process-wide disk store, opening it on first
+// use. A nil return means the disk layer is disabled (explicitly, or because
+// no writable location exists).
+func artifactStore() *diskStore {
+	storeMu.Lock()
+	defer storeMu.Unlock()
+	if !storeSet {
+		theStore = openDefaultStore()
+		storeSet = true
+	}
+	return theStore
+}
+
+// setStore replaces the process store (tests). Passing nil disables the
+// layer; the previous store is returned for restoration.
+func setStore(s *diskStore) *diskStore {
+	storeMu.Lock()
+	defer storeMu.Unlock()
+	prev := theStore
+	theStore = s
+	storeSet = true
+	return prev
+}
+
+// openDefaultStore resolves the store location from the environment. The
+// actual store root is a compiler-fingerprint subdirectory of the
+// configured location: pipeline.Key covers the inputs (source × config)
+// but not the compiler, so without the fingerprint a store populated
+// before a minic/codegen change would keep serving stale modules — a
+// miscompilation fix would "pass" the suites without ever running.
+func openDefaultStore() *diskStore {
+	dir := os.Getenv(cacheDirEnv)
+	switch dir {
+	case "off", "0", "none":
+		return nil
+	case "":
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return nil
+		}
+		dir = filepath.Join(base, "repro-wasm", "artifacts")
+	}
+	maxBytes := int64(defaultMaxBytes)
+	if v := os.Getenv(cacheMaxEnv); v != "" {
+		// An unparsable budget falls back to the default rather than
+		// silently disabling the layer; REPRO_CACHE_DIR=off is the one
+		// disable switch.
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			maxBytes = n
+		}
+	}
+	fp, err := compilerFingerprint()
+	if err != nil {
+		// Without a fingerprint stale-compiler artifacts are
+		// indistinguishable from fresh ones; correctness beats warmth.
+		return nil
+	}
+	s := openStore(filepath.Join(dir, fp), maxBytes)
+	if s != nil {
+		pruneFingerprints(dir, fp)
+	}
+	return s
+}
+
+// compilerFingerprint identifies the code that produced an artifact: a hash
+// of the running executable. The Go build cache rebuilds the binary
+// whenever any transitively compiled source changes, so artifacts from an
+// older compiler land under a different fingerprint and can never be
+// served to a newer one. (The cost: any rebuild cold-starts the store;
+// re-running an unchanged binary — the common warm path — still hits.)
+func compilerFingerprint() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return "c-" + hex.EncodeToString(h.Sum(nil))[:16], nil
+}
+
+// keepFingerprints bounds how many compiler generations the store retains
+// (the active one plus the most recently used others — useful when
+// switching between branches or between test binaries of different
+// packages).
+const keepFingerprints = 8
+
+// pruneFingerprints removes the oldest compiler-generation directories
+// under root, keeping the active one (touched so it reads as newest) and
+// the keepFingerprints-1 most recently used others. This is the only
+// cleanup old generations get — per-generation LRU eviction never crosses
+// fingerprint boundaries.
+func pruneFingerprints(root, active string) {
+	now := time.Now()
+	os.Chtimes(filepath.Join(root, active), now, now)
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	type gen struct {
+		name  string
+		mtime time.Time
+	}
+	var gens []gen
+	for _, ent := range ents {
+		if !ent.IsDir() || !strings.HasPrefix(ent.Name(), "c-") || ent.Name() == active {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		gens = append(gens, gen{ent.Name(), info.ModTime()})
+	}
+	if len(gens) <= keepFingerprints-1 {
+		return
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].mtime.After(gens[j].mtime) })
+	for _, g := range gens[keepFingerprints-1:] {
+		os.RemoveAll(filepath.Join(root, g.name))
+	}
+}
+
+// openStore opens (creating if needed) a store rooted at dir, returning nil
+// when the location is unusable.
+func openStore(dir string, maxBytes int64) *diskStore {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil
+	}
+	return &diskStore{dir: dir, maxBytes: maxBytes}
+}
+
+// path returns the artifact file for key, fanned out by the first key byte
+// so one directory never accumulates the whole store.
+func (s *diskStore) path(key string) string {
+	if len(key) < 2 {
+		key = "zz" + key
+	}
+	return filepath.Join(s.dir, key[:2], key+artifactExt)
+}
+
+// load reads and decodes the artifact for key, reattaching cfg. Any failure
+// — absent file, truncation, corruption, version mismatch — removes the
+// artifact (so the subsequent recompile republishes a clean one) and reports
+// a miss via ok=false. Successful reads refresh the file's LRU position.
+func (s *diskStore) load(key string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, bool) {
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	cm, err := codegen.DecodeModule(data, cfg)
+	if err != nil {
+		os.Remove(p)
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(p, now, now) // LRU touch; best-effort
+	return cm, true
+}
+
+// save encodes and atomically publishes cm under key, then sweeps the store
+// back under its size budget. Best-effort: failures leave the store without
+// the artifact, which only costs a future recompile.
+func (s *diskStore) save(key string, cm *codegen.CompiledModule) {
+	data, err := codegen.EncodeModule(cm)
+	if err != nil {
+		return
+	}
+	p := s.path(key)
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	// Atomic publication: concurrent writers of one key rename complete
+	// files over each other; readers never see a partial artifact.
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	s.evict(int64(len(data)))
+}
+
+// storedFile is one artifact during an eviction sweep.
+type storedFile struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// staleTempAge is how old an unpublished .tmp-* file must be before a sweep
+// reclaims it: long enough that a concurrent writer's in-flight temp file
+// is never deleted under it, short enough that crashed writers cannot leak
+// space across runs.
+const staleTempAge = time.Hour
+
+// evict charges justWrote bytes against the running size total and, once
+// the budget is exceeded, sweeps the store: stale temp files from
+// interrupted writers are reclaimed, then least-recently-used artifacts are
+// removed until the store fits. mtime is the LRU clock: load refreshes it
+// on every hit. The running total makes the common under-budget publish
+// O(1) — only sweeps walk the directory.
+func (s *diskStore) evict(justWrote int64) {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	if s.sized {
+		s.curBytes += justWrote
+		if s.curBytes <= s.maxBytes {
+			return
+		}
+	}
+
+	var files []storedFile
+	var total int64
+	subdirs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	for _, sub := range subdirs {
+		if !sub.IsDir() {
+			continue
+		}
+		ents, err := os.ReadDir(filepath.Join(s.dir, sub.Name()))
+		if err != nil {
+			continue
+		}
+		for _, ent := range ents {
+			p := filepath.Join(s.dir, sub.Name(), ent.Name())
+			info, err := ent.Info()
+			if err != nil {
+				continue
+			}
+			if filepath.Ext(ent.Name()) != artifactExt {
+				// Orphaned temp file from a writer that died between
+				// CreateTemp and Rename.
+				if strings.HasPrefix(ent.Name(), ".tmp-") && now.Sub(info.ModTime()) > staleTempAge {
+					os.Remove(p)
+				}
+				continue
+			}
+			files = append(files, storedFile{path: p, size: info.Size(), mtime: info.ModTime()})
+			total += info.Size()
+		}
+	}
+	if total > s.maxBytes {
+		sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+		for _, f := range files {
+			if total <= s.maxBytes {
+				break
+			}
+			if os.Remove(f.path) == nil {
+				total -= f.size
+			}
+		}
+	}
+	s.curBytes = total
+	s.sized = true
+}

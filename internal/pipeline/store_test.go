@@ -1,0 +1,346 @@
+package pipeline
+
+// Internal tests for the disk-backed artifact store: every damage shape a
+// shared cache directory can accumulate — truncation, bit flips, stale
+// format versions, concurrent writers — must read as a clean miss that
+// recompiles and republishes, never as an error or a wrong module, and the
+// recompiled module must be bit-identical in execution to an uncached build.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codegen"
+)
+
+const storeProbeSrc = `
+int main() {
+  int i; int acc;
+  acc = 0;
+  for (i = 0; i < 50; i++) { acc += i * 3; }
+  print_int(acc);
+  print_nl();
+  return 0;
+}`
+
+// withTestStore points the process at a fresh store in a temp dir and wipes
+// the in-memory cache entries for the probe keys, so every Build in the
+// test exercises the disk path. State is restored on cleanup.
+func withTestStore(t *testing.T, maxBytes int64) *diskStore {
+	t.Helper()
+	s := openStore(filepath.Join(t.TempDir(), "artifacts"), maxBytes)
+	if s == nil {
+		t.Fatal("openStore failed in temp dir")
+	}
+	prev := setStore(s)
+	t.Cleanup(func() { setStore(prev) })
+	return s
+}
+
+// dropMemEntry evicts one key from the in-memory layer so the next Build
+// goes back to disk.
+func dropMemEntry(key string) {
+	buildMu.Lock()
+	delete(buildCache, key)
+	buildMu.Unlock()
+}
+
+// execCounters runs cm in a fresh kernel and returns the retired
+// instruction and cycle counters.
+func execCounters(t *testing.T, cm *codegen.CompiledModule) (string, uint64, uint64) {
+	t.Helper()
+	res, err := Exec(cm, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Proc.Inst.FlushCycles()
+	c := res.Proc.Inst.Counters
+	return res.Stdout, c.Instructions, c.Cycles
+}
+
+// TestStoreRoundTripBitIdentical checks a disk-loaded module executes
+// bit-identically to the uncached compile it was stored from.
+func TestStoreRoundTripBitIdentical(t *testing.T) {
+	withTestStore(t, defaultMaxBytes)
+	cfg := codegen.Chrome()
+	key := Key(storeProbeSrc, cfg)
+
+	fresh, err := Build(storeProbeSrc, cfg) // miss: compiles and publishes
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropMemEntry(key)
+	before := Stats()
+	loaded, err := Build(storeProbeSrc, cfg) // disk hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Stats().Sub(before); d.DiskHits != 1 || d.Misses != 0 {
+		t.Errorf("expected exactly one disk hit, got %v", d)
+	}
+	if loaded == fresh {
+		t.Fatal("expected a distinct module instance from the disk layer")
+	}
+	o1, i1, c1 := execCounters(t, fresh)
+	o2, i2, c2 := execCounters(t, loaded)
+	if o1 != o2 || i1 != i2 || c1 != c2 {
+		t.Errorf("disk-loaded module diverged: out %q/%q insts %d/%d cycles %d/%d", o1, o2, i1, i2, c1, c2)
+	}
+}
+
+// corruptionCase mutates a stored artifact in place.
+type corruptionCase struct {
+	name   string
+	mutate func(t *testing.T, path string)
+}
+
+// TestStoreCorruptionFallsBackToRecompile checks each damage shape falls
+// back to a silent recompile: Build returns a working module and no error,
+// a miss is counted, and execution counters match the clean build exactly.
+func TestStoreCorruptionFallsBackToRecompile(t *testing.T) {
+	cfg := codegen.Firefox()
+	key := Key(storeProbeSrc, cfg)
+
+	// Reference counters from a store-less build.
+	prev := setStore(nil)
+	t.Cleanup(func() { setStore(prev) })
+	ref, err := buildUncached(storeProbeSrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut, refInsts, refCycles := execCounters(t, ref)
+
+	cases := []corruptionCase{
+		{"truncated", func(t *testing.T, p string) {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, data[:len(data)/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bit-flipped", func(t *testing.T, p string) {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x04
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"stale-version", func(t *testing.T, p string) {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[4] = byte(codegen.ArtifactVersion + 7)
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty", func(t *testing.T, p string) {
+			if err := os.WriteFile(p, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := withTestStore(t, defaultMaxBytes)
+			dropMemEntry(key)                                    // force the publish path against this store
+			if _, err := Build(storeProbeSrc, cfg); err != nil { // publish clean artifact
+				t.Fatal(err)
+			}
+			p := s.path(key)
+			if _, err := os.Stat(p); err != nil {
+				t.Fatalf("artifact not published: %v", err)
+			}
+			tc.mutate(t, p)
+			dropMemEntry(key)
+
+			before := Stats()
+			cm, err := Build(storeProbeSrc, cfg)
+			if err != nil {
+				t.Fatalf("corrupt artifact surfaced an error: %v", err)
+			}
+			d := Stats().Sub(before)
+			if d.Misses != 1 || d.DiskHits != 0 {
+				t.Errorf("damage must count as a miss: %v", d)
+			}
+			out, insts, cycles := execCounters(t, cm)
+			if out != refOut || insts != refInsts || cycles != refCycles {
+				t.Errorf("recompiled module not bit-identical to uncached build: out %q/%q insts %d/%d cycles %d/%d",
+					out, refOut, insts, refInsts, cycles, refCycles)
+			}
+			// The recompile republishes a clean artifact over the damage.
+			dropMemEntry(key)
+			before = Stats()
+			if _, err := Build(storeProbeSrc, cfg); err != nil {
+				t.Fatal(err)
+			}
+			if d := Stats().Sub(before); d.DiskHits != 1 {
+				t.Errorf("recompile did not republish a readable artifact: %v", d)
+			}
+		})
+	}
+}
+
+// TestStoreConcurrentWriters hammers one key from many goroutines that all
+// bypass the in-memory layer (fresh entries each round), so disk loads,
+// saves, and renames race. Every returned module must work; nothing may
+// error.
+func TestStoreConcurrentWriters(t *testing.T) {
+	withTestStore(t, defaultMaxBytes)
+	cfg := codegen.Native()
+	key := Key(storeProbeSrc, cfg)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				cm, err := Build(storeProbeSrc, cfg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, ok := cm.FindExport("_start"); !ok {
+					errs <- fmt.Errorf("module missing _start")
+					return
+				}
+				dropMemEntry(key)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The survivor on disk must be a valid artifact.
+	dropMemEntry(key)
+	before := Stats()
+	if _, err := Build(storeProbeSrc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if d := Stats().Sub(before); d.DiskHits != 1 {
+		t.Errorf("surviving artifact unreadable after writer race: %v", d)
+	}
+}
+
+// TestFingerprintPruning checks old compiler-generation directories are
+// pruned oldest-first while the active generation and the most recent
+// others survive.
+func TestFingerprintPruning(t *testing.T) {
+	root := t.TempDir()
+	const active = "c-deadbeefdeadbeef"
+	if err := os.MkdirAll(filepath.Join(root, active), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < keepFingerprints+3; i++ {
+		name := fmt.Sprintf("c-%016x", i)
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(p, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		// Monotonic mtimes: generation i is older than i+1.
+		mt := time.Now().Add(-time.Duration(keepFingerprints+4-i) * time.Hour)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pruneFingerprints(root, active)
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	if len(names) != keepFingerprints {
+		t.Fatalf("kept %d generations %v, want %d", len(names), names, keepFingerprints)
+	}
+	keep := map[string]bool{active: true}
+	for i := keepFingerprints + 3 - (keepFingerprints - 1); i < keepFingerprints+3; i++ {
+		keep[fmt.Sprintf("c-%016x", i)] = true
+	}
+	for _, n := range names {
+		if !keep[n] {
+			t.Errorf("generation %s should have been pruned (survivors %v)", n, names)
+		}
+	}
+}
+
+// TestCompilerFingerprintStable checks the fingerprint is deterministic
+// within one process (it keys the store root).
+func TestCompilerFingerprintStable(t *testing.T) {
+	a, err := compilerFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := compilerFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || len(a) != len("c-")+16 {
+		t.Errorf("fingerprint unstable or malformed: %q vs %q", a, b)
+	}
+}
+
+// TestStoreEvictionBoundsSize checks the LRU sweep keeps the store under
+// its byte budget and prefers evicting the least-recently-used artifacts.
+func TestStoreEvictionBoundsSize(t *testing.T) {
+	// A tiny budget: every artifact for this source is ~10-60 KB, so a
+	// 64 KB budget forces eviction after a couple of publishes.
+	s := withTestStore(t, 64<<10)
+	srcs := make([]string, 6)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("int main() { print_int(%d); print_nl(); return 0; }", i*1000)
+	}
+	for _, src := range srcs {
+		if _, err := Build(src, codegen.Native()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	var count int
+	err := filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && filepath.Ext(path) == artifactExt {
+			total += info.Size()
+			count++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total > 64<<10 {
+		t.Errorf("store holds %d bytes, budget 64 KiB", total)
+	}
+	if count == 0 {
+		t.Error("eviction removed everything; most-recent artifacts should survive")
+	}
+	// The most recently written artifact must still be loadable.
+	last := Key(srcs[len(srcs)-1], codegen.Native())
+	dropMemEntry(last)
+	before := Stats()
+	if _, err := Build(srcs[len(srcs)-1], codegen.Native()); err != nil {
+		t.Fatal(err)
+	}
+	if d := Stats().Sub(before); d.DiskHits != 1 {
+		t.Errorf("most recent artifact was evicted: %v", d)
+	}
+}

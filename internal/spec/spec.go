@@ -88,6 +88,11 @@ type Harness struct {
 	// (GOMAXPROCS).
 	Workers int
 
+	// Logf, when set, receives per-suite reporting (the build-cache traffic
+	// a RunSuite generated: memory hits, disk hits, compiles). Wire it to
+	// t.Logf / b.Logf in tests and benchmarks.
+	Logf func(format string, args ...any)
+
 	mu      sync.Mutex
 	results map[string]*Result
 }
@@ -126,6 +131,13 @@ func (h *Harness) build(key, src string, cfg *codegen.EngineConfig) (*codegen.Co
 // address as builds, so configs that differ in any field — not just the
 // name — never share a measurement.
 func (h *Harness) Run(w *workloads.Workload, cfg *codegen.EngineConfig) (*Result, error) {
+	return h.RunContext(context.Background(), w, cfg)
+}
+
+// RunContext is Run under a caller context: the whole process chain
+// (runspec, specinvoke, the benchmark) polls ctx while simulating, so
+// cancellation preempts an in-flight measurement, not just queued ones.
+func (h *Harness) RunContext(ctx context.Context, w *workloads.Workload, cfg *codegen.EngineConfig) (*Result, error) {
 	key := w.Name + "/" + pipeline.Key(w.Source, cfg)
 	h.mu.Lock()
 	if r, ok := h.results[key]; ok {
@@ -149,6 +161,7 @@ func (h *Harness) Run(w *workloads.Workload, cfg *codegen.EngineConfig) (*Result
 
 	// Filesystem image: command file plus workload inputs.
 	k := kernel.New(nil)
+	k.Ctx = ctx
 	if err := k.FS.MkdirAll("/spec"); err != nil {
 		return nil, err
 	}
@@ -232,6 +245,7 @@ func (h *Harness) RunSuite(ws []*workloads.Workload, cfgs []*codegen.EngineConfi
 // workload/engine pair is reported in the returned error, not just the
 // first.
 func (h *Harness) RunSuiteContext(ctx context.Context, ws []*workloads.Workload, cfgs []*codegen.EngineConfig) ([][]*Result, error) {
+	before := pipeline.Stats()
 	out := make([][]*Result, len(ws))
 	jobs := make([]pipeline.Job, 0, len(ws)*len(cfgs))
 	for wi := range ws {
@@ -242,7 +256,7 @@ func (h *Harness) RunSuiteContext(ctx context.Context, ws []*workloads.Workload,
 				if err := ctx.Err(); err != nil {
 					return nil // the scheduler reports the cancellation
 				}
-				r, err := h.Run(ws[wi], cfgs[ci])
+				r, err := h.RunContext(ctx, ws[wi], cfgs[ci])
 				if err != nil {
 					return err
 				}
@@ -251,7 +265,12 @@ func (h *Harness) RunSuiteContext(ctx context.Context, ws []*workloads.Workload,
 			})
 		}
 	}
-	if err := pipeline.RunJobs(ctx, h.Workers, jobs); err != nil {
+	err := pipeline.RunJobs(ctx, h.Workers, jobs)
+	if h.Logf != nil {
+		h.Logf("spec suite (%d workloads × %d engines) cache: %v",
+			len(ws), len(cfgs), pipeline.Stats().Sub(before))
+	}
+	if err != nil {
 		return nil, err
 	}
 	// cmp validation: all engines must produce identical output.

@@ -2,13 +2,23 @@ package spec_test
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
 	"repro/internal/codegen"
+	"repro/internal/pipeline"
 	"repro/internal/spec"
 	"repro/internal/workloads"
 )
+
+// TestMain prints the build-cache summary after the suite; a warm artifact
+// store reports zero misses here.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	pipeline.ReportTotals("spec")
+	os.Exit(code)
+}
 
 // TestRunSuiteAggregatesFailures is the regression test for the old
 // first-error-only channel select: when several workloads fail, every
@@ -80,6 +90,7 @@ func TestHarnessSingleBenchmark(t *testing.T) {
 // geomean slowdown > 1 for both browsers on a compute-bound subset.
 func TestWasmSlowerThanNativeOnSPEC(t *testing.T) {
 	h := spec.NewHarness()
+	h.Logf = t.Logf // per-suite cache reporting
 	names := map[string]bool{"444.namd": true, "453.povray": true, "473.astar": true}
 	if testing.Short() {
 		names = map[string]bool{"473.astar": true}

@@ -7,6 +7,8 @@
 package toolchain
 
 import (
+	"context"
+
 	"repro/internal/codegen"
 	"repro/internal/minic"
 	"repro/internal/pipeline"
@@ -36,6 +38,12 @@ type RunResult = pipeline.RunResult
 // contents, spawns it with argv, and waits for completion.
 func Run(src string, cfg *codegen.EngineConfig, argv []string, files map[string][]byte) (*RunResult, error) {
 	return pipeline.Run(src, cfg, argv, files)
+}
+
+// RunContext is Run under a caller context: cancellation preempts the
+// simulated processes mid-run (see pipeline.ExecContext).
+func RunContext(ctx context.Context, src string, cfg *codegen.EngineConfig, argv []string, files map[string][]byte) (*RunResult, error) {
+	return pipeline.RunContext(ctx, src, cfg, argv, files)
 }
 
 // RunCompiled executes an already-built binary in a fresh kernel.

@@ -1,70 +1,93 @@
 package workloads_test
 
 import (
+	"context"
+	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/codegen"
-	"repro/internal/toolchain"
+	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
 
-// runWorkload executes w on cfg, returning stdout.
-func runWorkload(t *testing.T, w *workloads.Workload, cfg *codegen.EngineConfig) string {
+// TestMain prints the build-cache summary after the suite: with a warm
+// artifact store a full run reports zero misses (every module came from
+// memory or disk), which is the cheap way to spot a cold CI cache.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	pipeline.ReportTotals("workloads")
+	os.Exit(code)
+}
+
+// runSuiteSharded runs every workload × engine combination through the
+// pipeline scheduler (pipeline.RunJobs) instead of t.Parallel subtests: the
+// suite is one sharded job list with bounded parallelism, every failure is
+// reported (not just the first), and differential validation compares the
+// collected outputs row by row. Returns the per-suite cache traffic.
+func runSuiteSharded(t *testing.T, suite []*workloads.Workload, cfgs []*codegen.EngineConfig) pipeline.CacheStats {
 	t.Helper()
-	res, err := toolchain.Run(w.Source, cfg, append([]string{w.Name}, w.Args...), w.Files)
-	if err != nil {
-		t.Fatalf("%s on %s: %v", w.Name, cfg.Name, err)
+	before := pipeline.Stats()
+	outs := make([][]string, len(suite))
+	jobs := make([]pipeline.Job, 0, len(suite)*len(cfgs))
+	for wi := range suite {
+		outs[wi] = make([]string, len(cfgs))
+		for ci := range cfgs {
+			wi, ci := wi, ci
+			jobs = append(jobs, func(ctx context.Context) error {
+				w, cfg := suite[wi], cfgs[ci]
+				res, err := pipeline.RunContext(ctx, w.Source, cfg, append([]string{w.Name}, w.Args...), w.Files)
+				if err != nil {
+					return fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
+				}
+				if res.ExitCode != 0 {
+					return fmt.Errorf("%s on %s: exit %d, stdout %q", w.Name, cfg.Name, res.ExitCode, res.Stdout)
+				}
+				if res.Stdout == "" {
+					return fmt.Errorf("%s on %s: no output", w.Name, cfg.Name)
+				}
+				outs[wi][ci] = res.Stdout
+				return nil
+			})
+		}
 	}
-	if res.ExitCode != 0 {
-		t.Fatalf("%s on %s: exit %d, stdout %q", w.Name, cfg.Name, res.ExitCode, res.Stdout)
+	if err := pipeline.RunJobs(context.Background(), 0, jobs); err != nil {
+		t.Fatal(err)
 	}
-	if res.Stdout == "" {
-		t.Fatalf("%s on %s: no output", w.Name, cfg.Name)
+	// cmp validation: every engine must produce the reference output.
+	for wi, row := range outs {
+		for ci := 1; ci < len(row); ci++ {
+			if row[ci] != row[0] {
+				t.Errorf("%s: output mismatch: %s %q vs %s %q",
+					suite[wi].Name, cfgs[0].Name, row[0], cfgs[ci].Name, row[ci])
+			}
+		}
 	}
-	return res.Stdout
+	d := pipeline.Stats().Sub(before)
+	t.Logf("suite (%d workloads × %d engines) cache: %v", len(suite), len(cfgs), d)
+	return d
 }
 
 // TestPolybenchDifferential runs every Polybench kernel on native and
-// Chrome and requires identical output (the cmp validation). Short mode
-// runs the scaled-down subset.
+// Chrome through the pipeline scheduler and requires identical output (the
+// cmp validation). Short mode runs the scaled-down subset.
 func TestPolybenchDifferential(t *testing.T) {
 	suite := workloads.Polybench()
 	if testing.Short() {
 		suite = workloads.ShortPolybench()
 	}
-	for _, w := range suite {
-		w := w
-		t.Run(w.Name, func(t *testing.T) {
-			t.Parallel()
-			nat := runWorkload(t, w, codegen.Native())
-			chr := runWorkload(t, w, codegen.Chrome())
-			if nat != chr {
-				t.Errorf("output mismatch: native %q vs chrome %q", nat, chr)
-			}
-		})
-	}
+	runSuiteSharded(t, suite, []*codegen.EngineConfig{codegen.Native(), codegen.Chrome()})
 }
 
 // TestSPECDifferential runs every SPEC-shaped workload on native, Chrome,
-// and Firefox and requires identical output. Short mode runs the
-// scaled-down subset.
+// and Firefox through the pipeline scheduler and requires identical output.
+// Short mode runs the scaled-down subset.
 func TestSPECDifferential(t *testing.T) {
 	suite := workloads.SPECCPU()
 	if testing.Short() {
 		suite = workloads.ShortSPEC()
 	}
-	for _, w := range suite {
-		w := w
-		t.Run(w.Name, func(t *testing.T) {
-			t.Parallel()
-			nat := runWorkload(t, w, codegen.Native())
-			chr := runWorkload(t, w, codegen.Chrome())
-			ff := runWorkload(t, w, codegen.Firefox())
-			if nat != chr || nat != ff {
-				t.Errorf("output mismatch: native %q chrome %q firefox %q", nat, chr, ff)
-			}
-		})
-	}
+	runSuiteSharded(t, suite, []*codegen.EngineConfig{codegen.Native(), codegen.Chrome(), codegen.Firefox()})
 }
 
 func TestWorkloadCounts(t *testing.T) {

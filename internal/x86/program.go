@@ -55,6 +55,12 @@ func (p *Program) Bind(label int) {
 	p.labels[label] = len(p.Code)
 }
 
+// BindAt associates label id with an explicit instruction index. Decoders
+// rebuilding a laid-out program use it to restore function entry labels.
+func (p *Program) BindAt(label, idx int) {
+	p.labels[label] = idx
+}
+
 // LabelTarget resolves a label to an instruction index.
 func (p *Program) LabelTarget(label int) (int, bool) {
 	idx, ok := p.labels[label]
