@@ -508,3 +508,32 @@ func BenchmarkCompile_Native(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCompileAllocs pins the cold-compile path's allocation behaviour
+// and wall-clock: a full module compile (no build cache involved) per
+// iteration, with the pooled compile arenas keeping allocs/op flat. ns/op is
+// the cold-compile latency; allocs/op and B/op track the arena discipline —
+// CI records all three into BENCH_ci.json so compile-path regressions show
+// up in the trend report alongside sim-inst/s.
+func BenchmarkCompileAllocs(b *testing.B) {
+	for _, cfg := range []*codegen.EngineConfig{codegen.Native(), codegen.Chrome()} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			w := workloads.SPECCPU()[0]
+			m, err := toolchain.BuildWasm(w.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm the scratch pool so the benchmark measures steady state.
+			if _, err := codegen.Compile(m, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := codegen.Compile(m, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

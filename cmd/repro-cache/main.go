@@ -1,0 +1,130 @@
+// Command repro-cache inspects and garbage-collects the disk-backed
+// artifact store (internal/pipeline) that every build path shares. The
+// store honours the usual environment: REPRO_CACHE_DIR locates it (or
+// disables it with "off"), REPRO_CACHE_MAX_BYTES sets the budget; the tool
+// sees the same compiler-fingerprint subdirectory the running binary's
+// builds would use.
+//
+// Usage:
+//
+//	repro-cache totals           # store location, entry count, size, budget
+//	repro-cache list             # entries oldest-first: size, age, key
+//	repro-cache gc [-max bytes]  # explicit eviction pass down to the budget
+//	                             # (or -max) and stale temp-file reclamation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "totals"
+	}
+	switch cmd {
+	case "totals":
+		runTotals()
+	case "list":
+		runList()
+	case "gc":
+		runGC(flag.Args()[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: repro-cache [totals|list|gc [-max bytes]]\n")
+	flag.PrintDefaults()
+}
+
+func mustStore() string {
+	dir, ok := pipeline.StoreDir()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "repro-cache: artifact store disabled (REPRO_CACHE_DIR=off or no writable cache dir)")
+		os.Exit(1)
+	}
+	return dir
+}
+
+func runTotals() {
+	dir := mustStore()
+	arts, err := pipeline.ListArtifacts()
+	if err != nil {
+		fatal(err)
+	}
+	var total int64
+	for _, a := range arts {
+		total += a.Size
+	}
+	fmt.Printf("store:     %s\n", dir)
+	fmt.Printf("artifacts: %d\n", len(arts))
+	fmt.Printf("size:      %s\n", human(total))
+	fmt.Printf("budget:    %s\n", human(pipeline.StoreBudget()))
+}
+
+func runList() {
+	mustStore()
+	arts, err := pipeline.ListArtifacts()
+	if err != nil {
+		fatal(err)
+	}
+	now := time.Now()
+	fmt.Printf("%-10s %-12s %s\n", "size", "last-used", "key")
+	for _, a := range arts {
+		fmt.Printf("%-10s %-12s %s\n", human(a.Size), age(now.Sub(a.ModTime)), a.Key)
+	}
+	fmt.Printf("(%d artifacts, oldest first — the order an eviction sweep removes them)\n", len(arts))
+}
+
+func runGC(args []string) {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	max := fs.Int64("max", 0, "target size in bytes (default: the configured budget)")
+	fs.Parse(args)
+	mustStore()
+	removed, freed, err := pipeline.GCStore(*max)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("removed %d artifacts, freed %s\n", removed, human(freed))
+}
+
+// human renders a byte count with a binary-prefix unit.
+func human(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// age renders a duration coarsely (the LRU clock only needs a rough scale).
+func age(d time.Duration) string {
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	case d < time.Hour:
+		return fmt.Sprintf("%dm", int(d.Minutes()))
+	case d < 24*time.Hour:
+		return fmt.Sprintf("%dh", int(d.Hours()))
+	}
+	return fmt.Sprintf("%dd", int(d.Hours()/24))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro-cache:", err)
+	os.Exit(1)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/ir"
@@ -12,16 +13,31 @@ import (
 	"repro/internal/x86"
 )
 
-// moduleCtx is shared emission state across a module's functions.
+// moduleCtx is shared emission state across a module's functions. During
+// the parallel emission phase it is effectively read-only: the rodata pool
+// is fully populated by a serial prescan (prescanConsts) before emitters
+// run and then sealed, so floatConst/maskConst only ever hit the intern
+// index — a sealed-pool miss (a prescan/emission mismatch bug) panics via
+// roMiss rather than interning at a scheduling-dependent address.
 type moduleCtx struct {
-	prog      *x86.Program
 	cfg       *EngineConfig
-	nextLabel int
 	funcLabel []int // module-function index -> entry label
 	tableSize int
+	roMu      sync.Mutex
+	roSealed  bool // set after prescan: emission-phase misses are a bug
 	rodata    []byte
 	roIndex   map[uint64]uint32
 	hostNames []string
+}
+
+// roMiss is the sealed-pool miss path: the serial prescan is supposed to
+// have interned every constant emission will ask for. A miss after sealing
+// means prescanConsts and the emitter disagreed about some instruction; in
+// parallel emission the constant's address would then depend on goroutine
+// scheduling, silently breaking the byte-identical-artifact invariant the
+// store keys rely on. Fail loudly and deterministically instead.
+func (c *moduleCtx) roMiss(what string) {
+	panic(fmt.Sprintf("codegen: rodata %s requested during emission but not interned by prescan", what))
 }
 
 // floatConst interns an 8-byte float constant in rodata, returning its
@@ -33,8 +49,13 @@ func (c *moduleCtx) floatConst(v float64, w uint8) uint32 {
 	} else {
 		bits = math.Float64bits(v)
 	}
+	c.roMu.Lock()
+	defer c.roMu.Unlock()
 	if a, ok := c.roIndex[bits]; ok {
 		return a
+	}
+	if c.roSealed {
+		c.roMiss(fmt.Sprintf("float constant %v/w%d", v, w))
 	}
 	addr := uint32(x86.RodataBase) + uint32(len(c.rodata))
 	var buf [8]byte
@@ -62,8 +83,13 @@ func (c *moduleCtx) maskConst(signFlip bool, w uint8) uint32 {
 		v = 0x7fffffff
 	}
 	key := v ^ 0xdeadbeef<<32 // avoid colliding with float keys
+	c.roMu.Lock()
+	defer c.roMu.Unlock()
 	if a, ok := c.roIndex[key]; ok {
 		return a
+	}
+	if c.roSealed {
+		c.roMiss(fmt.Sprintf("mask constant signFlip=%v/w%d", signFlip, w))
 	}
 	addr := uint32(x86.RodataBase) + uint32(len(c.rodata))
 	var buf [8]byte
@@ -71,6 +97,35 @@ func (c *moduleCtx) maskConst(signFlip bool, w uint8) uint32 {
 	c.rodata = append(c.rodata, buf[:]...)
 	c.roIndex[key] = addr
 	return addr
+}
+
+// prescanConsts interns, in IR order, every rodata constant function f's
+// emission will request: FConst materializations (skipping dead
+// destinations and +0.0, exactly as the emitter does) and the FAbs/FNeg
+// masks. Compile runs it serially in function order between the parallel
+// frontend and emission phases, so constant addresses — and therefore the
+// emitted instruction bytes — are independent of emission concurrency and
+// identical to what a fully serial compile interns.
+func prescanConsts(ctx *moduleCtx, f *ir.Func, ra *regalloc.Result) {
+	for _, b := range f.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			switch in.Op {
+			case ir.FConst:
+				if ra.Loc[in.Dst].Kind == regalloc.LocNone {
+					continue
+				}
+				if in.F64 == 0 && !math.Signbit(in.F64) {
+					continue
+				}
+				ctx.floatConst(in.F64, in.W)
+			case ir.FAbs:
+				ctx.maskConst(false, in.W)
+			case ir.FNeg:
+				ctx.maskConst(true, in.W)
+			}
+		}
+	}
 }
 
 func (c *moduleCtx) hostName(i int) string {
@@ -129,10 +184,17 @@ type CompiledModule struct {
 
 // Compile lowers, optimizes, allocates, and emits every function of m under
 // the engine configuration cfg.
+//
+// Functions compile independently: the frontend (lowering, optimization,
+// liveness, register allocation) and the emission of per-function machine
+// fragments both fan out over the shared scheduler (see Workers), with two
+// short serial passes between them — the rodata prescan that fixes constant
+// addresses in function order, and the fragment merge that concatenates the
+// fragments and resolves branch/call targets to global instruction indices.
+// The output is byte-identical at any worker count.
 func Compile(m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
 	start := time.Now()
 	ctx := &moduleCtx{
-		prog:    x86.NewProgram(),
 		cfg:     cfg,
 		roIndex: map[uint64]uint32{},
 	}
@@ -143,13 +205,11 @@ func Compile(m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
 			ctx.hostNames = append(ctx.hostNames, im.Module+"."+im.Name)
 		}
 	}
-	ctx.prog.HostNames = ctx.hostNames
 
 	// Function labels.
 	ctx.funcLabel = make([]int, len(m.Funcs))
 	for i := range m.Funcs {
-		ctx.nextLabel++
-		ctx.funcLabel[i] = ctx.nextLabel
+		ctx.funcLabel[i] = i + 1
 	}
 
 	// Table.
@@ -177,61 +237,104 @@ func Compile(m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
 		}
 	}
 
-	// Compile each function.
+	// Phase 1 (parallel): frontend — lower, optimize, liveness, allocate.
+	// Each function carries its pooled scratch through to emission.
 	raCfg := &regalloc.Config{GP: cfg.GP, FP: cfg.FP, CalleeSavedGP: cfg.calleeSavedSet()}
-	for fi := range m.Funcs {
-		f, err := LowerFunc(m, fi, cfg)
-		if err != nil {
-			return nil, err
+	n := len(m.Funcs)
+	frags := make([]*compileScratch, n)
+	releaseAll := func() {
+		for _, sc := range frags {
+			if sc != nil {
+				sc.release()
+			}
 		}
-		Optimize(f)
-		if cfg.Allocator == AllocGraphColor {
-			OptimizeNative(f)
-		}
-		lv := ir.ComputeLiveness(f)
-		var ra *regalloc.Result
-		if cfg.Allocator == AllocGraphColor {
-			ra = regalloc.GraphColor(f, lv, raCfg)
-		} else {
-			ra = regalloc.LinearScan(f, lv, raCfg)
-		}
-		em := &emitter{ctx: ctx, cfg: cfg, f: f, ra: ra}
-		startIns := len(ctx.prog.Code)
-		if err := em.emitFunc(); err != nil {
-			return nil, err
-		}
-		irLen := 0
-		for _, b := range f.Blocks {
-			irLen += len(b.Ins)
-		}
-		cm.Stats = append(cm.Stats, FuncStats{
-			Name:      f.Name,
-			Insts:     len(ctx.prog.Code) - startIns,
-			Spills:    ra.Spills,
-			IRLen:     irLen,
-			NumBlocks: len(f.Blocks),
-		})
-		cm.TotalSpills += ra.Spills
 	}
-
-	if err := ctx.prog.ResolveTargets(); err != nil {
+	err := runPerFunc(n, func(fi int) error {
+		sc := getScratch()
+		frags[fi] = sc
+		f, err := lowerFuncInto(m, fi, cfg, sc)
+		if err != nil {
+			return err
+		}
+		optimize(sc, f)
+		if cfg.Allocator == AllocGraphColor {
+			optimizeNative(sc, f)
+		}
+		lv := sc.live.ComputeLiveness(f)
+		if cfg.Allocator == AllocGraphColor {
+			sc.res = sc.ra.GraphColor(f, lv, raCfg)
+		} else {
+			sc.res = sc.ra.LinearScan(f, lv, raCfg)
+		}
+		sc.f = f
+		return nil
+	})
+	if err != nil {
+		releaseAll()
 		return nil, err
 	}
-	ctx.prog.Layout()
+
+	// Phase 2 (serial): intern rodata constants in function order, so
+	// constant addresses match a serial compile exactly. The pool is then
+	// sealed: an emission-phase miss (a prescan/emitter mismatch bug)
+	// panics instead of interning at a scheduling-dependent address.
+	for _, sc := range frags {
+		prescanConsts(ctx, sc.f, sc.res)
+	}
+	ctx.roSealed = true
+
+	// Phase 3 (parallel): emit every function into its scratch fragment.
+	err = runPerFunc(n, func(fi int) error {
+		sc := frags[fi]
+		em := &emitter{ctx: ctx, cfg: cfg, f: sc.f, ra: sc.res, sc: sc, prog: sc.frag}
+		if err := em.emitFunc(); err != nil {
+			return err
+		}
+		irLen := 0
+		for _, b := range sc.f.Blocks {
+			irLen += len(b.Ins)
+		}
+		sc.stats = FuncStats{
+			Name:      sc.f.Name,
+			Insts:     len(sc.frag.Code),
+			Spills:    sc.res.Spills,
+			IRLen:     irLen,
+			NumBlocks: len(sc.f.Blocks),
+		}
+		return nil
+	})
+	if err != nil {
+		releaseAll()
+		return nil, err
+	}
+
+	// Phase 4 (serial): merge fragments in function order.
+	prog, err := mergeFragments(ctx, frags)
+	if err != nil {
+		releaseAll()
+		return nil, err
+	}
+	for _, sc := range frags {
+		cm.Stats = append(cm.Stats, sc.stats)
+		cm.TotalSpills += sc.stats.Spills
+	}
+	releaseAll()
+
+	prog.Layout()
 	for i := range cm.Stats {
-		f := ctx.prog.Funcs[i]
+		f := prog.Funcs[i]
 		var bytes uint32
 		for j := f.Start; j < f.End; j++ {
-			bytes += uint32(ctx.prog.Code[j].Size)
+			bytes += uint32(prog.Code[j].Size)
 		}
 		cm.Stats[i].CodeBytes = bytes
 	}
 
 	// Entries.
-	cm.Prog = ctx.prog
+	cm.Prog = prog
 	cm.Entries = make([]int, len(m.Funcs))
 	for i, l := range ctx.funcLabel {
-		idx, ok := ctx.prog.LabelTarget(l)
+		idx, ok := prog.LabelTarget(l)
 		if !ok {
 			return nil, fmt.Errorf("codegen: function %d entry label unresolved", i)
 		}
@@ -271,6 +374,79 @@ func Compile(m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
 
 	cm.CompileTime = time.Since(start)
 	return cm, nil
+}
+
+// mergeFragments concatenates the per-function fragment programs in
+// function order into one module program, resolving fragment-local
+// (negative) labels and function entry labels to global instruction
+// indices. This replaces the serial path's incremental Bind/ResolveTargets:
+// the merged program binds exactly the function entry labels, matching what
+// DecodeModule reconstructs.
+func mergeFragments(ctx *moduleCtx, frags []*compileScratch) (*x86.Program, error) {
+	total := 0
+	for _, sc := range frags {
+		total += len(sc.frag.Code)
+	}
+	prog := x86.NewProgram()
+	prog.HostNames = ctx.hostNames
+	prog.Code = make([]x86.Inst, 0, total)
+
+	fragStart := make([]int, len(frags))
+	entryIdx := make([]int, len(frags))
+	off := 0
+	for i, sc := range frags {
+		fragStart[i] = off
+		li, ok := sc.frag.LabelTarget(ctx.funcLabel[i])
+		if !ok {
+			return nil, fmt.Errorf("codegen: function %d entry label unbound in fragment", i)
+		}
+		entryIdx[i] = off + li
+		off += len(sc.frag.Code)
+	}
+
+	for i, sc := range frags {
+		resolve := func(t int) (int, error) {
+			if t < 0 {
+				idx, ok := sc.frag.LabelTarget(t)
+				if !ok {
+					return 0, fmt.Errorf("x86: undefined label L%d in function %d", t, i)
+				}
+				return idx + fragStart[i], nil
+			}
+			// Positive labels are function entries (funcLabel[fi] = fi+1).
+			fi := t - 1
+			if fi < 0 || fi >= len(frags) {
+				return 0, fmt.Errorf("x86: undefined entry label L%d in function %d", t, i)
+			}
+			return entryIdx[fi], nil
+		}
+		base := len(prog.Code)
+		prog.Code = append(prog.Code, sc.frag.Code...)
+		var err error
+		for j := base; j < len(prog.Code); j++ {
+			in := &prog.Code[j]
+			switch in.Op {
+			case x86.OJmp, x86.OJcc, x86.OCall:
+				if in.Target, err = resolve(in.Target); err != nil {
+					return nil, err
+				}
+			case x86.OJmpTable:
+				for k, t := range in.TableTargets {
+					if in.TableTargets[k], err = resolve(t); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		for _, fn := range sc.frag.Funcs {
+			fn.Start += fragStart[i]
+			fn.End += fragStart[i]
+			prog.Funcs = append(prog.Funcs, fn)
+			prog.FuncByLabel[fn.Label] = len(prog.Funcs) - 1
+		}
+		prog.BindAt(ctx.funcLabel[i], entryIdx[i])
+	}
+	return prog, nil
 }
 
 func constI32(in wasm.Instr) (int32, error) {

@@ -8,24 +8,29 @@ import (
 	"repro/internal/x86"
 )
 
-// emitter lowers one allocated IR function to x86.
+// emitter lowers one allocated IR function to x86, into a per-function
+// fragment program. Fragment-local control flow uses negative label ids
+// allocated by newLabel; the only positive label an emitter touches is the
+// function's pre-assigned entry label. Compile merges the fragments in
+// function order and resolves both kinds to global instruction indices, so
+// the merged stream is byte-identical no matter how many workers emitted.
 type emitter struct {
-	ctx *moduleCtx
-	cfg *EngineConfig
-	f   *ir.Func
-	ra  *regalloc.Result
+	ctx  *moduleCtx
+	cfg  *EngineConfig
+	f    *ir.Func
+	ra   *regalloc.Result
+	sc   *compileScratch
+	prog *x86.Program // the fragment being emitted into
 
 	blockLabel []int
 	epilogueL  int
 	trapL      int
+	localL     int // fragment-local label allocator; ids count down from -1
 	uses       []int
 	skip       map[*ir.Ins]bool // instructions folded into others
 	rmwAt      map[*ir.Ins]*rmwInfo
 	fusedMem   map[*ir.Ins]x86.Mem
-	loopHead   map[int]bool
-
-	// nStackParams is the number of parameters passed on the stack.
-	gpArgsOfParams map[ir.VReg]int // param vreg -> arg position
+	loopHead   []bool
 }
 
 type rmwInfo struct {
@@ -36,12 +41,14 @@ type rmwInfo struct {
 	w    uint8
 }
 
+// newLabel allocates a fragment-local label (negative, so it can never
+// collide with a function entry label).
 func (e *emitter) newLabel() int {
-	e.ctx.nextLabel++
-	return e.ctx.nextLabel
+	e.localL--
+	return e.localL
 }
 
-func (e *emitter) emit(in x86.Inst) { e.ctx.prog.Append(in) }
+func (e *emitter) emit(in x86.Inst) { e.prog.Append(in) }
 
 func (e *emitter) s0() x86.Reg { return e.cfg.Scratch[0] }
 func (e *emitter) s1() x86.Reg { return e.cfg.Scratch[1] }
@@ -135,10 +142,13 @@ func (e *emitter) dstFP(v ir.VReg) (x86.Reg, func()) {
 	return e.sf(), func() {}
 }
 
-// emitFunc emits the whole function and records FuncInfo.
+// emitFunc emits the whole function into the fragment and records FuncInfo.
 func (e *emitter) emitFunc() error {
 	f := e.f
-	start := len(e.ctx.prog.Code)
+	sc := e.sc
+	e.prog.Reset()
+	e.localL = 0
+	start := len(e.prog.Code)
 
 	// Nop padding (Chrome pads function entries).
 	if e.cfg.NopPad > 0 {
@@ -148,19 +158,26 @@ func (e *emitter) emitFunc() error {
 	}
 
 	entry := e.ctx.funcLabel[f.Index]
-	e.ctx.prog.Bind(entry)
+	e.prog.Bind(entry)
 
-	e.blockLabel = make([]int, len(f.Blocks))
+	sc.blockLabel = growSlice(sc.blockLabel, len(f.Blocks))
+	e.blockLabel = sc.blockLabel
 	for i := range f.Blocks {
 		e.blockLabel[i] = e.newLabel()
 	}
 	e.epilogueL = e.newLabel()
 	e.trapL = e.newLabel()
-	e.uses = useCounts(f)
-	e.skip = map[*ir.Ins]bool{}
-	e.rmwAt = map[*ir.Ins]*rmwInfo{}
-	e.fusedMem = map[*ir.Ins]x86.Mem{}
-	e.loopHead = map[int]bool{}
+	sc.useBuf = useCountsInto(sc.useBuf, f)
+	e.uses = sc.useBuf
+	clear(sc.skip)
+	clear(sc.rmwAt)
+	clear(sc.fusedMem)
+	sc.rmwInfos = sc.rmwInfos[:0]
+	e.skip = sc.skip
+	e.rmwAt = sc.rmwAt
+	e.fusedMem = sc.fusedMem
+	sc.loopHead = growSlice(sc.loopHead, len(f.Blocks))
+	e.loopHead = sc.loopHead
 	for _, b := range f.Blocks {
 		for _, s := range b.Succs() {
 			if s <= b.ID {
@@ -172,7 +189,7 @@ func (e *emitter) emitFunc() error {
 	e.prologue()
 
 	for bi, b := range f.Blocks {
-		e.ctx.prog.Bind(e.blockLabel[b.ID])
+		e.prog.Bind(e.blockLabel[b.ID])
 		if e.cfg.LoopEntryJump && e.loopHead[b.ID] {
 			// Chrome's loop shape: the back edge lands on a reload point
 			// that the entry path jumps over (Figure 7c lines 5-10).
@@ -182,7 +199,7 @@ func (e *emitter) emitFunc() error {
 			// already bound here; emit the entry jump inside instead.
 			e.emit(x86.Inst{Op: x86.OJmp, Target: after, Comment: "loop entry"})
 			e.emit(x86.Inst{Op: x86.ONop, Comment: "reload point"})
-			e.ctx.prog.Bind(after)
+			e.prog.Bind(after)
 			_ = after
 		}
 		if err := e.emitBlock(b, bi); err != nil {
@@ -191,24 +208,23 @@ func (e *emitter) emitFunc() error {
 	}
 
 	// Epilogue.
-	e.ctx.prog.Bind(e.epilogueL)
+	e.prog.Bind(e.epilogueL)
 	e.restoreCalleeSaved()
 	e.emit(x86.Inst{Op: x86.OMov, W: 8, Dst: x86.R(x86.RSP), Src: x86.R(x86.RBP)})
 	e.emit(x86.Inst{Op: x86.OPop, W: 8, Dst: x86.R(x86.RBP)})
 	e.emit(x86.Inst{Op: x86.ORet})
 
 	// Shared trap (out-of-line, like the engines' OOL trap stubs).
-	e.ctx.prog.Bind(e.trapL)
+	e.prog.Bind(e.trapL)
 	e.emit(x86.Inst{Op: x86.OUd2})
 
-	e.ctx.prog.Funcs = append(e.ctx.prog.Funcs, x86.FuncInfo{
+	e.prog.Funcs = append(e.prog.Funcs, x86.FuncInfo{
 		Name:  f.Name,
 		Label: entry,
 		Start: start,
-		End:   len(e.ctx.prog.Code),
+		End:   len(e.prog.Code),
 		SigID: f.SigID,
 	})
-	e.ctx.prog.FuncByLabel[entry] = len(e.ctx.prog.Funcs) - 1
 	return nil
 }
 
@@ -245,7 +261,7 @@ func (e *emitter) prologue() {
 
 	// Move parameters from argument registers / caller stack into their
 	// assigned locations.
-	var moves []pmove
+	moves := e.sc.pmoves[:0]
 	gi, fi, si := 0, 0, 0
 	for _, p := range e.f.Params {
 		cls := e.f.Class[p]
@@ -280,6 +296,7 @@ func (e *emitter) prologue() {
 		}
 		moves = append(moves, pmove{dst: dst, src: src, fp: fp})
 	}
+	e.sc.pmoves = moves[:0]
 	e.parallelMoves(moves)
 }
 
@@ -318,7 +335,8 @@ func (e *emitter) parallelMoves(moves []pmove) {
 		}
 		e.emit(x86.Inst{Op: op, W: 8, Dst: m.dst, Src: m.src})
 	}
-	pending := append([]pmove(nil), moves...)
+	pending := append(e.sc.pending[:0], moves...)
+	e.sc.pending = pending[:0]
 	for len(pending) > 0 {
 		progressed := false
 		for i := 0; i < len(pending); i++ {
@@ -418,14 +436,15 @@ func (e *emitter) tryRMW(b *ir.Block, i int) {
 	if op.A != ld.Dst || e.uses[ld.Dst] != 1 || e.uses[op.Dst] != 1 {
 		return
 	}
-	info := &rmwInfo{op: op.Op, w: op.W}
+	info := rmwInfo{op: op.Op, w: op.W}
 	if op.B != ir.NoV {
 		info.binB = op.B
 		info.hasB = true
 	} else {
 		info.imm = op.Imm
 	}
+	e.sc.rmwInfos = append(e.sc.rmwInfos, info)
 	e.skip[ld] = true
 	e.skip[op] = true
-	e.rmwAt[st] = info
+	e.rmwAt[st] = &e.sc.rmwInfos[len(e.sc.rmwInfos)-1]
 }

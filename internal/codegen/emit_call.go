@@ -82,7 +82,9 @@ func (e *emitter) setupArgs(args []ir.VReg) {
 	if nStack > 0 {
 		e.emit(x86.Inst{Op: x86.OSub, W: 8, Dst: x86.R(x86.RSP), Src: x86.Imm(int64(nStack) * 8)})
 	}
-	var moves []pmove
+	// The pmoves staging buffer is idle outside prologue(), which never
+	// emits calls; parallelMoves copies into the separate pending buffer.
+	moves := e.sc.pmoves[:0]
 	gi, fi, si := 0, 0, 0
 	for _, a := range args {
 		fp := e.f.Class[a] == ir.FP
@@ -138,6 +140,7 @@ func (e *emitter) setupArgs(args []ir.VReg) {
 		}
 		moves = append(moves, pmove{dst: x86.R(dstReg), src: src, fp: fp})
 	}
+	e.sc.pmoves = moves[:0]
 	e.parallelMoves(moves)
 }
 

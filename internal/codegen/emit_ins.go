@@ -665,7 +665,7 @@ func (e *emitter) emitSelect(in *ir.Ins) {
 		e.emit(x86.Inst{Op: x86.OJcc, CC: x86.CCE, Target: skip})
 		tv := e.readFP(in.B, in.W)
 		e.emit(x86.Inst{Op: x86.OMovsd, W: 8, Dst: e.spillMem(e.divSlot(0)), Src: x86.R(tv)})
-		e.ctx.prog.Bind(skip)
+		e.prog.Bind(skip)
 		d, flush := e.dstFP(in.Dst)
 		e.emit(x86.Inst{Op: x86.OMovsd, W: 8, Dst: x86.R(d), Src: e.spillMem(e.divSlot(0))})
 		flush()

@@ -1,6 +1,9 @@
 package codegen
 
 import (
+	"cmp"
+	"slices"
+
 	"repro/internal/ir"
 	"repro/internal/regalloc"
 	"repro/internal/x86"
@@ -43,54 +46,71 @@ func (e *emitter) addrReg(addr ir.VReg) x86.Reg {
 // foldable add/shift chain, it records the fused operand for every access
 // and marks the chain instructions skipped. The decision is all-or-nothing
 // per address vreg so a skipped def never leaves a consumer behind.
+//
+// Accesses are grouped by sorting an (addr, idx) pair list from the scratch
+// rather than a per-block map; groups are independent (each access belongs
+// to exactly one address vreg and probeFuse reads no fusion state), so the
+// processing order does not affect the result.
 func (e *emitter) fuseAddressesInBlock(b *ir.Block) {
 	if !e.cfg.FuseAddressing {
 		return
 	}
-	// Collect accesses grouped by address vreg.
-	accesses := map[ir.VReg][]int{}
+	acc := e.sc.accesses[:0]
 	for i := range b.Ins {
 		in := &b.Ins[i]
 		if in.Op == ir.Load || in.Op == ir.Store {
-			accesses[in.A] = append(accesses[in.A], i)
+			acc = append(acc, accessRef{addr: in.A, idx: i})
 		}
 	}
-	for addr, idxs := range accesses {
-		if e.uses[addr] != len(idxs) {
+	e.sc.accesses = acc[:0]
+	slices.SortFunc(acc, func(a, c accessRef) int {
+		if a.addr != c.addr {
+			return cmp.Compare(a.addr, c.addr)
+		}
+		return cmp.Compare(a.idx, c.idx)
+	})
+	for lo := 0; lo < len(acc); {
+		hi := lo
+		for hi < len(acc) && acc[hi].addr == acc[lo].addr {
+			hi++
+		}
+		addr, group := acc[lo].addr, acc[lo:hi]
+		lo = hi
+		if e.uses[addr] != len(group) {
 			continue // address escapes to non-memory uses or other blocks
 		}
-		type plan struct {
-			at  int
-			mem x86.Mem
-		}
-		var plans []plan
-		var skips []int
+		plans := e.sc.fusePlans[:0]
+		skip1, skip2 := -1, -1
 		ok := true
-		for _, idx := range idxs {
-			m, sk, good := e.probeFuse(b, idx, addr, b.Ins[idx].Off)
+		for _, g := range group {
+			m, s1, s2, good := e.probeFuse(b, g.idx, addr, b.Ins[g.idx].Off)
 			if !good {
 				ok = false
 				break
 			}
-			plans = append(plans, plan{at: idx, mem: m})
-			skips = sk // identical def chain for every access
+			plans = append(plans, fusePlan{at: g.idx, mem: m})
+			skip1, skip2 = s1, s2 // identical def chain for every access
 		}
+		e.sc.fusePlans = plans[:0]
 		if !ok {
 			continue
 		}
 		for _, p := range plans {
 			e.fusedMem[&b.Ins[p.at]] = p.mem
 		}
-		for _, s := range skips {
-			e.skip[&b.Ins[s]] = true
+		if skip1 >= 0 {
+			e.skip[&b.Ins[skip1]] = true
+		}
+		if skip2 >= 0 {
+			e.skip[&b.Ins[skip2]] = true
 		}
 	}
 }
 
 // probeFuse computes the fused memory operand for one access without
 // mutating state. It returns the operand, the def-chain indices that become
-// dead, and whether fusion is legal.
-func (e *emitter) probeFuse(b *ir.Block, idx int, addr ir.VReg, off int32) (x86.Mem, []int, bool) {
+// dead (-1 = none), and whether fusion is legal.
+func (e *emitter) probeFuse(b *ir.Block, idx int, addr ir.VReg, off int32) (x86.Mem, int, int, bool) {
 	defIdx := -1
 	for i := idx - 1; i >= 0 && i >= idx-24; i-- {
 		if b.Ins[i].Dst == addr {
@@ -99,20 +119,20 @@ func (e *emitter) probeFuse(b *ir.Block, idx int, addr ir.VReg, off int32) (x86.
 		}
 	}
 	if defIdx < 0 {
-		return x86.Mem{}, nil, false
+		return x86.Mem{}, -1, -1, false
 	}
 	def := &b.Ins[defIdx]
 	if def.Op != ir.Add {
-		return x86.Mem{}, nil, false
+		return x86.Mem{}, -1, -1, false
 	}
 	if def.B == ir.NoV {
 		// addr = x + imm: fold into displacement.
 		x := def.A
 		no := int64(off) + def.Imm
 		if no < 0 || no > 1<<30 || !e.inReg(x) || e.redefined(b, defIdx, idx, x) {
-			return x86.Mem{}, nil, false
+			return x86.Mem{}, -1, -1, false
 		}
-		return x86.Mem{Base: e.loc(x).Reg, Index: x86.NoReg, Disp: int32(no)}, []int{defIdx}, true
+		return x86.Mem{Base: e.loc(x).Reg, Index: x86.NoReg, Disp: int32(no)}, defIdx, -1, true
 	}
 	x, y := def.A, def.B
 	for swap := 0; swap < 2; swap++ {
@@ -132,15 +152,15 @@ func (e *emitter) probeFuse(b *ir.Block, idx int, addr ir.VReg, off int32) (x86.
 				e.uses[y] == 1 && e.inReg(yd.A) && e.inReg(x) &&
 				!e.redefined(b, yDef, idx, yd.A) && !e.redefined(b, defIdx, idx, x) {
 				return x86.Mem{Base: e.loc(x).Reg, Index: e.loc(yd.A).Reg, Scale: 1 << uint(yd.Imm), Disp: off},
-					[]int{defIdx, yDef}, true
+					defIdx, yDef, true
 			}
 		}
 	}
 	x, y = def.A, def.B
 	if e.inReg(x) && e.inReg(y) && !e.redefined(b, defIdx, idx, x) && !e.redefined(b, defIdx, idx, y) {
-		return x86.Mem{Base: e.loc(x).Reg, Index: e.loc(y).Reg, Scale: 1, Disp: off}, []int{defIdx}, true
+		return x86.Mem{Base: e.loc(x).Reg, Index: e.loc(y).Reg, Scale: 1, Disp: off}, defIdx, -1, true
 	}
-	return x86.Mem{}, nil, false
+	return x86.Mem{}, -1, -1, false
 }
 
 func (e *emitter) inReg(v ir.VReg) bool { return e.loc(v).Kind == regalloc.LocReg }

@@ -44,14 +44,16 @@ type lctrl struct {
 	body    *ir.Block    // rotated loop body (back-edge target)
 }
 
-// lowerer converts one wasm function body to IR.
+// lowerer converts one wasm function body to IR. Its slices (value stack,
+// control frames, locals, vreg types) and the IR func it builds into are
+// owned by a compileScratch, so repeated lowerings reuse their capacity.
 type lowerer struct {
 	m      *wasm.Module
 	cfg    *EngineConfig
+	sc     *compileScratch
 	f      *ir.Func
 	cur    *ir.Block
 	stack  []ir.VReg
-	vtype  map[ir.VReg]wasm.ValType
 	locals []ir.VReg
 	ctrls  []lctrl
 	nimp   int
@@ -59,30 +61,43 @@ type lowerer struct {
 	dead   bool // current position unreachable
 }
 
-// LowerFunc lowers module function fi (module space, not import space).
+// LowerFunc lowers module function fi (module space, not import space)
+// through a fresh scratch. The result is not pooled; one-shot callers and
+// tests use this, Compile goes through lowerFuncInto.
 func LowerFunc(m *wasm.Module, fi int, cfg *EngineConfig) (*ir.Func, error) {
+	return lowerFuncInto(m, fi, cfg, getScratch())
+}
+
+// lowerFuncInto lowers module function fi into sc's arena.
+func lowerFuncInto(m *wasm.Module, fi int, cfg *EngineConfig, sc *compileScratch) (*ir.Func, error) {
 	wf := &m.Funcs[fi]
 	ft := m.Types[wf.TypeIdx]
-	lo := &lowerer{
-		m:     m,
-		cfg:   cfg,
-		f:     &ir.Func{Name: m.FuncName(uint32(m.NumImportedFuncs() + fi)), SigID: int(wf.TypeIdx), Index: fi},
-		vtype: map[ir.VReg]wasm.ValType{},
-		nimp:  m.NumImportedFuncs(),
-		body:  wf.Body,
+	lo := &sc.lo
+	*lo = lowerer{
+		m:      m,
+		cfg:    cfg,
+		sc:     sc,
+		f:      sc.arena.Reset(),
+		stack:  lo.stack[:0],
+		locals: lo.locals[:0],
+		ctrls:  lo.ctrls[:0],
+		nimp:   m.NumImportedFuncs(),
+		body:   wf.Body,
 	}
-	lo.cur = lo.f.NewBlock()
+	sc.vtype = sc.vtype[:0]
+	lo.f.Name = m.FuncName(uint32(m.NumImportedFuncs() + fi))
+	lo.f.SigID = int(wf.TypeIdx)
+	lo.f.Index = fi
+	lo.cur = lo.newBlock()
 
 	// Locals: params then declared locals.
 	for _, p := range ft.Params {
-		v := lo.f.NewV(classOf(p))
-		lo.vtype[v] = p
+		v := lo.newV(p)
 		lo.locals = append(lo.locals, v)
 		lo.f.Params = append(lo.f.Params, v)
 	}
 	for _, l := range wf.Locals {
-		v := lo.f.NewV(classOf(l))
-		lo.vtype[v] = l
+		v := lo.newV(l)
 		lo.locals = append(lo.locals, v)
 		// Wasm locals start zeroed.
 		if classOf(l) == ir.GP {
@@ -114,9 +129,15 @@ func LowerFunc(m *wasm.Module, fi int, cfg *EngineConfig) (*ir.Func, error) {
 
 func (lo *lowerer) newV(t wasm.ValType) ir.VReg {
 	v := lo.f.NewV(classOf(t))
-	lo.vtype[v] = t
+	lo.sc.vtype = append(lo.sc.vtype, t)
 	return v
 }
+
+// vtypeOf returns the wasm type of vreg v.
+func (lo *lowerer) vtypeOf(v ir.VReg) wasm.ValType { return lo.sc.vtype[v] }
+
+// newBlock appends a recycled block to the function under construction.
+func (lo *lowerer) newBlock() *ir.Block { return lo.sc.arena.NewBlock() }
 
 func (lo *lowerer) emit(in ir.Ins) {
 	// Normalize absent operands.
@@ -206,8 +227,17 @@ func (lo *lowerer) run() error {
 // emitJump appends a jump to b.
 func (lo *lowerer) emitJump(b *ir.Block) {
 	t := ins(ir.Jump)
-	t.Targets = []int{b.ID}
+	tg := lo.sc.arena.Targets(1)
+	tg[0] = b.ID
+	t.Targets = tg
 	lo.emit(t)
+}
+
+// targets2 carves a two-entry branch-target list from the arena.
+func (lo *lowerer) targets2(a, b int) []int {
+	tg := lo.sc.arena.Targets(2)
+	tg[0], tg[1] = a, b
+	return tg
 }
 
 // frameAt returns the control frame for wasm branch depth d.
@@ -271,7 +301,7 @@ func (lo *lowerer) emitRotatedBackedge(fr *lctrl) error {
 		exitID = exitFr.follow.ID
 	}
 	t := lo.fuseCond(cond)
-	t.Targets = []int{exitID, fr.body.ID}
+	t.Targets = lo.targets2(exitID, fr.body.ID)
 	lo.emit(t)
 	return nil
 }
@@ -311,7 +341,7 @@ func (lo *lowerer) fuseCond(cond ir.VReg) ir.Ins {
 func (lo *lowerer) protectLocal(v ir.VReg) {
 	for i, s := range lo.stack {
 		if s == v {
-			t := lo.vtype[v]
+			t := lo.vtypeOf(v)
 			nv := lo.newV(t)
 			mv := ins(ir.Mov)
 			mv.Dst = nv

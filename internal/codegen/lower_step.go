@@ -15,7 +15,7 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 		lo.terminate(ins(ir.Trap))
 
 	case wasm.OpBlock:
-		fr := lctrl{op: wasm.OpBlock, follow: lo.f.NewBlock(), stackH: len(lo.stack), resultV: ir.NoV}
+		fr := lctrl{op: wasm.OpBlock, follow: lo.newBlock(), stackH: len(lo.stack), resultV: ir.NoV}
 		if in.Block.HasResult {
 			fr.resType = in.Block.Result
 			fr.resultV = lo.newV(in.Block.Result)
@@ -23,7 +23,7 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 		lo.ctrls = append(lo.ctrls, fr)
 
 	case wasm.OpLoop:
-		fr := lctrl{op: wasm.OpLoop, follow: lo.f.NewBlock(), stackH: len(lo.stack), resultV: ir.NoV}
+		fr := lctrl{op: wasm.OpLoop, follow: lo.newBlock(), stackH: len(lo.stack), resultV: ir.NoV}
 		if in.Block.HasResult {
 			fr.resType = in.Block.Result
 			fr.resultV = lo.newV(in.Block.Result)
@@ -35,7 +35,7 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 				fr.rotated = true
 				fr.rotTest = seq
 				fr.rotExit = depth
-				fr.body = lo.f.NewBlock()
+				fr.body = lo.newBlock()
 				lo.ctrls = append(lo.ctrls, fr)
 				frp := &lo.ctrls[len(lo.ctrls)-1]
 				// Lower the guard: test once before entering the loop.
@@ -52,27 +52,27 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 					return lo.lowerPlainLoop(pc, in)
 				}
 				t := lo.fuseCond(cond)
-				t.Targets = []int{exitFr.follow.ID, frp.body.ID}
+				t.Targets = lo.targets2(exitFr.follow.ID, frp.body.ID)
 				lo.emit(t)
 				lo.startBlock(frp.body)
 				return next, nil
 			}
 		}
-		fr.header = lo.f.NewBlock()
+		fr.header = lo.newBlock()
 		lo.ctrls = append(lo.ctrls, fr)
 		lo.emitJump(fr.header)
 		lo.startBlock(fr.header)
 
 	case wasm.OpIf:
 		cond := lo.pop()
-		fr := lctrl{op: wasm.OpIf, follow: lo.f.NewBlock(), elseB: lo.f.NewBlock(), stackH: len(lo.stack), resultV: ir.NoV}
+		fr := lctrl{op: wasm.OpIf, follow: lo.newBlock(), elseB: lo.newBlock(), stackH: len(lo.stack), resultV: ir.NoV}
 		if in.Block.HasResult {
 			fr.resType = in.Block.Result
 			fr.resultV = lo.newV(in.Block.Result)
 		}
-		thenB := lo.f.NewBlock()
+		thenB := lo.newBlock()
 		t := lo.fuseCond(cond)
-		t.Targets = []int{thenB.ID, fr.elseB.ID}
+		t.Targets = lo.targets2(thenB.ID, fr.elseB.ID)
 		lo.emit(t)
 		lo.ctrls = append(lo.ctrls, fr)
 		lo.startBlock(thenB)
@@ -135,14 +135,14 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 	case wasm.OpBrIf:
 		cond := lo.pop()
 		fr := lo.frameAt(int(in.I64))
-		cont := lo.f.NewBlock()
+		cont := lo.newBlock()
 		switch {
 		case fr.op == wasm.OpLoop && fr.rotated:
 			// Conditional back-edge into a rotated loop: branch to a
 			// trampoline that re-runs the test.
-			tramp := lo.f.NewBlock()
+			tramp := lo.newBlock()
 			t := lo.fuseCond(cond)
-			t.Targets = []int{tramp.ID, cont.ID}
+			t.Targets = lo.targets2(tramp.ID, cont.ID)
 			lo.emit(t)
 			lo.startBlock(tramp)
 			if err := lo.emitRotatedBackedge(fr); err != nil {
@@ -151,9 +151,9 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 			lo.startBlock(cont)
 		case fr.resultV != ir.NoV:
 			// Value-carrying conditional branch: trampoline does the move.
-			tramp := lo.f.NewBlock()
+			tramp := lo.newBlock()
 			t := lo.fuseCond(cond)
-			t.Targets = []int{tramp.ID, cont.ID}
+			t.Targets = lo.targets2(tramp.ID, cont.ID)
 			lo.emit(t)
 			lo.startBlock(tramp)
 			mv := ins(ir.Mov)
@@ -170,9 +170,9 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 				target = fr.header.ID
 			case fr.op == 0:
 				// br_if to the function frame: conditional return.
-				tramp := lo.f.NewBlock()
+				tramp := lo.newBlock()
 				t := lo.fuseCond(cond)
-				t.Targets = []int{tramp.ID, cont.ID}
+				t.Targets = lo.targets2(tramp.ID, cont.ID)
 				lo.emit(t)
 				lo.startBlock(tramp)
 				rt := ins(ir.Ret)
@@ -186,7 +186,7 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 				target = fr.follow.ID
 			}
 			t := lo.fuseCond(cond)
-			t.Targets = []int{target, cont.ID}
+			t.Targets = lo.targets2(target, cont.ID)
 			lo.emit(t)
 			lo.startBlock(cont)
 		}
@@ -195,12 +195,13 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 		idx := lo.pop()
 		t := ins(ir.BrTable)
 		t.A = idx
+		t.Targets = lo.sc.arena.Targets(len(in.Table))[:0]
 		for _, d := range in.Table {
 			fr := lo.frameAt(int(d))
 			var tb int
 			switch {
 			case fr.op == wasm.OpLoop && fr.rotated:
-				tramp := lo.f.NewBlock()
+				tramp := lo.newBlock()
 				save := lo.cur
 				lo.startBlock(tramp)
 				if err := lo.emitRotatedBackedge(fr); err != nil {
@@ -211,7 +212,7 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 			case fr.op == wasm.OpLoop:
 				tb = fr.header.ID
 			case fr.op == 0:
-				tramp := lo.f.NewBlock()
+				tramp := lo.newBlock()
 				save := lo.cur
 				lo.startBlock(tramp)
 				rt := ins(ir.Ret)
@@ -222,7 +223,7 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 				lo.startBlock(save)
 				tb = tramp.ID
 			case fr.resultV != ir.NoV:
-				tramp := lo.f.NewBlock()
+				tramp := lo.newBlock()
 				save := lo.cur
 				lo.startBlock(tramp)
 				mv := ins(ir.Mov)
@@ -260,7 +261,7 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 		c := lo.pop()
 		b := lo.pop()
 		a := lo.pop()
-		t := lo.vtype[a]
+		t := lo.vtypeOf(a)
 		dst := lo.newV(t)
 		s := ins(ir.Select)
 		s.Dst = dst
@@ -280,7 +281,7 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 		mv := ins(ir.Mov)
 		mv.Dst = v
 		mv.A = lo.pop()
-		mv.W = widthOf(lo.vtype[v])
+		mv.W = widthOf(lo.vtypeOf(v))
 		lo.emit(mv)
 
 	case wasm.OpLocalTee:
@@ -289,7 +290,7 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 		mv := ins(ir.Mov)
 		mv.Dst = v
 		mv.A = lo.stack[len(lo.stack)-1]
-		mv.W = widthOf(lo.vtype[v])
+		mv.W = widthOf(lo.vtypeOf(v))
 		lo.emit(mv)
 		// The stack keeps the source value; it is equivalent to keep the
 		// original vreg (it is not a local, or protectLocal copied it).
@@ -383,12 +384,12 @@ func (lo *lowerer) step(pc int, in *wasm.Instr) (int, error) {
 
 // lowerPlainLoop handles OpLoop without rotation (fallback path).
 func (lo *lowerer) lowerPlainLoop(pc int, in *wasm.Instr) (int, error) {
-	fr := lctrl{op: wasm.OpLoop, follow: lo.f.NewBlock(), stackH: len(lo.stack), resultV: ir.NoV}
+	fr := lctrl{op: wasm.OpLoop, follow: lo.newBlock(), stackH: len(lo.stack), resultV: ir.NoV}
 	if in.Block.HasResult {
 		fr.resType = in.Block.Result
 		fr.resultV = lo.newV(in.Block.Result)
 	}
-	fr.header = lo.f.NewBlock()
+	fr.header = lo.newBlock()
 	lo.ctrls = append(lo.ctrls, fr)
 	lo.emitJump(fr.header)
 	lo.startBlock(fr.header)
@@ -402,7 +403,7 @@ func (lo *lowerer) lowerCall(callee uint32) error {
 		return err
 	}
 	nargs := len(ft.Params)
-	args := make([]ir.VReg, nargs)
+	args := lo.sc.arena.VRegs(nargs)
 	for i := nargs - 1; i >= 0; i-- {
 		args[i] = lo.pop()
 	}
@@ -431,7 +432,7 @@ func (lo *lowerer) lowerCallIndirect(sig int) error {
 	ft := lo.m.Types[sig]
 	idx := lo.pop()
 	nargs := len(ft.Params)
-	args := make([]ir.VReg, nargs)
+	args := lo.sc.arena.VRegs(nargs)
 	for i := nargs - 1; i >= 0; i-- {
 		args[i] = lo.pop()
 	}
@@ -474,7 +475,7 @@ func (lo *lowerer) lowerMemAccess(in *wasm.Instr) {
 	s.B = val
 	s.Off = int32(in.Offset)
 	s.Kind = kind
-	s.W = widthOf(lo.vtype[val])
+	s.W = widthOf(lo.vtypeOf(val))
 	lo.emit(s)
 }
 

@@ -6,25 +6,41 @@ import (
 	"repro/internal/ir"
 )
 
-// Optimize runs the target-independent cleanups every engine performs:
+// optimize runs the target-independent cleanups every engine performs:
 // immediate folding into instructions, multiply-by-power-of-two strength
 // reduction, address-offset folding into load/store displacements, and dead
 // code elimination. Engine-specific improvements (addressing-mode fusion,
 // RMW fusion, rotation) happen in lowering/emission under config control.
-func Optimize(f *ir.Func) {
-	foldImmediates(f)
-	dce(f)
+// All worklists live in the scratch, so steady-state passes allocate nothing.
+func optimize(sc *compileScratch, f *ir.Func) {
+	foldImmediates(sc, f)
+	dce(sc, f)
 	threadJumps(f)
-	pruneUnreachable(f)
+	pruneUnreachable(sc, f)
 }
 
-// OptimizeNative runs the extra scalar cleanups Clang performs but the
+// optimizeNative runs the extra scalar cleanups Clang performs but the
 // browser baseline pipelines do not: block-local common-subexpression
 // elimination (the paper's Figure 7c shows Chrome re-computing identical
 // address chains that Clang CSEs away).
+func optimizeNative(sc *compileScratch, f *ir.Func) {
+	localCSE(sc, f)
+	dce(sc, f)
+}
+
+// Optimize is optimize through a pooled scratch, for one-shot callers.
+// (The passes alias nothing into f, so the scratch goes straight back.)
+func Optimize(f *ir.Func) {
+	sc := getScratch()
+	optimize(sc, f)
+	sc.release()
+}
+
+// OptimizeNative is optimizeNative through a pooled scratch.
 func OptimizeNative(f *ir.Func) {
-	localCSE(f)
-	dce(f)
+	sc := getScratch()
+	optimizeNative(sc, f)
+	sc.release()
 }
 
 // cseKey identifies a pure computation.
@@ -38,13 +54,14 @@ type cseKey struct {
 	uns  bool
 }
 
-func localCSE(f *ir.Func) {
+func localCSE(sc *compileScratch, f *ir.Func) {
 	// Global def counts and per-block use locality: only single-def temps
 	// whose every use sits in one block are candidates for elimination.
-	defCount := make([]int, f.NumV)
-	useBlock := make([]int, f.NumV) // block id of sole-using block, -2 = many
+	sc.defCount = growSlice(sc.defCount, f.NumV)
+	sc.useBlock = growSlice(sc.useBlock, f.NumV)
+	defCount, useBlock := sc.defCount, sc.useBlock
 	for i := range useBlock {
-		useBlock[i] = -1
+		useBlock[i] = -1 // -2 = used in many blocks
 	}
 	for _, b := range f.Blocks {
 		for i := range b.Ins {
@@ -61,23 +78,17 @@ func localCSE(f *ir.Func) {
 			})
 		}
 	}
-	isParam := make([]bool, f.NumV)
+	sc.isParam = growSlice(sc.isParam, f.NumV)
+	isParam := sc.isParam
 	for _, p := range f.Params {
 		isParam[p] = true
 	}
 
-	type verKey struct {
-		k      cseKey
-		va, vb int
-	}
-	type availVal struct {
-		v   ir.VReg
-		gen int // v's def version when recorded; stale when v is redefined
-	}
+	gen, avail, replaced := sc.gen, sc.avail, sc.replaced
 	for _, b := range f.Blocks {
-		gen := map[ir.VReg]int{}
-		avail := map[verKey]availVal{}
-		replaced := map[ir.VReg]ir.VReg{}
+		clear(gen)
+		clear(avail)
+		clear(replaced)
 		sub := func(v ir.VReg) ir.VReg {
 			if r, ok := replaced[v]; ok {
 				return r
@@ -105,7 +116,7 @@ func localCSE(f *ir.Func) {
 				gen[in.Dst]++
 				continue
 			}
-			k := verKey{
+			k := cseVerKey{
 				k: cseKey{op: in.Op, a: in.A, b: in.B, imm: in.Imm, f64: in.F64, w: in.W, cc: in.CC, uns: in.Unsigned},
 			}
 			if in.A != ir.NoV {
@@ -124,7 +135,7 @@ func localCSE(f *ir.Func) {
 				continue
 			}
 			gen[dst]++
-			avail[k] = availVal{v: dst, gen: gen[dst]}
+			avail[k] = cseAvail{v: dst, gen: gen[dst]}
 		}
 		k := 0
 		for i := range b.Ins {
@@ -177,10 +188,13 @@ func threadJumps(f *ir.Func) {
 }
 
 // pruneUnreachable removes blocks not reachable from the entry and renumbers
-// the remainder.
-func pruneUnreachable(f *ir.Func) {
-	reach := make([]bool, len(f.Blocks))
-	var stack []int
+// the remainder, compacting f.Blocks in place (dropped blocks stay owned by
+// the arena, keeping their instruction capacity for the next compile).
+func pruneUnreachable(sc *compileScratch, f *ir.Func) {
+	sc.reach = growSlice(sc.reach, len(f.Blocks))
+	sc.remap = growSlice(sc.remap, len(f.Blocks))
+	reach, remap := sc.reach, sc.remap
+	stack := sc.blkStack[:0]
 	reach[0] = true
 	stack = append(stack, 0)
 	for len(stack) > 0 {
@@ -193,28 +207,30 @@ func pruneUnreachable(f *ir.Func) {
 			}
 		}
 	}
-	remap := make([]int, len(f.Blocks))
-	var kept []*ir.Block
+	sc.blkStack = stack[:0]
+	k := 0
 	for i, b := range f.Blocks {
 		if reach[i] {
-			remap[i] = len(kept)
-			b.ID = len(kept)
-			kept = append(kept, b)
+			remap[i] = k
+			b.ID = k
+			f.Blocks[k] = b
+			k++
 		}
 	}
-	for _, b := range kept {
+	f.Blocks = f.Blocks[:k]
+	for _, b := range f.Blocks {
 		if t := b.Term(); t != nil {
 			for i := range t.Targets {
 				t.Targets[i] = remap[t.Targets[i]]
 			}
 		}
 	}
-	f.Blocks = kept
 }
 
-// useCounts returns the number of uses of each vreg.
-func useCounts(f *ir.Func) []int {
-	uses := make([]int, f.NumV)
+// useCountsInto fills buf (grown to f.NumV) with the number of uses of each
+// vreg.
+func useCountsInto(buf []int, f *ir.Func) []int {
+	uses := growSlice(buf, f.NumV)
 	for _, b := range f.Blocks {
 		for i := range b.Ins {
 			b.Ins[i].VisitUses(func(v ir.VReg) { uses[v]++ })
@@ -233,11 +249,13 @@ func immOK(op ir.Op) bool {
 	return false
 }
 
-func foldImmediates(f *ir.Func) {
-	uses := useCounts(f)
+func foldImmediates(sc *compileScratch, f *ir.Func) {
+	sc.useBuf = useCountsInto(sc.useBuf, f)
+	uses := sc.useBuf
+	// constDef maps vreg -> index of its Const def within the current block.
+	constDef := sc.constDef
 	for _, b := range f.Blocks {
-		// constDef maps vreg -> index of its Const def within this block.
-		constDef := map[ir.VReg]int{}
+		clear(constDef)
 		for i := range b.Ins {
 			in := &b.Ins[i]
 
@@ -259,18 +277,11 @@ func foldImmediates(f *ir.Func) {
 				}
 			}
 
-			// Fold constant addends into load/store displacements.
-			if (in.Op == ir.Load || in.Op == ir.Store) && in.A != ir.NoV {
-				// handled in emission via addrInfo; nothing here
-				_ = in
-			}
-
 			if in.Op == ir.Const {
 				constDef[in.Dst] = i
 			} else if in.Dst != ir.NoV {
 				delete(constDef, in.Dst)
 			}
-			// Calls and stores end const availability conservatively?
 			// Consts are immutable defs; no invalidation needed beyond
 			// redefinition, which SSA-ish lowering avoids.
 		}
@@ -292,9 +303,10 @@ func pure(op ir.Op) bool {
 	return false
 }
 
-func dce(f *ir.Func) {
+func dce(sc *compileScratch, f *ir.Func) {
 	for round := 0; round < 4; round++ {
-		uses := useCounts(f)
+		sc.useBuf = useCountsInto(sc.useBuf, f)
+		uses := sc.useBuf
 		changed := false
 		for _, b := range f.Blocks {
 			k := 0

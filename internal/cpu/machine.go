@@ -165,10 +165,16 @@ func NewMachine(prog *x86.Program, pages, maxPages uint32) *Machine {
 	}
 	if v := memPool.Get(); v != nil {
 		mm := v.(*machineMem)
+		// A nil buffer was dropped at release for exceeding its retention
+		// cap; allocate fresh at this machine's own size.
 		m.Linear = grow0(mm.linear, int(pages)*65536)
 		m.globals = mm.globals
 		m.tableMem = mm.tableMem
-		m.stack = mm.stack[:64*1024]
+		if mm.stack != nil {
+			m.stack = mm.stack[:64*1024]
+		} else {
+			m.stack = make([]byte, 64*1024)
+		}
 		m.L1I, m.L1D, m.L2, m.L3 = mm.l1i, mm.l1d, mm.l2, mm.l3
 		m.BP = mm.bp
 	} else {
@@ -193,10 +199,26 @@ func NewMachine(prog *x86.Program, pages, maxPages uint32) *Machine {
 	return m
 }
 
+// Retention caps for the recycle pool. One outsized workload must not pin
+// its high-water memory image for the process lifetime: a buffer whose
+// capacity exceeds its cap is dropped on release (the next machine
+// allocates fresh at its own size) instead of being pooled. The caps are
+// generous multiples of the common workload footprint — eviction is the
+// exception, reuse the rule.
+const (
+	// maxPooledLinear bounds the retained linear-memory image (64 MiB; the
+	// suites' workloads run in a few MiB, LinearMax is 1 GiB).
+	maxPooledLinear = 64 << 20
+	// maxPooledStack bounds the retained materialized stack window (1 MiB;
+	// the window starts at 64 KiB and grows only on deep recursion).
+	maxPooledStack = 1 << 20
+)
+
 // ReleaseMemory scrubs the machine's memory image and returns it to the
 // recycle pool. The machine keeps its counters (results outlive processes)
 // but loses its memory: it must not execute again. Safe to call more than
-// once.
+// once. Oversized linear/stack buffers (see maxPooledLinear) are dropped
+// rather than pooled, so the pool's retained capacity stays bounded.
 func (m *Machine) ReleaseMemory() {
 	if m.globals == nil {
 		return
@@ -212,9 +234,16 @@ func (m *Machine) ReleaseMemory() {
 		m.L3.Reset()
 	}
 	m.BP.Reset()
+	linear, stack := m.Linear, m.stack
+	if cap(linear) > maxPooledLinear {
+		linear = nil
+	}
+	if cap(stack) > maxPooledStack {
+		stack = nil
+	}
 	memPool.Put(&machineMem{
-		linear: m.Linear, globals: m.globals, tableMem: m.tableMem,
-		stack: m.stack,
+		linear: linear, globals: m.globals, tableMem: m.tableMem,
+		stack: stack,
 		l1i:   m.L1I, l1d: m.L1D, l2: m.L2, l3: m.L3,
 		bp: m.BP,
 	})

@@ -104,3 +104,81 @@ func TestPooledSpawnAllocations(t *testing.T) {
 		t.Errorf("pooled machine run allocates %.0f objects per spawn", avg)
 	}
 }
+
+// drainPool empties the recycle pool, returning the last image seen (nil if
+// the pool was empty).
+func drainPool() *machineMem {
+	var last *machineMem
+	for {
+		v := memPool.Get()
+		if v == nil {
+			return last
+		}
+		last = v.(*machineMem)
+	}
+}
+
+// releaseAndDrain releases machines built by mk until the pool yields an
+// image. Under the race detector sync.Pool deliberately drops a fraction of
+// Puts, so a single release is not guaranteed to be observable; repeated
+// attempts make the drop probability vanish. Skips if the pool never
+// retains (pathological scheduling).
+func releaseAndDrain(t *testing.T, mk func() *Machine) *machineMem {
+	t.Helper()
+	for i := 0; i < 32; i++ {
+		mk().ReleaseMemory()
+		if mm := drainPool(); mm != nil {
+			return mm
+		}
+	}
+	t.Skip("sync.Pool retained nothing after 32 releases (race-mode drops)")
+	return nil
+}
+
+// TestOversizedImagesAreNotPooled releases a machine whose linear memory and
+// stack window grew past the retention caps and checks the pool drops those
+// buffers (while keeping the rest of the image), so one large workload
+// cannot pin its high-water footprint for the process lifetime.
+func TestOversizedImagesAreNotPooled(t *testing.T) {
+	prog := buildGoldenProgram()
+	drainPool()
+
+	// Within the caps: both buffers are retained.
+	mm := releaseAndDrain(t, func() *Machine { return NewMachine(prog, 2, 4) })
+	if mm.linear == nil || mm.stack == nil {
+		t.Fatal("in-cap buffers must be pooled")
+	}
+
+	// Past the caps: linear and stack are dropped, the rest survives.
+	pages := uint32(maxPooledLinear/65536 + 1)
+	mm = releaseAndDrain(t, func() *Machine {
+		m := NewMachine(prog, pages, pages)
+		if err := m.store(uint32(x86.StackTop)-2*maxPooledStack, 8, 1); err != nil {
+			t.Fatal(err)
+		}
+		if cap(m.stack) <= maxPooledStack {
+			t.Fatalf("stack window did not grow past the cap (cap=%d)", cap(m.stack))
+		}
+		return m
+	})
+	if mm.linear != nil {
+		t.Errorf("oversized linear buffer (cap %d) was pooled", cap(mm.linear))
+	}
+	if mm.stack != nil {
+		t.Errorf("oversized stack buffer (cap %d) was pooled", cap(mm.stack))
+	}
+	if mm.globals == nil || mm.tableMem == nil || mm.l1d == nil || mm.bp == nil {
+		t.Error("fixed-size image parts must still be pooled")
+	}
+
+	// A machine built from the capped image allocates fresh in-cap buffers.
+	memPool.Put(mm)
+	r := NewMachine(prog, 1, 1)
+	if len(r.Linear) != 65536 || len(r.stack) != 64*1024 {
+		t.Fatalf("rebuilt machine has linear=%d stack=%d", len(r.Linear), len(r.stack))
+	}
+	if ret, err := r.Call(0); err != nil || ret != 7109254968427 {
+		t.Fatalf("rebuilt machine misbehaved: ret=%d err=%v", ret, err)
+	}
+	r.ReleaseMemory()
+}

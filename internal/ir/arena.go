@@ -1,0 +1,202 @@
+package ir
+
+import "math/bits"
+
+// FuncArena owns the recyclable storage of one function under construction:
+// the Func itself, its basic blocks (with their instruction slices), and
+// carve buffers for the small per-instruction slices (call argument lists,
+// branch target lists). A compile acquires an arena, lowers into it, and
+// resets it for the next function; steady state allocates nothing.
+//
+// Blocks handed out by NewBlock stay owned by the arena even when an
+// optimization pass (pruneUnreachable) drops them from f.Blocks, so their
+// instruction capacity survives the reset.
+type FuncArena struct {
+	f      Func
+	blocks []*Block // every block ever allocated, for capacity reuse
+	nused  int      // blocks handed out since the last reset
+
+	vbuf  []VReg // carve buffer for Ins.Args
+	vused int
+	tbuf  []int // carve buffer for Ins.Targets
+	tused int
+}
+
+// Reset recycles the arena and returns a cleared Func whose slices reuse the
+// previous compile's capacity.
+func (a *FuncArena) Reset() *Func {
+	for _, b := range a.blocks[:a.nused] {
+		b.Ins = b.Ins[:0]
+		b.ID = 0
+	}
+	a.nused = 0
+	a.vused = 0
+	a.tused = 0
+	f := &a.f
+	f.Name = ""
+	f.Blocks = f.Blocks[:0]
+	f.Class = f.Class[:0]
+	f.Params = f.Params[:0]
+	f.LoopDepth = f.LoopDepth[:0]
+	f.NumV = 0
+	f.RetType = GP
+	f.HasRet = false
+	f.SigID = 0
+	f.Index = 0
+	return f
+}
+
+// NewBlock appends a recycled (or fresh) empty block to the arena's Func.
+func (a *FuncArena) NewBlock() *Block {
+	var b *Block
+	if a.nused < len(a.blocks) {
+		b = a.blocks[a.nused]
+	} else {
+		b = &Block{}
+		a.blocks = append(a.blocks, b)
+	}
+	a.nused++
+	b.ID = len(a.f.Blocks)
+	a.f.Blocks = append(a.f.Blocks, b)
+	return b
+}
+
+// VRegs carves an n-element VReg slice from the arena. The slice is
+// full-capacity-clipped so appends never alias a neighbouring carve.
+func (a *FuncArena) VRegs(n int) []VReg {
+	if n == 0 {
+		return nil
+	}
+	if a.vused+n > len(a.vbuf) {
+		a.vbuf = make([]VReg, max(4*(a.vused+n), 1024))
+		a.vused = 0
+	}
+	s := a.vbuf[a.vused : a.vused+n : a.vused+n]
+	a.vused += n
+	return s
+}
+
+// Targets carves an n-element branch-target slice from the arena.
+func (a *FuncArena) Targets(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	if a.tused+n > len(a.tbuf) {
+		a.tbuf = make([]int, max(4*(a.tused+n), 1024))
+		a.tused = 0
+	}
+	s := a.tbuf[a.tused : a.tused+n : a.tused+n]
+	a.tused += n
+	return s
+}
+
+// LivenessScratch recycles the dataflow state of ComputeLiveness: the four
+// per-block bitset rows (in/out/use/def) live in one contiguous word arena.
+type LivenessScratch struct {
+	lv    Liveness
+	use   []Bitset
+	def   []Bitset
+	words []uint64
+}
+
+// rows reslices the word arena into n bitset rows of w words each, clearing
+// them, and grows the backing arrays to n block entries.
+func (s *LivenessScratch) init(n, w int) {
+	need := 4 * n * w
+	if cap(s.words) < need {
+		s.words = make([]uint64, need)
+	}
+	s.words = s.words[:need]
+	clear(s.words)
+	grow := func(bs []Bitset) []Bitset {
+		if cap(bs) < n {
+			return make([]Bitset, n)
+		}
+		return bs[:n]
+	}
+	s.lv.In = grow(s.lv.In)
+	s.lv.Out = grow(s.lv.Out)
+	s.use = grow(s.use)
+	s.def = grow(s.def)
+	for i := 0; i < n; i++ {
+		base := 4 * i * w
+		s.lv.In[i] = s.words[base : base+w]
+		s.lv.Out[i] = s.words[base+w : base+2*w]
+		s.use[i] = s.words[base+2*w : base+3*w]
+		s.def[i] = s.words[base+3*w : base+4*w]
+	}
+}
+
+// ComputeLiveness runs backward dataflow and returns live-in/out per block.
+// The returned Liveness aliases a fresh scratch; use a LivenessScratch to
+// recycle the storage across compiles.
+func ComputeLiveness(f *Func) *Liveness {
+	return new(LivenessScratch).ComputeLiveness(f)
+}
+
+// ComputeLiveness is ComputeLiveness into the scratch's recycled storage.
+// The result is valid until the next call on the same scratch.
+func (s *LivenessScratch) ComputeLiveness(f *Func) *Liveness {
+	n := len(f.Blocks)
+	w := (f.NumV + 63) / 64
+	s.init(n, w)
+	lv := &s.lv
+	for i, b := range f.Blocks {
+		for j := range b.Ins {
+			in := &b.Ins[j]
+			in.VisitUses(func(v VReg) {
+				if !s.def[i].Has(v) {
+					s.use[i].Set(v)
+				}
+			})
+			if d := in.Defs(); d != NoV {
+				s.def[i].Set(d)
+			}
+		}
+	}
+	// Iterate to fixpoint (reverse order speeds convergence). newIn is a
+	// stack buffer for small functions; heap for huge ones.
+	var newInArr [64]uint64
+	var newIn Bitset
+	if w <= len(newInArr) {
+		newIn = newInArr[:w]
+	} else {
+		newIn = make(Bitset, w)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			for _, su := range b.Succs() {
+				if lv.Out[i].OrWith(lv.In[su]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out - def)
+			copy(newIn, lv.Out[i])
+			for wi := range newIn {
+				newIn[wi] &^= s.def[i][wi]
+				newIn[wi] |= s.use[i][wi]
+			}
+			if lv.In[i].OrWith(newIn) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// Count returns the number of set bits.
+func (s Bitset) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CopyInto copies s into dst (same length) and returns dst.
+func (s Bitset) CopyInto(dst Bitset) Bitset {
+	copy(dst, s)
+	return dst
+}

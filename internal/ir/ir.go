@@ -5,6 +5,7 @@ package ir
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -435,68 +436,19 @@ func (s Bitset) ForEach(fn func(VReg)) {
 	}
 }
 
-func trailingZeros(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
-}
-
-// ComputeLiveness runs backward dataflow and returns live-in/out per block.
-func ComputeLiveness(f *Func) *Liveness {
-	n := len(f.Blocks)
-	lv := &Liveness{In: make([]Bitset, n), Out: make([]Bitset, n)}
-	use := make([]Bitset, n)
-	def := make([]Bitset, n)
-	for i, b := range f.Blocks {
-		lv.In[i] = NewBitset(f.NumV)
-		lv.Out[i] = NewBitset(f.NumV)
-		use[i] = NewBitset(f.NumV)
-		def[i] = NewBitset(f.NumV)
-		for j := range b.Ins {
-			in := &b.Ins[j]
-			in.VisitUses(func(v VReg) {
-				if !def[i].Has(v) {
-					use[i].Set(v)
-				}
-			})
-			if d := in.Defs(); d != NoV {
-				def[i].Set(d)
-			}
-		}
-	}
-	// Iterate to fixpoint (reverse order speeds convergence).
-	for changed := true; changed; {
-		changed = false
-		for i := n - 1; i >= 0; i-- {
-			b := f.Blocks[i]
-			for _, s := range b.Succs() {
-				if lv.Out[i].OrWith(lv.In[s]) {
-					changed = true
-				}
-			}
-			// in = use ∪ (out - def)
-			newIn := lv.Out[i].Copy()
-			for w := range newIn {
-				newIn[w] &^= def[i][w]
-				newIn[w] |= use[i][w]
-			}
-			if lv.In[i].OrWith(newIn) {
-				changed = true
-			}
-		}
-	}
-	return lv
-}
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
 
 // ComputeLoopDepth fills f.LoopDepth using back-edge detection: a back edge
 // is an edge to a block with a smaller or equal id (lowering emits reducible
 // CFGs with loop headers before their bodies).
 func ComputeLoopDepth(f *Func) {
 	n := len(f.Blocks)
-	f.LoopDepth = make([]int, n)
+	if cap(f.LoopDepth) < n {
+		f.LoopDepth = make([]int, n)
+	} else {
+		f.LoopDepth = f.LoopDepth[:n]
+		clear(f.LoopDepth)
+	}
 	// For each back edge (b -> h, h.ID <= b.ID), blocks in [h.ID, b.ID]
 	// form a loop body superset; increment their depth.
 	for _, b := range f.Blocks {

@@ -1,0 +1,93 @@
+package pipeline
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Store inspection and explicit GC, the API under cmd/repro-cache. All
+// functions operate on the process's active store (the same one Build
+// uses): REPRO_CACHE_DIR resolution, the compiler-fingerprint subdirectory,
+// and the size budget all apply.
+
+// ArtifactInfo describes one stored artifact.
+type ArtifactInfo struct {
+	// Key is the artifact's content address (pipeline.Key).
+	Key string
+	// Size is the encoded artifact size in bytes.
+	Size int64
+	// ModTime is the artifact's LRU clock: loads refresh it on every hit.
+	ModTime time.Time
+	// Path is the artifact file.
+	Path string
+}
+
+// StoreDir reports the active store's root directory — the compiler-
+// fingerprint subdirectory artifacts live under. ok is false when the disk
+// layer is disabled (REPRO_CACHE_DIR=off, or no writable location).
+func StoreDir() (dir string, ok bool) {
+	s := artifactStore()
+	if s == nil {
+		return "", false
+	}
+	return s.dir, true
+}
+
+// StoreBudget reports the active store's size budget in bytes, or 0 when
+// the disk layer is disabled.
+func StoreBudget() int64 {
+	s := artifactStore()
+	if s == nil {
+		return 0
+	}
+	return s.maxBytes
+}
+
+// ListArtifacts enumerates the active store's artifacts sorted
+// least-recently-used first (the order an eviction sweep removes them).
+// A disabled disk layer returns an error.
+func ListArtifacts() ([]ArtifactInfo, error) {
+	s := artifactStore()
+	if s == nil {
+		return nil, fmt.Errorf("pipeline: artifact store disabled")
+	}
+	s.evictMu.Lock()
+	files, err := s.scan(time.Now())
+	s.evictMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: scanning artifact store: %w", err)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	out := make([]ArtifactInfo, len(files))
+	for i, f := range files {
+		out[i] = ArtifactInfo{
+			Key:     strings.TrimSuffix(filepath.Base(f.path), artifactExt),
+			Size:    f.size,
+			ModTime: f.mtime,
+			Path:    f.path,
+		}
+	}
+	return out, nil
+}
+
+// GCStore runs an explicit eviction pass on the active store, removing
+// least-recently-used artifacts until the total fits under maxBytes
+// (maxBytes <= 0 selects the configured budget). Stale temp files from
+// interrupted writers are reclaimed as part of the scan. It returns how
+// many artifacts were removed and how many bytes they freed.
+func GCStore(maxBytes int64) (removed int, freed int64, err error) {
+	s := artifactStore()
+	if s == nil {
+		return 0, 0, fmt.Errorf("pipeline: artifact store disabled")
+	}
+	if maxBytes <= 0 {
+		maxBytes = s.maxBytes
+	}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	removed, freed = s.sweepTo(maxBytes)
+	return removed, freed, nil
+}

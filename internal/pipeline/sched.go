@@ -2,19 +2,18 @@ package pipeline
 
 import (
 	"context"
-	"errors"
-	"runtime"
-	"sync"
+
+	"repro/internal/sched"
 )
 
-// Job is one unit of suite work. Jobs receive the scheduler's context and
-// should return early when it is cancelled; long-running jobs that ignore it
-// still finish, but no further jobs are dispatched after cancellation.
-type Job func(ctx context.Context) error
+// Job is one unit of suite work; an alias of the shared scheduler's job type
+// (the implementation lives in internal/sched so leaf packages like codegen
+// can fan work out through the same pool without importing the pipeline).
+type Job = sched.Job
 
 // DefaultWorkers is the scheduler's default parallelism: the machine's
 // GOMAXPROCS, instead of a hardcoded width.
-func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+func DefaultWorkers() int { return sched.DefaultWorkers() }
 
 // RunJobs executes jobs on a bounded worker pool and returns every failure,
 // joined with errors.Join in job order (not completion order). workers <= 0
@@ -22,55 +21,5 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // in-flight jobs see the cancelled context, and ctx's error is included in
 // the aggregate.
 func RunJobs(ctx context.Context, workers int, jobs []Job) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers == 0 {
-		return ctx.Err()
-	}
-
-	type task struct {
-		i  int
-		fn Job
-	}
-	// One error slot per job keeps the aggregate deterministic regardless
-	// of scheduling order; errors.Join drops the nils.
-	errs := make([]error, len(jobs)+1)
-	ch := make(chan task)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range ch {
-				errs[t.i] = t.fn(ctx)
-			}
-		}()
-	}
-feed:
-	for i, fn := range jobs {
-		// The standalone check makes cancellation deterministic: once ctx
-		// is done, at most the one dispatch already racing in the send
-		// select below goes out, never the rest of the queue.
-		select {
-		case <-ctx.Done():
-			break feed
-		default:
-		}
-		select {
-		case ch <- task{i, fn}:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(ch)
-	wg.Wait()
-	errs[len(jobs)] = ctx.Err()
-	return errors.Join(errs...)
+	return sched.RunJobs(ctx, workers, jobs)
 }

@@ -301,11 +301,9 @@ type storedFile struct {
 const staleTempAge = time.Hour
 
 // evict charges justWrote bytes against the running size total and, once
-// the budget is exceeded, sweeps the store: stale temp files from
-// interrupted writers are reclaimed, then least-recently-used artifacts are
-// removed until the store fits. mtime is the LRU clock: load refreshes it
-// on every hit. The running total makes the common under-budget publish
-// O(1) — only sweeps walk the directory.
+// the budget is exceeded, sweeps the store back under it. mtime is the LRU
+// clock: load refreshes it on every hit. The running total makes the common
+// under-budget publish O(1) — only sweeps walk the directory.
 func (s *diskStore) evict(justWrote int64) {
 	s.evictMu.Lock()
 	defer s.evictMu.Unlock()
@@ -315,14 +313,19 @@ func (s *diskStore) evict(justWrote int64) {
 			return
 		}
 	}
+	s.sweepTo(s.maxBytes)
+}
 
+// scan walks the store, reclaiming stale temp files from interrupted
+// writers along the way, and returns every artifact on disk. An unreadable
+// store root is an error, so callers can tell "empty" from "unknown" and
+// leave the size accounting alone. Callers hold evictMu.
+func (s *diskStore) scan(now time.Time) ([]storedFile, error) {
 	var files []storedFile
-	var total int64
 	subdirs, err := os.ReadDir(s.dir)
 	if err != nil {
-		return
+		return nil, err
 	}
-	now := time.Now()
 	for _, sub := range subdirs {
 		if !sub.IsDir() {
 			continue
@@ -346,20 +349,39 @@ func (s *diskStore) evict(justWrote int64) {
 				continue
 			}
 			files = append(files, storedFile{path: p, size: info.Size(), mtime: info.ModTime()})
-			total += info.Size()
 		}
 	}
-	if total > s.maxBytes {
+	return files, nil
+}
+
+// sweepTo walks the store and removes least-recently-used artifacts until
+// the total fits under target bytes, re-truing the running size total.
+// Callers hold evictMu. It reports how many artifacts were removed and the
+// bytes they freed. A failed scan leaves the size accounting untouched
+// (the next sweep retries) rather than re-truing it to zero.
+func (s *diskStore) sweepTo(target int64) (removed int, freed int64) {
+	files, err := s.scan(time.Now())
+	if err != nil {
+		return 0, 0
+	}
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	if total > target {
 		sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
 		for _, f := range files {
-			if total <= s.maxBytes {
+			if total <= target {
 				break
 			}
 			if os.Remove(f.path) == nil {
 				total -= f.size
+				removed++
+				freed += f.size
 			}
 		}
 	}
 	s.curBytes = total
 	s.sized = true
+	return removed, freed
 }

@@ -344,3 +344,108 @@ func TestStoreEvictionBoundsSize(t *testing.T) {
 		t.Errorf("most recent artifact was evicted: %v", d)
 	}
 }
+
+// TestStoreInspectAndGC pins the cmd/repro-cache surface: ListArtifacts
+// reports every stored artifact LRU-first, and GCStore removes exactly the
+// oldest entries needed to reach the target.
+func TestStoreInspectAndGC(t *testing.T) {
+	withTestStore(t, 1<<30)
+
+	var keys []string
+	var sizes = map[string]int64{}
+	for i := 0; i < 4; i++ {
+		src := fmt.Sprintf("%s\n// inspect variant %d\n", storeProbeSrc, i)
+		cfg := codegen.Chrome()
+		if _, err := Build(src, cfg); err != nil {
+			t.Fatal(err)
+		}
+		k := Key(src, cfg)
+		keys = append(keys, k)
+		// Spread mtimes so LRU order is unambiguous, oldest = keys[0].
+		p := theStore.path(k)
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("artifact %d not on disk: %v", i, err)
+		}
+		sizes[k] = info.Size()
+		mt := time.Now().Add(time.Duration(i-10) * time.Hour)
+		os.Chtimes(p, mt, mt)
+	}
+
+	arts, err := ListArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != len(keys) {
+		t.Fatalf("ListArtifacts found %d artifacts, want %d", len(arts), len(keys))
+	}
+	for i, a := range arts {
+		if a.Key != keys[i] {
+			t.Errorf("entry %d: key %s, want %s (LRU-first order)", i, a.Key, keys[i])
+		}
+		if a.Size != sizes[keys[i]] {
+			t.Errorf("entry %d: size %d, want %d", i, a.Size, sizes[keys[i]])
+		}
+	}
+	if dir, ok := StoreDir(); !ok || dir != theStore.dir {
+		t.Errorf("StoreDir = %q, %v; want %q, true", dir, ok, theStore.dir)
+	}
+
+	// GC down to the two newest artifacts' total.
+	target := sizes[keys[2]] + sizes[keys[3]]
+	removed, freed, err := GCStore(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFreed := sizes[keys[0]] + sizes[keys[1]]
+	if removed != 2 || freed != wantFreed {
+		t.Fatalf("GCStore removed %d/%d bytes, want 2/%d", removed, freed, wantFreed)
+	}
+	arts, err = ListArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 2 || arts[0].Key != keys[2] || arts[1].Key != keys[3] {
+		t.Fatalf("after GC: %d artifacts left, oldest victims must go first", len(arts))
+	}
+
+	// The evicted builds are recoverable: a rebuild recompiles and
+	// republishes under the same key.
+	dropMemEntry(keys[0])
+	src0 := fmt.Sprintf("%s\n// inspect variant %d\n", storeProbeSrc, 0)
+	if _, err := Build(src0, codegen.Chrome()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(theStore.path(keys[0])); err != nil {
+		t.Errorf("evicted artifact not republished after rebuild: %v", err)
+	}
+}
+
+// TestGCReclaimsStaleTemps checks the explicit GC pass removes orphaned
+// temp files old enough to be from a dead writer, but not fresh ones.
+func TestGCReclaimsStaleTemps(t *testing.T) {
+	s := withTestStore(t, 1<<30)
+	sub := filepath.Join(s.dir, "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(sub, ".tmp-stale")
+	fresh := filepath.Join(sub, ".tmp-fresh")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	os.Chtimes(stale, old, old)
+
+	if _, _, err := GCStore(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived GC")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp file (possible in-flight writer) must survive GC")
+	}
+}

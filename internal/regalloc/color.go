@@ -1,19 +1,23 @@
 package regalloc
 
 import (
-	"sort"
-
 	"repro/internal/ir"
 	"repro/internal/x86"
 )
 
 // GraphColor allocates with an iterated Chaitin/Briggs-style graph-colouring
+// allocator through a fresh Scratch. See Scratch.GraphColor.
+func GraphColor(f *ir.Func, lv *ir.Liveness, cfg *Config) *Result {
+	return new(Scratch).GraphColor(f, lv, cfg)
+}
+
+// GraphColor allocates with an iterated Chaitin/Briggs-style graph-colouring
 // allocator with conservative move coalescing, standing in for Clang's greedy
 // allocator. It consistently produces fewer spills and fewer moves than
-// LinearScan, which is the paper's §6.1.2 point.
-func GraphColor(f *ir.Func, lv *ir.Liveness, cfg *Config) *Result {
-	res := &Result{Loc: make([]Location, f.NumV)}
-	usedCallee := map[x86.Reg]bool{}
+// LinearScan, which is the paper's §6.1.2 point. The Result is scratch-owned:
+// valid until the next allocation on s.
+func (s *Scratch) GraphColor(f *ir.Func, lv *ir.Liveness, cfg *Config) *Result {
+	res := s.resetResult(f.NumV)
 
 	for _, class := range []ir.Class{ir.GP, ir.FP} {
 		var regs []x86.Reg
@@ -22,19 +26,41 @@ func GraphColor(f *ir.Func, lv *ir.Liveness, cfg *Config) *Result {
 		} else {
 			regs = cfg.FP
 		}
-		colorClass(f, lv, cfg, class, regs, res, usedCallee)
+		s.colorClass(f, lv, cfg, class, regs, res)
 	}
-	for r := range usedCallee {
-		res.UsedCallee = append(res.UsedCallee, r)
-	}
-	sort.Slice(res.UsedCallee, func(i, j int) bool { return res.UsedCallee[i] < res.UsedCallee[j] })
+	s.collectUsedCallee(res)
 	return res
 }
 
+// igraph is the interference graph as dense bitset rows: one row of
+// ceil(n/64) words per vreg, bit b of row a set when a and b interfere.
+// Dense rows replace the former []map[ir.VReg]bool adjacency both to kill
+// the per-edge map allocations and for cache locality on high-NumV
+// functions; neighbour iteration is a word scan and degree is a popcount.
 type igraph struct {
 	n     int
-	adj   []map[ir.VReg]bool
+	w     int // words per row
+	rows  []uint64
 	alias []ir.VReg // union-find for coalescing
+}
+
+// reset sizes the graph for n vregs, clearing all edges and aliases.
+func (g *igraph) reset(n int) {
+	g.n = n
+	g.w = (n + 63) / 64
+	g.rows = grown(g.rows, n*g.w)
+	if cap(g.alias) < n {
+		g.alias = make([]ir.VReg, n)
+	}
+	g.alias = g.alias[:n]
+	for i := range g.alias {
+		g.alias[i] = ir.VReg(i)
+	}
+}
+
+// row returns v's adjacency bitset.
+func (g *igraph) row(v ir.VReg) ir.Bitset {
+	return ir.Bitset(g.rows[int(v)*g.w : (int(v)+1)*g.w])
 }
 
 func (g *igraph) find(v ir.VReg) ir.VReg {
@@ -50,39 +76,42 @@ func (g *igraph) addEdge(a, b ir.VReg) {
 	if a == b {
 		return
 	}
-	if g.adj[a] == nil {
-		g.adj[a] = map[ir.VReg]bool{}
-	}
-	if g.adj[b] == nil {
-		g.adj[b] = map[ir.VReg]bool{}
-	}
-	g.adj[a][b] = true
-	g.adj[b][a] = true
+	g.row(a).Set(b)
+	g.row(b).Set(a)
 }
 
 func (g *igraph) interferes(a, b ir.VReg) bool {
 	a, b = g.find(a), g.find(b)
-	return a == b || g.adj[a][b]
+	return a == b || g.row(a).Has(b)
 }
 
-func colorClass(f *ir.Func, lv *ir.Liveness, cfg *Config, class ir.Class,
-	regs []x86.Reg, res *Result, usedCallee map[x86.Reg]bool) {
+// degree is the popcount of the row. Rows only ever hold live
+// representatives (coalescing rewrites neighbour rows), so this equals the
+// former len(adj[v]).
+func (g *igraph) degree(v ir.VReg) int { return g.row(v).Count() }
+
+// move is a coalescable copy.
+type move struct{ dst, src ir.VReg }
+
+func (s *Scratch) colorClass(f *ir.Func, lv *ir.Liveness, cfg *Config, class ir.Class,
+	regs []x86.Reg, res *Result) {
 
 	inClass := func(v ir.VReg) bool { return f.Class[v] == class }
 
 	// Build interference graph + collect stats by walking blocks backward.
-	g := &igraph{n: f.NumV, adj: make([]map[ir.VReg]bool, f.NumV), alias: make([]ir.VReg, f.NumV)}
-	for i := range g.alias {
-		g.alias[i] = ir.VReg(i)
-	}
-	weight := make([]float64, f.NumV)
-	crossesCall := make([]bool, f.NumV)
-	present := make([]bool, f.NumV)
-	type move struct{ dst, src ir.VReg }
-	var moves []move
+	g := &s.g
+	g.reset(f.NumV)
+	s.weight = grown(s.weight, f.NumV)
+	s.crosses = grown(s.crosses, f.NumV)
+	s.present = grown(s.present, f.NumV)
+	s.moves = s.moves[:0]
+	weight, crossesCall, present := s.weight, s.crosses, s.present
+	nw := (f.NumV + 63) / 64
+	s.liveBuf = grown(s.liveBuf, nw)
+	s.nbBuf = grown(s.nbBuf, nw)
 
 	for bi, b := range f.Blocks {
-		live := lv.Out[bi].Copy()
+		live := lv.Out[bi].CopyInto(s.liveBuf)
 		w := 1.0
 		if f.LoopDepth != nil {
 			for d := 0; d < f.LoopDepth[bi]; d++ {
@@ -100,7 +129,7 @@ func colorClass(f *ir.Func, lv *ir.Liveness, cfg *Config, class ir.Class,
 				var moveSrc ir.VReg = ir.NoV
 				if in.Op == ir.Mov && in.A != ir.NoV && inClass(in.A) {
 					moveSrc = in.A
-					moves = append(moves, move{dst: d, src: in.A})
+					s.moves = append(s.moves, move{dst: d, src: in.A})
 				}
 				live.ForEach(func(v ir.VReg) {
 					if v != d && v != moveSrc && inClass(v) {
@@ -149,8 +178,7 @@ func colorClass(f *ir.Func, lv *ir.Liveness, cfg *Config, class ir.Class,
 	// Conservative (Briggs) coalescing: merge move-related pairs whose
 	// combined high-degree neighbour count stays below K.
 	K := len(regs)
-	degree := func(v ir.VReg) int { return len(g.adj[g.find(v)]) }
-	for _, mv := range moves {
+	for _, mv := range s.moves {
 		a, b := g.find(mv.dst), g.find(mv.src)
 		if a == b || g.interferes(a, b) {
 			continue
@@ -159,49 +187,52 @@ func colorClass(f *ir.Func, lv *ir.Liveness, cfg *Config, class ir.Class,
 			continue // keep call-crossing property exact
 		}
 		// Count combined neighbours of significant degree.
-		nb := map[ir.VReg]bool{}
-		for n := range g.adj[a] {
-			nb[g.find(n)] = true
-		}
-		for n := range g.adj[b] {
-			nb[g.find(n)] = true
-		}
+		nb := s.nbBuf
+		clear(nb)
+		g.row(a).ForEach(func(n ir.VReg) { nb.Set(g.find(n)) })
+		g.row(b).ForEach(func(n ir.VReg) { nb.Set(g.find(n)) })
 		high := 0
-		for n := range nb {
-			if len(g.adj[n]) >= K {
+		nb.ForEach(func(n ir.VReg) {
+			if g.degree(n) >= K {
 				high++
 			}
-		}
+		})
 		if high >= K {
 			continue
 		}
 		// Merge b into a.
 		g.alias[b] = a
-		for n := range g.adj[b] {
+		g.row(b).ForEach(func(n ir.VReg) {
 			g.addEdge(a, n)
-			delete(g.adj[n], b)
-		}
-		g.adj[b] = nil
+			g.row(n).Clear(b)
+		})
+		clear(g.row(b))
 		weight[a] += weight[b]
 		crossesCall[a] = crossesCall[a] || crossesCall[b]
 	}
 
 	// Nodes to colour: representatives only.
-	var nodes []ir.VReg
-	repSeen := map[ir.VReg]bool{}
+	s.nodes = s.nodes[:0]
+	s.repSeen = grown(s.repSeen, f.NumV)
 	for v := 0; v < f.NumV; v++ {
 		if !present[v] || !inClass(ir.VReg(v)) {
 			continue
 		}
 		r := g.find(ir.VReg(v))
-		if !repSeen[r] {
-			repSeen[r] = true
-			nodes = append(nodes, r)
+		if !s.repSeen[r] {
+			s.repSeen[r] = true
+			s.nodes = append(s.nodes, r)
 		}
 	}
 
 	// Allowed registers per node (call-crossing GP nodes restricted to
-	// callee-saved; call-crossing FP nodes must spill).
+	// callee-saved, precomputed once; call-crossing FP nodes must spill).
+	s.callee = s.callee[:0]
+	for _, r := range regs {
+		if cfg.CalleeSavedGP[r] {
+			s.callee = append(s.callee, r)
+		}
+	}
 	allowedRegs := func(v ir.VReg) []x86.Reg {
 		if !crossesCall[v] {
 			return regs
@@ -209,33 +240,29 @@ func colorClass(f *ir.Func, lv *ir.Liveness, cfg *Config, class ir.Class,
 		if class == ir.FP {
 			return nil
 		}
-		var out []x86.Reg
-		for _, r := range regs {
-			if cfg.CalleeSavedGP[r] {
-				out = append(out, r)
-			}
-		}
-		return out
+		return s.callee
 	}
 
 	// Simplify: repeatedly remove nodes with degree < len(allowed); the
 	// rest are spill candidates pushed optimistically.
-	removed := map[ir.VReg]bool{}
-	var stack []ir.VReg
-	work := append([]ir.VReg(nil), nodes...)
+	s.removed = grown(s.removed, f.NumV)
+	removed := s.removed
+	s.stack = s.stack[:0]
+	s.work = append(s.work[:0], s.nodes...)
+	work := s.work
 	for len(work) > 0 {
 		progressed := false
 		k := 0
 		for _, v := range work {
 			deg := 0
-			for n := range g.adj[v] {
+			g.row(v).ForEach(func(n ir.VReg) {
 				if !removed[n] {
 					deg++
 				}
-			}
+			})
 			if deg < len(allowedRegs(v)) {
 				removed[v] = true
-				stack = append(stack, v)
+				s.stack = append(s.stack, v)
 				progressed = true
 			} else {
 				work[k] = v
@@ -249,7 +276,7 @@ func colorClass(f *ir.Func, lv *ir.Liveness, cfg *Config, class ir.Class,
 			best := 0
 			bestScore := -1.0
 			for i, v := range work {
-				deg := float64(degree(v) + 1)
+				deg := float64(g.degree(g.find(v)) + 1)
 				score := weight[v] / deg
 				if bestScore < 0 || score < bestScore {
 					bestScore = score
@@ -258,30 +285,34 @@ func colorClass(f *ir.Func, lv *ir.Liveness, cfg *Config, class ir.Class,
 			}
 			v := work[best]
 			removed[v] = true
-			stack = append(stack, v)
+			s.stack = append(s.stack, v)
 			work = append(work[:best], work[best+1:]...)
 		}
 	}
 
 	// Select: pop and assign the first allowed colour not used by a
 	// coloured neighbour; failures become actual spills.
-	color := map[ir.VReg]x86.Reg{}
-	spilled := map[ir.VReg]bool{}
-	for i := len(stack) - 1; i >= 0; i-- {
-		v := stack[i]
-		taken := map[x86.Reg]bool{}
-		for n := range g.adj[v] {
-			if c, ok := color[g.find(n)]; ok {
-				taken[c] = true
+	s.colorOf = grown(s.colorOf, f.NumV)
+	s.spilled = grown(s.spilled, f.NumV)
+	colorOf, spilled := s.colorOf, s.spilled
+	for i := range colorOf {
+		colorOf[i] = x86.NoReg
+	}
+	for i := len(s.stack) - 1; i >= 0; i-- {
+		v := s.stack[i]
+		var taken uint64
+		g.row(v).ForEach(func(n ir.VReg) {
+			if c := colorOf[g.find(n)]; c != x86.NoReg {
+				taken |= 1 << c
 			}
-		}
+		})
 		assigned := false
 		for _, r := range allowedRegs(v) {
-			if !taken[r] {
-				color[v] = r
+			if taken&(1<<r) == 0 {
+				colorOf[v] = r
 				assigned = true
 				if cfg.CalleeSavedGP[r] {
-					usedCallee[r] = true
+					s.used[r] = true
 				}
 				break
 			}
@@ -297,7 +328,7 @@ func colorClass(f *ir.Func, lv *ir.Liveness, cfg *Config, class ir.Class,
 			continue
 		}
 		rep := g.find(ir.VReg(v))
-		if c, ok := color[rep]; ok {
+		if c := colorOf[rep]; c != x86.NoReg {
 			res.Loc[v] = Location{Kind: LocReg, Reg: c}
 			continue
 		}

@@ -3,10 +3,17 @@
 // SpiderMonkey, after Wimmer & Franz) and an iterated graph-colouring
 // allocator standing in for Clang's greedy allocator. Both consume internal/ir
 // functions and produce a per-vreg location assignment.
+//
+// Both allocators run out of a Scratch, which owns every transient: interval
+// tables, the dense-bitset interference graph, worklists, and the Result
+// itself. A compile pipeline keeps one Scratch per worker and allocates
+// nothing in steady state; the package-level LinearScan/GraphColor wrappers
+// allocate a fresh Scratch per call for one-shot users.
 package regalloc
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/ir"
 	"repro/internal/x86"
@@ -48,6 +55,76 @@ type Config struct {
 	CalleeSavedGP map[x86.Reg]bool
 }
 
+// Scratch owns the recyclable working state of both allocators, including
+// the returned Result: a Result is valid until the next allocation on the
+// same Scratch.
+type Scratch struct {
+	res Result
+
+	// Interval construction (both allocators' cost model).
+	blockStart []int
+	blockEnd   []int
+	callPos    []int
+	starts     []int
+	ends       []int
+	uses       []int
+	weight     []float64
+	seen       []bool
+	ivs        []interval
+	active     []activeIv
+
+	// Graph colouring.
+	g       igraph
+	crosses []bool
+	present []bool
+	moves   []move
+	liveBuf ir.Bitset
+	nbBuf   ir.Bitset
+	nodes   []ir.VReg
+	work    []ir.VReg
+	stack   []ir.VReg
+	repSeen []bool
+	removed []bool
+	colorOf []x86.Reg // NoReg = uncoloured
+	spilled []bool
+	callee  []x86.Reg // callee-saved subset of the class regs, in order
+
+	// usedCallee accumulator, indexed by register number.
+	used [64]bool
+}
+
+// grown returns s resized to n elements with all elements zeroed.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// resetResult recycles the scratch Result for a function with numV vregs.
+func (s *Scratch) resetResult(numV int) *Result {
+	r := &s.res
+	r.Loc = grown(r.Loc, numV)
+	r.NumSlots = 0
+	r.Spills = 0
+	r.UsedCallee = r.UsedCallee[:0]
+	clear(s.used[:])
+	return r
+}
+
+// collectUsedCallee appends the accumulated callee-saved registers in
+// ascending register order (the same order the map-and-sort version
+// produced).
+func (s *Scratch) collectUsedCallee(r *Result) {
+	for reg := range s.used {
+		if s.used[reg] {
+			r.UsedCallee = append(r.UsedCallee, x86.Reg(reg))
+		}
+	}
+}
+
 // interval is a live interval over linearized instruction positions.
 type interval struct {
 	v           ir.VReg
@@ -57,34 +134,39 @@ type interval struct {
 	uses        int
 }
 
+// activeIv is an interval currently holding a register in linear scan.
+type activeIv struct {
+	interval
+	reg x86.Reg
+}
+
 // buildIntervals linearizes the function and computes one conservative
-// interval per vreg, extended over blocks where the vreg is live.
-func buildIntervals(f *ir.Func, lv *ir.Liveness) ([]interval, []int) {
-	// Global positions.
+// interval per vreg, extended over blocks where the vreg is live. The
+// returned slice is scratch-owned.
+func (s *Scratch) buildIntervals(f *ir.Func, lv *ir.Liveness) []interval {
 	pos := 0
-	blockStart := make([]int, len(f.Blocks))
-	blockEnd := make([]int, len(f.Blocks))
-	var callPos []int
-	type ref struct{ def bool }
-	starts := make([]int, f.NumV)
-	ends := make([]int, f.NumV)
-	uses := make([]int, f.NumV)
-	weight := make([]float64, f.NumV)
-	seen := make([]bool, f.NumV)
+	s.blockStart = grown(s.blockStart, len(f.Blocks))
+	s.blockEnd = grown(s.blockEnd, len(f.Blocks))
+	s.callPos = s.callPos[:0]
+	s.starts = grown(s.starts, f.NumV)
+	s.ends = grown(s.ends, f.NumV)
+	s.uses = grown(s.uses, f.NumV)
+	s.weight = grown(s.weight, f.NumV)
+	s.seen = grown(s.seen, f.NumV)
 	touch := func(v ir.VReg, p int, w float64) {
-		if !seen[v] {
-			starts[v], ends[v] = p, p
-			seen[v] = true
+		if !s.seen[v] {
+			s.starts[v], s.ends[v] = p, p
+			s.seen[v] = true
 		} else {
-			if p < starts[v] {
-				starts[v] = p
+			if p < s.starts[v] {
+				s.starts[v] = p
 			}
-			if p > ends[v] {
-				ends[v] = p
+			if p > s.ends[v] {
+				s.ends[v] = p
 			}
 		}
-		uses[v]++
-		weight[v] += w
+		s.uses[v]++
+		s.weight[v] += w
 	}
 	// Parameters are defined at function entry, before the first
 	// instruction: their intervals begin at -1 so two params never share a
@@ -93,7 +175,7 @@ func buildIntervals(f *ir.Func, lv *ir.Liveness) ([]interval, []int) {
 		touch(p, -1, 1)
 	}
 	for bi, b := range f.Blocks {
-		blockStart[bi] = pos
+		s.blockStart[bi] = pos
 		w := 1.0
 		if f.LoopDepth != nil {
 			for d := 0; d < f.LoopDepth[bi]; d++ {
@@ -107,66 +189,79 @@ func buildIntervals(f *ir.Func, lv *ir.Liveness) ([]interval, []int) {
 				touch(d, pos, w)
 			}
 			if in.Op.IsCall() {
-				callPos = append(callPos, pos)
+				s.callPos = append(s.callPos, pos)
 			}
 			pos++
 		}
-		blockEnd[bi] = pos - 1
+		s.blockEnd[bi] = pos - 1
 	}
 	// Extend intervals over live ranges: a vreg live-in at a block lives
 	// from the block start; live-out lives to the block end.
 	for bi := range f.Blocks {
 		lv.In[bi].ForEach(func(v ir.VReg) {
-			if !seen[v] {
+			if !s.seen[v] {
 				return
 			}
-			if blockStart[bi] < starts[v] {
-				starts[v] = blockStart[bi]
+			if s.blockStart[bi] < s.starts[v] {
+				s.starts[v] = s.blockStart[bi]
 			}
-			if blockEnd[bi] > ends[v] {
-				ends[v] = blockEnd[bi]
+			if s.blockEnd[bi] > s.ends[v] {
+				s.ends[v] = s.blockEnd[bi]
 			}
 		})
 		lv.Out[bi].ForEach(func(v ir.VReg) {
-			if !seen[v] {
+			if !s.seen[v] {
 				return
 			}
-			if blockEnd[bi] > ends[v] {
-				ends[v] = blockEnd[bi]
+			if s.blockEnd[bi] > s.ends[v] {
+				s.ends[v] = s.blockEnd[bi]
 			}
 		})
 	}
-	var ivs []interval
+	s.ivs = s.ivs[:0]
 	for v := 0; v < f.NumV; v++ {
-		if !seen[v] {
+		if !s.seen[v] {
 			continue
 		}
-		iv := interval{v: ir.VReg(v), start: starts[v], end: ends[v], uses: uses[v], weight: weight[v]}
-		for _, cp := range callPos {
+		iv := interval{v: ir.VReg(v), start: s.starts[v], end: s.ends[v], uses: s.uses[v], weight: s.weight[v]}
+		for _, cp := range s.callPos {
 			if cp > iv.start && cp < iv.end {
 				iv.crossesCall = true
 				break
 			}
 		}
-		ivs = append(ivs, iv)
+		s.ivs = append(s.ivs, iv)
 	}
-	sort.Slice(ivs, func(i, j int) bool {
-		if ivs[i].start != ivs[j].start {
-			return ivs[i].start < ivs[j].start
+	// The (start, v) key is unique per interval, so the sort is a total
+	// order and any sorting algorithm produces the same permutation.
+	slices.SortFunc(s.ivs, func(a, b interval) int {
+		if a.start != b.start {
+			return cmp.Compare(a.start, b.start)
 		}
-		return ivs[i].v < ivs[j].v
+		return cmp.Compare(a.v, b.v)
 	})
-	return ivs, callPos
+	return s.ivs
+}
+
+// LinearScan allocates with the Poletto/Sarkar linear-scan algorithm through
+// a fresh Scratch. See Scratch.LinearScan.
+func LinearScan(f *ir.Func, lv *ir.Liveness, cfg *Config) *Result {
+	return new(Scratch).LinearScan(f, lv, cfg)
 }
 
 // LinearScan allocates with the Poletto/Sarkar linear-scan algorithm: one
 // pass over intervals sorted by start, spilling the interval with the
 // furthest end when registers run out. This mirrors the browsers' fast
 // online allocators and deliberately produces more spills than colouring.
-func LinearScan(f *ir.Func, lv *ir.Liveness, cfg *Config) *Result {
-	ivs, _ := buildIntervals(f, lv)
-	res := &Result{Loc: make([]Location, f.NumV)}
-	usedCallee := map[x86.Reg]bool{}
+// The Result is scratch-owned: valid until the next allocation on s.
+func (s *Scratch) LinearScan(f *ir.Func, lv *ir.Liveness, cfg *Config) *Result {
+	ivs := s.buildIntervals(f, lv)
+	res := s.resetResult(f.NumV)
+
+	// free is indexed by register number; only registers of the current
+	// class are ever marked free, so the check below doubles as the class
+	// membership test.
+	var free [64]bool
 
 	for _, class := range []ir.Class{ir.GP, ir.FP} {
 		var regs []x86.Reg
@@ -175,15 +270,12 @@ func LinearScan(f *ir.Func, lv *ir.Liveness, cfg *Config) *Result {
 		} else {
 			regs = cfg.FP
 		}
-		free := make(map[x86.Reg]bool, len(regs))
+		clear(free[:])
 		for _, r := range regs {
 			free[r] = true
 		}
-		type activeIv struct {
-			interval
-			reg x86.Reg
-		}
-		var active []activeIv
+		s.active = s.active[:0]
+		active := s.active
 
 		expire := func(p int) {
 			k := 0
@@ -255,15 +347,15 @@ func LinearScan(f *ir.Func, lv *ir.Liveness, cfg *Config) *Result {
 			}
 			free[got] = false
 			if cfg.CalleeSavedGP[got] {
-				usedCallee[got] = true
+				s.used[got] = true
 			}
 			res.Loc[iv.v] = Location{Kind: LocReg, Reg: got}
 			active = append(active, activeIv{iv, got})
 		}
+		if cap(active) > cap(s.active) {
+			s.active = active // keep the grown buffer for next time
+		}
 	}
-	for r := range usedCallee {
-		res.UsedCallee = append(res.UsedCallee, r)
-	}
-	sort.Slice(res.UsedCallee, func(i, j int) bool { return res.UsedCallee[i] < res.UsedCallee[j] })
+	s.collectUsedCallee(res)
 	return res
 }

@@ -84,3 +84,54 @@ func TestNoAliasedRegisters(t *testing.T) {
 		}
 	}
 }
+
+// resultSnapshot deep-copies the scratch-owned parts of a Result.
+func resultSnapshot(r *Result) Result {
+	return Result{
+		Loc:        append([]Location(nil), r.Loc...),
+		NumSlots:   r.NumSlots,
+		UsedCallee: append([]x86.Reg(nil), r.UsedCallee...),
+		Spills:     r.Spills,
+	}
+}
+
+func sameResult(a, b *Result) bool {
+	if a.NumSlots != b.NumSlots || a.Spills != b.Spills ||
+		len(a.Loc) != len(b.Loc) || len(a.UsedCallee) != len(b.UsedCallee) {
+		return false
+	}
+	for i := range a.Loc {
+		if a.Loc[i] != b.Loc[i] {
+			return false
+		}
+	}
+	for i := range a.UsedCallee {
+		if a.UsedCallee[i] != b.UsedCallee[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScratchReuseIsDeterministic allocates the same function repeatedly
+// through one Scratch and checks the recycled state never changes the
+// assignment — for both allocators, interleaved so each sees the other's
+// leftovers.
+func TestScratchReuseIsDeterministic(t *testing.T) {
+	f := buildCallCrossing()
+	lv := ir.ComputeLiveness(f)
+	cfg := testConfig()
+	s := new(Scratch)
+	wantLS := resultSnapshot(LinearScan(f, lv, cfg))
+	wantGC := resultSnapshot(GraphColor(f, lv, cfg))
+	for i := 0; i < 5; i++ {
+		gotLS := s.LinearScan(f, lv, cfg)
+		if !sameResult(&wantLS, gotLS) {
+			t.Fatalf("round %d: linear scan diverged on scratch reuse", i)
+		}
+		gotGC := s.GraphColor(f, lv, cfg)
+		if !sameResult(&wantGC, gotGC) {
+			t.Fatalf("round %d: graph colouring diverged on scratch reuse", i)
+		}
+	}
+}

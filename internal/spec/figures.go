@@ -64,36 +64,17 @@ func (s *SuiteResults) Relative(col int) []float64 {
 // Fig3 renders the relative-execution-time figure for a suite (3a for
 // Polybench, 3b for SPEC).
 func Fig3(s *SuiteResults, title string) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s — relative execution time (native = 1.0)\n", title)
-	fmt.Fprintf(&sb, "%-16s %10s %10s\n", "benchmark", "chrome", "firefox")
-	chrome := s.Relative(1)
-	firefox := s.Relative(2)
-	for i, w := range s.Workloads {
-		fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", w.Name, chrome[i], firefox[i])
-	}
-	fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", "geomean", stats.Geomean(chrome), stats.Geomean(firefox))
-	return sb.String()
+	f := NewFig3Stream(title, len(s.R))
+	s.Feed(f)
+	return f.Render()
 }
 
 // Table1 renders the SPEC absolute-times table. Simulated times are in
 // milliseconds (problem sizes are scaled down; see EXPERIMENTS.md).
 func Table1(s *SuiteResults) string {
-	var sb strings.Builder
-	sb.WriteString("Table 1 — SPEC CPU execution times (simulated ms)\n")
-	fmt.Fprintf(&sb, "%-16s %12s %12s %12s\n", "benchmark", "native", "chrome", "firefox")
-	var chrome, firefox []float64
-	for i, w := range s.Workloads {
-		n := s.R[i][0].Seconds * 1000
-		c := s.R[i][1].Seconds * 1000
-		f := s.R[i][2].Seconds * 1000
-		chrome = append(chrome, c/n)
-		firefox = append(firefox, f/n)
-		fmt.Fprintf(&sb, "%-16s %12.2f %12.2f %12.2f\n", w.Name, n, c, f)
-	}
-	fmt.Fprintf(&sb, "%-16s %12s %11.2fx %11.2fx\n", "Slowdown: geomean", "-", stats.Geomean(chrome), stats.Geomean(firefox))
-	fmt.Fprintf(&sb, "%-16s %12s %11.2fx %11.2fx\n", "Slowdown: median", "-", stats.Median(chrome), stats.Median(firefox))
-	return sb.String()
+	t := NewTable1Stream(len(s.R))
+	s.Feed(t)
+	return t.Render()
 }
 
 // Table2 renders compile times: "Clang" is the native pipeline (mini-C
@@ -121,16 +102,9 @@ func (h *Harness) Table2() (string, error) {
 // Fig4 renders the Browsix-overhead figure: % of time in Browsix syscalls
 // (Firefox column, like the paper).
 func Fig4(s *SuiteResults) string {
-	var sb strings.Builder
-	sb.WriteString("Figure 4 — % of time spent in Browsix (Firefox)\n")
-	var shares []float64
-	for i, w := range s.Workloads {
-		share := s.R[i][2].BrowsixShare * 100
-		shares = append(shares, share)
-		fmt.Fprintf(&sb, "%-16s %8.3f%%   (%d syscalls)\n", w.Name, share, s.R[i][2].Syscalls)
-	}
-	fmt.Fprintf(&sb, "%-16s %8.3f%%\n", "average", stats.Mean(shares))
-	return sb.String()
+	f := NewFig4Stream(len(s.R))
+	s.Feed(f)
+	return f.Render()
 }
 
 // Fig5 renders asm.js-vs-wasm relative time per browser.
@@ -187,33 +161,16 @@ func (s *SuiteResults) CounterRatios(ev perf.Event, col int) []float64 {
 
 // Fig9 renders the six counter panels.
 func Fig9(s *SuiteResults) string {
-	var sb strings.Builder
-	sb.WriteString("Figure 9 — performance counters relative to native (native = 1.0)\n")
-	for pi, ev := range Fig9Events {
-		fmt.Fprintf(&sb, "\n(%c) %s\n", 'a'+pi, ev)
-		fmt.Fprintf(&sb, "%-16s %10s %10s\n", "benchmark", "chrome", "firefox")
-		c := s.CounterRatios(ev, 1)
-		f := s.CounterRatios(ev, 2)
-		for i, w := range s.Workloads {
-			fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", w.Name, c[i], f[i])
-		}
-		fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", "geomean", stats.Geomean(c), stats.Geomean(f))
-	}
-	return sb.String()
+	f := NewFig9Stream(len(s.R))
+	s.Feed(f)
+	return f.Render()
 }
 
 // Fig10 renders L1 icache miss ratios.
 func Fig10(s *SuiteResults) string {
-	var sb strings.Builder
-	sb.WriteString("Figure 10 — L1-icache-load-misses relative to native\n")
-	fmt.Fprintf(&sb, "%-16s %10s %10s\n", "benchmark", "chrome", "firefox")
-	c := s.CounterRatios(perf.L1ICacheLoadMisses, 1)
-	f := s.CounterRatios(perf.L1ICacheLoadMisses, 2)
-	for i, w := range s.Workloads {
-		fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", w.Name, c[i], f[i])
-	}
-	fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", "geomean", stats.Geomean(c), stats.Geomean(f))
-	return sb.String()
+	f := NewFig10Stream(len(s.R))
+	s.Feed(f)
+	return f.Render()
 }
 
 // Table3 renders the perf-event table.
@@ -233,15 +190,9 @@ func Table3() string {
 
 // Table4 renders the geomean counter increases.
 func Table4(s *SuiteResults) string {
-	var sb strings.Builder
-	sb.WriteString("Table 4 — geomean of counter increases (SPEC, wasm vs native)\n")
-	fmt.Fprintf(&sb, "%-26s %10s %10s\n", "counter", "chrome", "firefox")
-	evs := append(append([]perf.Event{}, Fig9Events...), perf.L1ICacheLoadMisses)
-	for _, ev := range evs {
-		fmt.Fprintf(&sb, "%-26s %9.2fx %9.2fx\n", ev,
-			stats.Geomean(s.CounterRatios(ev, 1)), stats.Geomean(s.CounterRatios(ev, 2)))
-	}
-	return sb.String()
+	t := NewTable4Stream(len(s.R))
+	s.Feed(t)
+	return t.Render()
 }
 
 // Fig1Historical holds the thresholds series the paper shows for earlier
@@ -257,29 +208,9 @@ var Fig1Historical = []struct {
 // Fig1 counts Polybench kernels within each threshold of native (best
 // browser per kernel) and renders the comparison with the historical series.
 func Fig1(s *SuiteResults) string {
-	thresholds := []float64{1.1, 1.5, 2.0, 2.5}
-	counts := map[float64]int{}
-	for i := range s.R {
-		best := stats.Min([]float64{
-			s.R[i][1].Seconds / s.R[i][0].Seconds,
-			s.R[i][2].Seconds / s.R[i][0].Seconds,
-		})
-		for _, th := range thresholds {
-			if best < th {
-				counts[th]++
-			}
-		}
-	}
-	var sb strings.Builder
-	sb.WriteString("Figure 1 — # PolybenchC benchmarks within x of native\n")
-	fmt.Fprintf(&sb, "%-12s %8s %8s %8s %8s\n", "series", "<1.1x", "<1.5x", "<2x", "<2.5x")
-	for _, h := range Fig1Historical {
-		fmt.Fprintf(&sb, "%-12s %8d %8d %8d %8d   (of 24; recorded from the paper)\n",
-			h.Label, h.Counts[1.1], h.Counts[1.5], h.Counts[2.0], h.Counts[2.5])
-	}
-	fmt.Fprintf(&sb, "%-12s %8d %8d %8d %8d   (of %d; measured)\n",
-		"This paper", counts[1.1], counts[1.5], counts[2.0], counts[2.5], len(s.R))
-	return sb.String()
+	f := NewFig1Stream(len(s.R))
+	s.Feed(f)
+	return f.Render()
 }
 
 // MatmulSource returns the §5 case-study kernel at the given sizes.

@@ -1,0 +1,297 @@
+package spec
+
+// Streaming figure builders. Each implements RowSink and accumulates one
+// figure incrementally, so a suite run can feed results row by row as
+// workloads complete — Harness.RunSuiteRows never materializes the full
+// [][]*Result matrix (per-workload rows are dropped the moment every sink
+// has seen them). The matrix-based helpers in figures.go are thin wrappers
+// that replay a SuiteResults through these builders, so both paths render
+// byte-identical figures.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/perf"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// RowSink consumes one validated suite row: workload wi's results across
+// the engine set, in engine order. Rows arrive in completion order, not
+// workload order; sinks index by wi so rendered output stays ordered.
+// AddRow must not retain the row slice.
+type RowSink interface {
+	AddRow(wi int, w *workloads.Workload, row []*Result)
+}
+
+// rel returns row[col]'s time relative to the native column.
+func rel(row []*Result, col int) float64 { return row[col].Seconds / row[0].Seconds }
+
+// counterRatio returns row[col]'s event count relative to native.
+func counterRatio(row []*Result, ev perf.Event, col int) float64 {
+	n := row[0].Counters.Get(ev)
+	if n == 0 {
+		n = 1
+	}
+	return float64(row[col].Counters.Get(ev)) / float64(n)
+}
+
+// Fig3Stream accumulates the relative-execution-time figure (3a Polybench,
+// 3b SPEC).
+type Fig3Stream struct {
+	title           string
+	lines           []string
+	chrome, firefox []float64
+}
+
+// NewFig3Stream sizes the builder for n workloads.
+func NewFig3Stream(title string, n int) *Fig3Stream {
+	return &Fig3Stream{title: title, lines: make([]string, n),
+		chrome: make([]float64, n), firefox: make([]float64, n)}
+}
+
+// AddRow implements RowSink.
+func (f *Fig3Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	c, fx := rel(row, 1), rel(row, 2)
+	f.chrome[wi], f.firefox[wi] = c, fx
+	f.lines[wi] = fmt.Sprintf("%-16s %10.2f %10.2f\n", w.Name, c, fx)
+}
+
+// Render emits the figure.
+func (f *Fig3Stream) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — relative execution time (native = 1.0)\n", f.title)
+	fmt.Fprintf(&sb, "%-16s %10s %10s\n", "benchmark", "chrome", "firefox")
+	for _, l := range f.lines {
+		sb.WriteString(l)
+	}
+	fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", "geomean", stats.Geomean(f.chrome), stats.Geomean(f.firefox))
+	return sb.String()
+}
+
+// Table1Stream accumulates the SPEC absolute-times table.
+type Table1Stream struct {
+	lines           []string
+	chrome, firefox []float64
+}
+
+// NewTable1Stream sizes the builder for n workloads.
+func NewTable1Stream(n int) *Table1Stream {
+	return &Table1Stream{lines: make([]string, n),
+		chrome: make([]float64, n), firefox: make([]float64, n)}
+}
+
+// AddRow implements RowSink.
+func (t *Table1Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	n := row[0].Seconds * 1000
+	c := row[1].Seconds * 1000
+	f := row[2].Seconds * 1000
+	t.chrome[wi], t.firefox[wi] = c/n, f/n
+	t.lines[wi] = fmt.Sprintf("%-16s %12.2f %12.2f %12.2f\n", w.Name, n, c, f)
+}
+
+// Render emits the table.
+func (t *Table1Stream) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1 — SPEC CPU execution times (simulated ms)\n")
+	fmt.Fprintf(&sb, "%-16s %12s %12s %12s\n", "benchmark", "native", "chrome", "firefox")
+	for _, l := range t.lines {
+		sb.WriteString(l)
+	}
+	fmt.Fprintf(&sb, "%-16s %12s %11.2fx %11.2fx\n", "Slowdown: geomean", "-", stats.Geomean(t.chrome), stats.Geomean(t.firefox))
+	fmt.Fprintf(&sb, "%-16s %12s %11.2fx %11.2fx\n", "Slowdown: median", "-", stats.Median(t.chrome), stats.Median(t.firefox))
+	return sb.String()
+}
+
+// Fig4Stream accumulates the Browsix-overhead figure.
+type Fig4Stream struct {
+	lines  []string
+	shares []float64
+}
+
+// NewFig4Stream sizes the builder for n workloads.
+func NewFig4Stream(n int) *Fig4Stream {
+	return &Fig4Stream{lines: make([]string, n), shares: make([]float64, n)}
+}
+
+// AddRow implements RowSink.
+func (f *Fig4Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	share := row[2].BrowsixShare * 100
+	f.shares[wi] = share
+	f.lines[wi] = fmt.Sprintf("%-16s %8.3f%%   (%d syscalls)\n", w.Name, share, row[2].Syscalls)
+}
+
+// Render emits the figure.
+func (f *Fig4Stream) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4 — % of time spent in Browsix (Firefox)\n")
+	for _, l := range f.lines {
+		sb.WriteString(l)
+	}
+	fmt.Fprintf(&sb, "%-16s %8.3f%%\n", "average", stats.Mean(f.shares))
+	return sb.String()
+}
+
+// Fig9Stream accumulates the six counter panels.
+type Fig9Stream struct {
+	names   []string
+	chrome  [][]float64 // [panel][workload]
+	firefox [][]float64
+}
+
+// NewFig9Stream sizes the builder for n workloads.
+func NewFig9Stream(n int) *Fig9Stream {
+	f := &Fig9Stream{names: make([]string, n),
+		chrome: make([][]float64, len(Fig9Events)), firefox: make([][]float64, len(Fig9Events))}
+	for i := range Fig9Events {
+		f.chrome[i] = make([]float64, n)
+		f.firefox[i] = make([]float64, n)
+	}
+	return f
+}
+
+// AddRow implements RowSink.
+func (f *Fig9Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	f.names[wi] = w.Name
+	for pi, ev := range Fig9Events {
+		f.chrome[pi][wi] = counterRatio(row, ev, 1)
+		f.firefox[pi][wi] = counterRatio(row, ev, 2)
+	}
+}
+
+// Render emits the figure.
+func (f *Fig9Stream) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9 — performance counters relative to native (native = 1.0)\n")
+	for pi, ev := range Fig9Events {
+		fmt.Fprintf(&sb, "\n(%c) %s\n", 'a'+pi, ev)
+		fmt.Fprintf(&sb, "%-16s %10s %10s\n", "benchmark", "chrome", "firefox")
+		for wi, name := range f.names {
+			fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", name, f.chrome[pi][wi], f.firefox[pi][wi])
+		}
+		fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", "geomean", stats.Geomean(f.chrome[pi]), stats.Geomean(f.firefox[pi]))
+	}
+	return sb.String()
+}
+
+// Fig10Stream accumulates the L1-icache miss-ratio figure.
+type Fig10Stream struct {
+	lines           []string
+	chrome, firefox []float64
+}
+
+// NewFig10Stream sizes the builder for n workloads.
+func NewFig10Stream(n int) *Fig10Stream {
+	return &Fig10Stream{lines: make([]string, n),
+		chrome: make([]float64, n), firefox: make([]float64, n)}
+}
+
+// AddRow implements RowSink.
+func (f *Fig10Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	c := counterRatio(row, perf.L1ICacheLoadMisses, 1)
+	fx := counterRatio(row, perf.L1ICacheLoadMisses, 2)
+	f.chrome[wi], f.firefox[wi] = c, fx
+	f.lines[wi] = fmt.Sprintf("%-16s %10.2f %10.2f\n", w.Name, c, fx)
+}
+
+// Render emits the figure.
+func (f *Fig10Stream) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10 — L1-icache-load-misses relative to native\n")
+	fmt.Fprintf(&sb, "%-16s %10s %10s\n", "benchmark", "chrome", "firefox")
+	for _, l := range f.lines {
+		sb.WriteString(l)
+	}
+	fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", "geomean", stats.Geomean(f.chrome), stats.Geomean(f.firefox))
+	return sb.String()
+}
+
+// table4Events lists the Table 4 counters: the Figure 9 panels plus icache
+// misses.
+func table4Events() []perf.Event {
+	return append(append([]perf.Event{}, Fig9Events...), perf.L1ICacheLoadMisses)
+}
+
+// Table4Stream accumulates the geomean counter-increase table.
+type Table4Stream struct {
+	chrome  [][]float64 // [event][workload]
+	firefox [][]float64
+}
+
+// NewTable4Stream sizes the builder for n workloads.
+func NewTable4Stream(n int) *Table4Stream {
+	evs := table4Events()
+	t := &Table4Stream{chrome: make([][]float64, len(evs)), firefox: make([][]float64, len(evs))}
+	for i := range evs {
+		t.chrome[i] = make([]float64, n)
+		t.firefox[i] = make([]float64, n)
+	}
+	return t
+}
+
+// AddRow implements RowSink.
+func (t *Table4Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	for ei, ev := range table4Events() {
+		t.chrome[ei][wi] = counterRatio(row, ev, 1)
+		t.firefox[ei][wi] = counterRatio(row, ev, 2)
+	}
+}
+
+// Render emits the table.
+func (t *Table4Stream) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 4 — geomean of counter increases (SPEC, wasm vs native)\n")
+	fmt.Fprintf(&sb, "%-26s %10s %10s\n", "counter", "chrome", "firefox")
+	for ei, ev := range table4Events() {
+		fmt.Fprintf(&sb, "%-26s %9.2fx %9.2fx\n", ev,
+			stats.Geomean(t.chrome[ei]), stats.Geomean(t.firefox[ei]))
+	}
+	return sb.String()
+}
+
+// Fig1Stream accumulates the within-threshold counts of Figure 1.
+type Fig1Stream struct {
+	n      int
+	counts map[float64]int
+}
+
+// NewFig1Stream sizes the builder for n workloads.
+func NewFig1Stream(n int) *Fig1Stream {
+	return &Fig1Stream{n: n, counts: map[float64]int{}}
+}
+
+// AddRow implements RowSink.
+func (f *Fig1Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	best := stats.Min([]float64{rel(row, 1), rel(row, 2)})
+	for _, th := range []float64{1.1, 1.5, 2.0, 2.5} {
+		if best < th {
+			f.counts[th]++
+		}
+	}
+}
+
+// Render emits the figure.
+func (f *Fig1Stream) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1 — # PolybenchC benchmarks within x of native\n")
+	fmt.Fprintf(&sb, "%-12s %8s %8s %8s %8s\n", "series", "<1.1x", "<1.5x", "<2x", "<2.5x")
+	for _, h := range Fig1Historical {
+		fmt.Fprintf(&sb, "%-12s %8d %8d %8d %8d   (of 24; recorded from the paper)\n",
+			h.Label, h.Counts[1.1], h.Counts[1.5], h.Counts[2.0], h.Counts[2.5])
+	}
+	fmt.Fprintf(&sb, "%-12s %8d %8d %8d %8d   (of %d; measured)\n",
+		"This paper", f.counts[1.1], f.counts[1.5], f.counts[2.0], f.counts[2.5], f.n)
+	return sb.String()
+}
+
+// Feed replays an already-materialized suite through sinks, in workload
+// order. It is how the matrix-based figure helpers share the streaming
+// renderers.
+func (s *SuiteResults) Feed(sinks ...RowSink) {
+	for wi, row := range s.R {
+		for _, sk := range sinks {
+			sk.AddRow(wi, s.Workloads[wi], row)
+		}
+	}
+}

@@ -243,13 +243,48 @@ func (h *Harness) RunSuite(ws []*workloads.Workload, cfgs []*codegen.EngineConfi
 // suite early. Executions run in parallel on the pipeline scheduler (each is
 // fully isolated in its own kernel), bounded by h.Workers, and every failing
 // workload/engine pair is reported in the returned error, not just the
-// first.
+// first. The matrix is collected from the streaming core (RunSuiteRows);
+// callers that only need figures can use RunSuiteRows directly and skip the
+// materialization.
 func (h *Harness) RunSuiteContext(ctx context.Context, ws []*workloads.Workload, cfgs []*codegen.EngineConfig) ([][]*Result, error) {
-	before := pipeline.Stats()
 	out := make([][]*Result, len(ws))
+	err := h.RunSuiteRows(ctx, ws, cfgs, rowCollector(out))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rowCollector is the RowSink that materializes the [][]*Result matrix for
+// the compatibility API.
+type rowCollector [][]*Result
+
+// AddRow implements RowSink.
+func (c rowCollector) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	c[wi] = append([]*Result(nil), row...)
+}
+
+// RunSuiteRows runs every workload in ws under every engine in cfgs and
+// streams each workload's validated row (results across cfgs, in engine
+// order) into the sinks as it completes, instead of materializing the full
+// [][]*Result matrix: a row is delivered once — under a lock, in completion
+// order, cmp-validated across engines — and dropped immediately after, so
+// peak memory is bounded by the rows in flight, not the suite size. Sinks
+// index by the workload position wi to reassemble ordered output (the
+// figure builders in figures_stream.go do exactly that).
+func (h *Harness) RunSuiteRows(ctx context.Context, ws []*workloads.Workload, cfgs []*codegen.EngineConfig, sinks ...RowSink) error {
+	before := pipeline.Stats()
+	type rowState struct {
+		row  []*Result
+		left int
+	}
+	states := make([]rowState, len(ws))
+	for wi := range states {
+		states[wi] = rowState{row: make([]*Result, len(cfgs)), left: len(cfgs)}
+	}
+	var mu sync.Mutex
 	jobs := make([]pipeline.Job, 0, len(ws)*len(cfgs))
 	for wi := range ws {
-		out[wi] = make([]*Result, len(cfgs))
 		for ci := range cfgs {
 			wi, ci := wi, ci
 			jobs = append(jobs, func(ctx context.Context) error {
@@ -260,7 +295,26 @@ func (h *Harness) RunSuiteContext(ctx context.Context, ws []*workloads.Workload,
 				if err != nil {
 					return err
 				}
-				out[wi][ci] = r
+				mu.Lock()
+				defer mu.Unlock()
+				st := &states[wi]
+				st.row[ci] = r
+				st.left--
+				if st.left > 0 {
+					return nil
+				}
+				// Last engine in: validate, deliver, drop.
+				row := st.row
+				st.row = nil
+				for i := 1; i < len(row); i++ {
+					if row[i].Output != row[0].Output {
+						return fmt.Errorf("spec: %s: output mismatch between %s and %s",
+							ws[wi].Name, row[0].Engine, row[i].Engine)
+					}
+				}
+				for _, sk := range sinks {
+					sk.AddRow(wi, ws[wi], row)
+				}
 				return nil
 			})
 		}
@@ -270,17 +324,5 @@ func (h *Harness) RunSuiteContext(ctx context.Context, ws []*workloads.Workload,
 		h.Logf("spec suite (%d workloads × %d engines) cache: %v",
 			len(ws), len(cfgs), pipeline.Stats().Sub(before))
 	}
-	if err != nil {
-		return nil, err
-	}
-	// cmp validation: all engines must produce identical output.
-	for wi, row := range out {
-		for ci := 1; ci < len(row); ci++ {
-			if row[ci].Output != row[0].Output {
-				return nil, fmt.Errorf("spec: %s: output mismatch between %s and %s",
-					ws[wi].Name, row[0].Engine, row[ci].Engine)
-			}
-		}
-	}
-	return out, nil
+	return err
 }

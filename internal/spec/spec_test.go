@@ -1,6 +1,7 @@
 package spec_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -179,3 +180,63 @@ func TestMcfAnomaly(t *testing.T) {
 		t.Errorf("mcf chrome slowdown %.2f; expected near or below 1.0 (pointer density)", c/n)
 	}
 }
+
+// TestStreamingFiguresMatchMatrix runs a small suite both ways — streamed
+// row by row through the figure builders via RunSuiteRows, and materialized
+// through RunSuite + the matrix formatters — and demands byte-identical
+// renderings. It also checks rows arrive exactly once per workload.
+func TestStreamingFiguresMatchMatrix(t *testing.T) {
+	h := spec.NewHarness()
+	ws := workloads.Polybench()[:3]
+	cfgs := spec.EngineSet()
+
+	n := len(ws)
+	fig1 := spec.NewFig1Stream(n)
+	fig3 := spec.NewFig3Stream("Figure 3a — PolybenchC", n)
+	tbl1 := spec.NewTable1Stream(n)
+	fig4 := spec.NewFig4Stream(n)
+	fig9 := spec.NewFig9Stream(n)
+	fig10 := spec.NewFig10Stream(n)
+	tbl4 := spec.NewTable4Stream(n)
+	seen := make([]int, n)
+	counter := rowCounter{seen: seen}
+	if err := h.RunSuiteRows(context.Background(), ws, cfgs,
+		fig1, fig3, tbl1, fig4, fig9, fig10, tbl4, counter); err != nil {
+		t.Fatal(err)
+	}
+	for wi, c := range seen {
+		if c != 1 {
+			t.Errorf("workload %d delivered %d times, want 1", wi, c)
+		}
+	}
+
+	// The matrix path reuses the harness's memoized results, so this adds
+	// no simulation time.
+	r, err := h.RunSuite(ws, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &spec.SuiteResults{Workloads: ws, Engines: cfgs, R: r}
+	checks := []struct {
+		name, stream, matrix string
+	}{
+		{"fig1", fig1.Render(), spec.Fig1(s)},
+		{"fig3", fig3.Render(), spec.Fig3(s, "Figure 3a — PolybenchC")},
+		{"table1", tbl1.Render(), spec.Table1(s)},
+		{"fig4", fig4.Render(), spec.Fig4(s)},
+		{"fig9", fig9.Render(), spec.Fig9(s)},
+		{"fig10", fig10.Render(), spec.Fig10(s)},
+		{"table4", tbl4.Render(), spec.Table4(s)},
+	}
+	for _, c := range checks {
+		if c.stream != c.matrix {
+			t.Errorf("%s: streamed rendering differs from matrix rendering:\n--- stream\n%s\n--- matrix\n%s",
+				c.name, c.stream, c.matrix)
+		}
+	}
+}
+
+// rowCounter counts deliveries per workload index.
+type rowCounter struct{ seen []int }
+
+func (c rowCounter) AddRow(wi int, w *workloads.Workload, row []*spec.Result) { c.seen[wi]++ }

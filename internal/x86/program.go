@@ -44,6 +44,19 @@ func NewProgram() *Program {
 	return &Program{labels: map[int]int{}, FuncByLabel: map[int]int{}}
 }
 
+// Reset clears the program for reuse, keeping the instruction slice and
+// label-table capacity. Used by the compiler's pooled per-function fragment
+// programs.
+func (p *Program) Reset() {
+	p.Code = p.Code[:0]
+	p.Funcs = p.Funcs[:0]
+	clear(p.labels)
+	clear(p.FuncByLabel)
+	p.CodeBytes = 0
+	p.HostNames = nil
+	p.Predecoded = nil
+}
+
 // Append adds an instruction and returns its index.
 func (p *Program) Append(in Inst) int {
 	p.Code = append(p.Code, in)
