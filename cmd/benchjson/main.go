@@ -1,9 +1,10 @@
 // Command benchjson converts `go test -bench` output into a JSON artifact
 // for CI trend tracking. It parses the standard benchmark line format —
 // name, iteration count, then value/unit pairs (ns/op, B/op, allocs/op, and
-// custom ReportMetric units like sim-inst/s) — and emits one JSON document
-// keyed by benchmark name, so per-PR artifacts (BENCH_ci.json) can be
-// diffed across commits.
+// custom ReportMetric units like sim-inst/s) — and emits one
+// perf.BenchReport document (schema repro-bench/v1) keyed by benchmark
+// name, so per-PR artifacts (BENCH_ci.json) can be compared across commits
+// with cmd/benchtrend.
 //
 // Usage:
 //
@@ -19,23 +20,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/perf"
 )
-
-// Benchmark is one parsed benchmark result.
-type Benchmark struct {
-	// Name is the benchmark name with the -P GOMAXPROCS suffix stripped.
-	Name string `json:"name"`
-	// Iterations is the b.N the line reports.
-	Iterations int64 `json:"iterations"`
-	// Metrics maps unit -> value (ns/op, sim-inst/s, allocs/op, ...).
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Report is the top-level JSON document.
-type Report struct {
-	Schema     string      `json:"schema"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	in := flag.String("in", "", "bench output to read (default stdin)")
@@ -73,8 +60,8 @@ func main() {
 // parse scans bench output for result lines. Lines that do not look like
 // benchmark results (test logs, the PASS trailer, figure listings) are
 // skipped.
-func parse(r io.Reader) (*Report, error) {
-	rep := &Report{Schema: "repro-bench/v1"}
+func parse(r io.Reader) (*perf.BenchReport, error) {
+	rep := &perf.BenchReport{Schema: perf.BenchSchema}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -87,14 +74,14 @@ func parse(r io.Reader) (*Report, error) {
 }
 
 // parseLine parses one `Benchmark<Name>-P  N  v1 u1  v2 u2 ...` line.
-func parseLine(line string) (Benchmark, bool) {
+func parseLine(line string) (perf.Benchmark, bool) {
 	f := strings.Fields(line)
 	if len(f) < 2 || !strings.HasPrefix(f[0], "Benchmark") {
-		return Benchmark{}, false
+		return perf.Benchmark{}, false
 	}
 	iters, err := strconv.ParseInt(f[1], 10, 64)
 	if err != nil {
-		return Benchmark{}, false
+		return perf.Benchmark{}, false
 	}
 	name := strings.TrimPrefix(f[0], "Benchmark")
 	if i := strings.LastIndex(name, "-"); i > 0 {
@@ -102,7 +89,7 @@ func parseLine(line string) (Benchmark, bool) {
 			name = name[:i]
 		}
 	}
-	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	b := perf.Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {

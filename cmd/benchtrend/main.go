@@ -1,0 +1,126 @@
+// Command benchtrend compares BENCH_ci.json artifacts (cmd/benchjson
+// output) across runs and gates on performance regressions: the trend
+// report the ROADMAP's trajectory tracking calls for. Given two or more
+// reports in oldest-to-newest order it prints, for each adjacent pair, the
+// per-metric deltas — sim-inst/s throughput, compile ns/op, allocs/op, and
+// every other metric the artifacts carry — and exits non-zero when the
+// newest pair worsens any metric past the threshold in its cost direction
+// (throughput must not fall, costs must not rise).
+//
+// Usage:
+//
+//	benchtrend [-threshold 0.10] [-all] [-v] old.json [...] new.json
+//
+// Exit status: 0 = no gated regression; 1 = regression past the threshold;
+// 2 = usage or artifact decode error. Metrics present only in the older
+// report are listed as missing (lost coverage) but never fail the gate;
+// gate on them by eye, or keep benchmark names stable. -all gates every
+// adjacent pair instead of only the newest; -v lists unflagged metrics too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.10, "fractional worsening that counts as a regression")
+	all := fs.Bool("all", false, "gate every adjacent pair, not just the newest")
+	verbose := fs.Bool("v", false, "list unflagged metrics too")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchtrend [-threshold 0.10] [-all] [-v] old.json [...] new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) < 2 {
+		fs.Usage()
+		return 2
+	}
+
+	reports := make([]*perf.BenchReport, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchtrend:", err)
+			return 2
+		}
+		if reports[i], err = perf.ParseBenchReport(data); err != nil {
+			fmt.Fprintf(stderr, "benchtrend: %s: %v\n", p, err)
+			return 2
+		}
+	}
+
+	gateFailed := false
+	for i := 0; i+1 < len(reports); i++ {
+		tr := perf.CompareBench(reports[i], reports[i+1], *threshold)
+		gated := *all || i == len(reports)-2
+		printTrend(stdout, paths[i], paths[i+1], tr, gated, *verbose)
+		if gated && tr.Regressions > 0 {
+			gateFailed = true
+		}
+		// A gated pair with nothing to compare is a blackout, not a pass:
+		// a wholesale benchmark rename (or an artifact that parsed to
+		// nothing) would otherwise disable the gate with exit 0 — and the
+		// empty artifact would become the next run's baseline, keeping it
+		// disabled. Individual renames are tolerated (Missing); losing
+		// every metric at once is not.
+		if gated && tr.Compared == 0 && len(reports[i].Benchmarks) > 0 {
+			fmt.Fprintf(stdout, "   GATE FAILED: no metric of %s survives into %s — renamed everything, or empty artifact?\n",
+				paths[i], paths[i+1])
+			gateFailed = true
+		}
+	}
+	if gateFailed {
+		return 1
+	}
+	return 0
+}
+
+// printTrend renders one adjacent-pair comparison. Flagged deltas (and
+// missing metrics) always print; -v adds the neutral ones.
+func printTrend(w io.Writer, oldPath, newPath string, tr *perf.Trend, gated, verbose bool) {
+	gate := "informational"
+	if gated {
+		gate = "gated"
+	}
+	fmt.Fprintf(w, "== benchtrend: %s -> %s (threshold %.0f%%, %s)\n",
+		oldPath, newPath, tr.Threshold*100, gate)
+	for _, d := range tr.Deltas {
+		switch {
+		case d.Missing:
+			fmt.Fprintf(w, "   MISSING    %-28s %-12s %.6g -> (absent from newer report)\n",
+				d.Bench, d.Metric, d.Old)
+		case d.Regressed && math.IsInf(d.Worse, 1):
+			fmt.Fprintf(w, "   REGRESSED  %-28s %-12s %.6g -> %.6g (cost appeared from a zero baseline)\n",
+				d.Bench, d.Metric, d.Old, d.New)
+		case d.Regressed:
+			fmt.Fprintf(w, "   REGRESSED  %-28s %-12s %.6g -> %.6g (%.2fx, %+.1f%% worse)\n",
+				d.Bench, d.Metric, d.Old, d.New, d.Ratio, d.Worse*100)
+		case d.Improved && math.IsInf(d.Worse, -1):
+			fmt.Fprintf(w, "   improved   %-28s %-12s %.6g -> %.6g (from a zero baseline)\n",
+				d.Bench, d.Metric, d.Old, d.New)
+		case d.Improved:
+			fmt.Fprintf(w, "   improved   %-28s %-12s %.6g -> %.6g (%.2fx)\n",
+				d.Bench, d.Metric, d.Old, d.New, d.Ratio)
+		case verbose:
+			fmt.Fprintf(w, "   ok         %-28s %-12s %.6g -> %.6g\n",
+				d.Bench, d.Metric, d.Old, d.New)
+		}
+	}
+	fmt.Fprintf(w, "   %d compared: %d regressed, %d improved, %d missing\n",
+		tr.Compared, tr.Regressions, tr.Improvements, tr.Missing)
+}

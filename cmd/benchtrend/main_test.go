@@ -1,0 +1,160 @@
+package main
+
+// End-to-end table test for the trend gate: the acceptance scenario — an
+// injected 10% sim-inst/s regression between two BENCH_ci.json artifacts
+// must exit non-zero — plus improvement, missing-metric, multi-file, and
+// decode-error inputs.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport writes one BENCH_ci.json-shaped artifact and returns its path.
+func writeReport(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseReport = `{
+  "schema": "repro-bench/v1",
+  "benchmarks": [
+    {"name": "SimThroughput", "iterations": 1, "metrics": {"sim-inst/s": 200000000}},
+    {"name": "CompileAllocs", "iterations": 1, "metrics": {"ns/op": 4000000, "allocs/op": 300}}
+  ]
+}`
+
+func TestBenchtrend(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+
+	cases := []struct {
+		name     string
+		newBody  string
+		args     []string // extra args before the file pair
+		wantExit int
+		wantOut  []string
+	}{
+		{
+			name: "injected 10 percent sim-inst/s regression fails the gate",
+			newBody: `{"schema":"repro-bench/v1","benchmarks":[
+				{"name":"SimThroughput","iterations":1,"metrics":{"sim-inst/s":180000000}},
+				{"name":"CompileAllocs","iterations":1,"metrics":{"ns/op":4000000,"allocs/op":300}}]}`,
+			wantExit: 1,
+			wantOut:  []string{"REGRESSED", "SimThroughput", "sim-inst/s"},
+		},
+		{
+			name: "improvement passes",
+			newBody: `{"schema":"repro-bench/v1","benchmarks":[
+				{"name":"SimThroughput","iterations":1,"metrics":{"sim-inst/s":260000000}},
+				{"name":"CompileAllocs","iterations":1,"metrics":{"ns/op":2000000,"allocs/op":150}}]}`,
+			wantExit: 0,
+			wantOut:  []string{"improved", "3 compared: 0 regressed, 3 improved, 0 missing"},
+		},
+		{
+			name: "missing metric is reported but passes",
+			newBody: `{"schema":"repro-bench/v1","benchmarks":[
+				{"name":"SimThroughput","iterations":1,"metrics":{"sim-inst/s":200000000}},
+				{"name":"CompileAllocs","iterations":1,"metrics":{"ns/op":4000000}}]}`,
+			wantExit: 0,
+			wantOut:  []string{"MISSING", "allocs/op", "1 missing"},
+		},
+		{
+			name: "allocs/op cost regression fails the gate",
+			newBody: `{"schema":"repro-bench/v1","benchmarks":[
+				{"name":"SimThroughput","iterations":1,"metrics":{"sim-inst/s":200000000}},
+				{"name":"CompileAllocs","iterations":1,"metrics":{"ns/op":4000000,"allocs/op":400}}]}`,
+			wantExit: 1,
+			wantOut:  []string{"REGRESSED", "CompileAllocs", "allocs/op"},
+		},
+		{
+			name: "sub-threshold drift passes",
+			newBody: `{"schema":"repro-bench/v1","benchmarks":[
+				{"name":"SimThroughput","iterations":1,"metrics":{"sim-inst/s":195000000}},
+				{"name":"CompileAllocs","iterations":1,"metrics":{"ns/op":4100000,"allocs/op":301}}]}`,
+			wantExit: 0,
+			wantOut:  []string{"3 compared: 0 regressed, 0 improved, 0 missing"},
+		},
+		{
+			name: "total comparison blackout fails the gate",
+			newBody: `{"schema":"repro-bench/v1","benchmarks":[
+				{"name":"EverythingRenamed","iterations":1,"metrics":{"sim-inst/s":200000000}}]}`,
+			wantExit: 1,
+			wantOut:  []string{"GATE FAILED", "0 regressed"},
+		},
+		{
+			name:     "empty artifact fails the gate",
+			newBody:  `{"schema":"repro-bench/v1","benchmarks":[]}`,
+			wantExit: 1,
+			wantOut:  []string{"GATE FAILED"},
+		},
+		{
+			name: "higher threshold tolerates the same drop",
+			newBody: `{"schema":"repro-bench/v1","benchmarks":[
+				{"name":"SimThroughput","iterations":1,"metrics":{"sim-inst/s":180000000}},
+				{"name":"CompileAllocs","iterations":1,"metrics":{"ns/op":4000000,"allocs/op":300}}]}`,
+			args:     []string{"-threshold", "0.25"},
+			wantExit: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newP := writeReport(t, t.TempDir(), "new.json", tc.newBody)
+			var out, errb bytes.Buffer
+			code := run(append(tc.args, base, newP), &out, &errb)
+			if code != tc.wantExit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tc.wantExit, out.String(), errb.String())
+			}
+			for _, want := range tc.wantOut {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+// TestBenchtrendGatesOnlyNewestPair pins the multi-file trajectory
+// behavior: an old regression that has since recovered does not fail the
+// gate, unless -all asks for it.
+func TestBenchtrendGatesOnlyNewestPair(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", baseReport)
+	b := writeReport(t, dir, "b.json", `{"schema":"repro-bench/v1","benchmarks":[
+		{"name":"SimThroughput","iterations":1,"metrics":{"sim-inst/s":150000000}}]}`)
+	c := writeReport(t, dir, "c.json", `{"schema":"repro-bench/v1","benchmarks":[
+		{"name":"SimThroughput","iterations":1,"metrics":{"sim-inst/s":210000000}}]}`)
+
+	var out bytes.Buffer
+	if code := run([]string{a, b, c}, &out, &out); code != 0 {
+		t.Fatalf("recovered trajectory failed the gate (exit %d):\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-all", a, b, c}, &out, &out); code != 1 {
+		t.Fatalf("-all did not gate the historical regression (exit %d):\n%s", code, out.String())
+	}
+}
+
+func TestBenchtrendUsageAndDecodeErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", baseReport)
+	bad := writeReport(t, dir, "bad.json", `{"schema":"other/v2"}`)
+
+	var out bytes.Buffer
+	if code := run([]string{good}, &out, &out); code != 2 {
+		t.Fatalf("single file exit = %d, want 2", code)
+	}
+	if code := run([]string{good, bad}, &out, &out); code != 2 {
+		t.Fatalf("bad schema exit = %d, want 2", code)
+	}
+	if code := run([]string{good, filepath.Join(dir, "absent.json")}, &out, &out); code != 2 {
+		t.Fatalf("missing file exit = %d, want 2", code)
+	}
+}

@@ -6,9 +6,10 @@
 // Browsix-Wasm kernel, and the Browsix-SPEC harness that regenerates every
 // table and figure of the paper's evaluation.
 //
-// See DESIGN.md for the package inventory and the simulator's execution
-// engine design. The root-level benchmarks (bench_test.go) regenerate each
-// experiment:
+// See README.md for the quickstart and the runtime-knob table, and
+// DESIGN.md for the package inventory, the simulator's execution engine,
+// the run pipeline, and the scheduler-budget design. The root-level
+// benchmarks (bench_test.go) regenerate each experiment:
 //
 //	go test -bench . -benchtime 1x
 package repro

@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -187,14 +188,29 @@ type CompiledModule struct {
 //
 // Functions compile independently: the frontend (lowering, optimization,
 // liveness, register allocation) and the emission of per-function machine
-// fragments both fan out over the shared scheduler (see Workers), with two
-// short serial passes between them — the rodata prescan that fixes constant
-// addresses in function order, and the fragment merge that concatenates the
-// fragments and resolves branch/call targets to global instruction indices.
-// The output is byte-identical at any worker count.
+// fragments both fan out over the shared scheduler, borrowing worker slots
+// from the process-wide budget (sched.Shared; Workers caps the width), with
+// two short serial passes between them — the rodata prescan that fixes
+// constant addresses in function order, and the fragment merge that
+// concatenates the fragments and resolves branch/call targets to global
+// instruction indices. When concurrent suite jobs hold the whole budget the
+// compile simply runs serially on its caller's goroutine. The output is
+// byte-identical at any worker count and any budget size.
 func Compile(m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
+	return CompileContext(context.Background(), m, cfg)
+}
+
+// CompileContext is Compile under a caller context. The context's role is
+// scheduler accounting: when it carries the shared scheduler's pool marker
+// (the compile was reached from inside a RunJobs job, as
+// pipeline.BuildContext arranges), the per-function fan-out skips the
+// best-effort self token its goroutine is already charged for. A
+// cancellable context also stops dispatching function jobs once cancelled;
+// note that Build's cache deliberately strips cancellation before calling
+// this, so shared compiles are never aborted by one requester.
+func CompileContext(ctx context.Context, m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
 	start := time.Now()
-	ctx := &moduleCtx{
+	mctx := &moduleCtx{
 		cfg:     cfg,
 		roIndex: map[uint64]uint32{},
 	}
@@ -202,21 +218,21 @@ func Compile(m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
 	// Host imports.
 	for _, im := range m.Imports {
 		if im.Kind == wasm.ExternFunc {
-			ctx.hostNames = append(ctx.hostNames, im.Module+"."+im.Name)
+			mctx.hostNames = append(mctx.hostNames, im.Module+"."+im.Name)
 		}
 	}
 
 	// Function labels.
-	ctx.funcLabel = make([]int, len(m.Funcs))
+	mctx.funcLabel = make([]int, len(m.Funcs))
 	for i := range m.Funcs {
-		ctx.funcLabel[i] = i + 1
+		mctx.funcLabel[i] = i + 1
 	}
 
 	// Table.
 	cm := &CompiledModule{Engine: cfg, Module: m, Exports: map[string]int{}}
 	if len(m.Tables) > 0 {
-		ctx.tableSize = int(m.Tables[0].Limits.Min)
-		cm.Table = make([]TableEntry, ctx.tableSize)
+		mctx.tableSize = int(m.Tables[0].Limits.Min)
+		cm.Table = make([]TableEntry, mctx.tableSize)
 		for i := range cm.Table {
 			cm.Table[i] = TableEntry{SigID: -1, FuncIdx: -1}
 		}
@@ -249,7 +265,7 @@ func Compile(m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
 			}
 		}
 	}
-	err := runPerFunc(n, func(fi int) error {
+	err := runPerFunc(ctx, n, func(fi int) error {
 		sc := getScratch()
 		frags[fi] = sc
 		f, err := lowerFuncInto(m, fi, cfg, sc)
@@ -279,14 +295,14 @@ func Compile(m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
 	// sealed: an emission-phase miss (a prescan/emitter mismatch bug)
 	// panics instead of interning at a scheduling-dependent address.
 	for _, sc := range frags {
-		prescanConsts(ctx, sc.f, sc.res)
+		prescanConsts(mctx, sc.f, sc.res)
 	}
-	ctx.roSealed = true
+	mctx.roSealed = true
 
 	// Phase 3 (parallel): emit every function into its scratch fragment.
-	err = runPerFunc(n, func(fi int) error {
+	err = runPerFunc(ctx, n, func(fi int) error {
 		sc := frags[fi]
-		em := &emitter{ctx: ctx, cfg: cfg, f: sc.f, ra: sc.res, sc: sc, prog: sc.frag}
+		em := &emitter{ctx: mctx, cfg: cfg, f: sc.f, ra: sc.res, sc: sc, prog: sc.frag}
 		if err := em.emitFunc(); err != nil {
 			return err
 		}
@@ -309,7 +325,7 @@ func Compile(m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
 	}
 
 	// Phase 4 (serial): merge fragments in function order.
-	prog, err := mergeFragments(ctx, frags)
+	prog, err := mergeFragments(mctx, frags)
 	if err != nil {
 		releaseAll()
 		return nil, err
@@ -333,7 +349,7 @@ func Compile(m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
 	// Entries.
 	cm.Prog = prog
 	cm.Entries = make([]int, len(m.Funcs))
-	for i, l := range ctx.funcLabel {
+	for i, l := range mctx.funcLabel {
 		idx, ok := prog.LabelTarget(l)
 		if !ok {
 			return nil, fmt.Errorf("codegen: function %d entry label unresolved", i)
@@ -359,8 +375,8 @@ func Compile(m *wasm.Module, cfg *EngineConfig) (*CompiledModule, error) {
 		}
 	}
 	cm.Data = m.Data
-	cm.Rodata = ctx.rodata
-	cm.HostImports = ctx.hostNames
+	cm.Rodata = mctx.rodata
+	cm.HostImports = mctx.hostNames
 
 	nimp := m.NumImportedFuncs()
 	for _, e := range m.Exports {

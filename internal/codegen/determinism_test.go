@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/minic"
+	"repro/internal/sched"
 	"repro/internal/wasm"
 	"repro/internal/workloads"
 )
@@ -82,9 +83,20 @@ func compileAt(t testing.TB, m *wasm.Module, cfg *codegen.EngineConfig, workers 
 	return encodeNormalized(t, cm)
 }
 
+// compileAtBudget compiles m with the given worker cap while the shared
+// scheduler budget is pinned to tokens, returning the normalized artifact
+// bytes.
+func compileAtBudget(t testing.TB, m *wasm.Module, cfg *codegen.EngineConfig, workers, tokens int) []byte {
+	t.Helper()
+	prev := sched.SetSharedCapacity(tokens)
+	defer sched.SetSharedCapacity(prev)
+	return compileAt(t, m, cfg, workers)
+}
+
 // TestCompileDeterminism pins serial == parallel, byte for byte, for every
 // engine configuration, on both a hand-written multi-function module and a
-// real workload.
+// real workload — and at every scheduler budget size: a compile that can
+// borrow no helpers, a few, or plenty must produce the same artifact.
 func TestCompileDeterminism(t *testing.T) {
 	sources := map[string]string{
 		"multifunc": multiFuncSource,
@@ -105,6 +117,15 @@ func TestCompileDeterminism(t *testing.T) {
 				again := compileAt(t, m, cfg, 8)
 				if !bytes.Equal(serial, again) {
 					t.Fatal("warm-pool recompile produced a different artifact")
+				}
+				// And across budget sizes, including a budget of one token
+				// (no helpers at all — pure inline compilation).
+				for _, tokens := range []int{1, 2, 16} {
+					got := compileAtBudget(t, m, cfg, 8, tokens)
+					if !bytes.Equal(serial, got) {
+						t.Fatalf("artifact differs at budget %d (%d vs %d bytes)",
+							tokens, len(serial), len(got))
+					}
 				}
 			})
 		}

@@ -11,10 +11,15 @@ import (
 	"repro/internal/x86"
 )
 
-// Workers bounds per-function compile parallelism inside Compile. 0 selects
-// the scheduler default (GOMAXPROCS); 1 forces serial compilation. The
+// Workers caps per-function compile parallelism inside Compile. 0 selects
+// the scheduler default (GOMAXPROCS); 1 forces serial compilation. The cap
+// is an upper bound, not a reservation: the actual fan-out borrows worker
+// slots from the process-wide scheduler budget (sched.Shared), so many
+// modules compiling concurrently — suite cold start — collectively stay
+// within one budget instead of spawning Workers goroutines each. The
 // setting never affects output: serial and parallel compiles of the same
-// module produce byte-identical programs (pinned by TestCompileDeterminism).
+// module produce byte-identical programs at any budget size (pinned by
+// TestCompileDeterminism).
 var Workers int
 
 // compileScratch owns every transient of one function's compilation — the
@@ -132,13 +137,24 @@ func compileWorkers() int {
 }
 
 // runPerFunc runs fn for every function index, fanning out over the shared
-// scheduler when more than one worker is configured. The serial path is the
-// workers==1 case of the same loop; outputs are index-addressed so the two
-// are indistinguishable on success.
-func runPerFunc(n int, fn func(int) error) error {
+// scheduler when more than one worker is configured. Extra workers are
+// borrowed from the process-wide budget (sched.Shared) token by token
+// inside RunJobs — a compile that starts while suite fan-out holds every
+// token runs serially on the calling goroutine, and one that outlives the
+// contention picks up freed tokens mid-run. ctx carries the scheduler's
+// pool marker when the compile was reached from inside a fan-out
+// (pipeline.BuildContext threads it through), so a nested compile never
+// double-charges the budget for its own goroutine; a cancelled ctx stops
+// dispatching further functions on the serial and parallel paths alike.
+// Outputs are index-addressed, so serial and parallel runs are
+// indistinguishable on success.
+func runPerFunc(ctx context.Context, n int, fn func(int) error) error {
 	workers := compileWorkers()
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -150,5 +166,5 @@ func runPerFunc(n int, fn func(int) error) error {
 		i := i
 		jobs[i] = func(context.Context) error { return fn(i) }
 	}
-	return sched.RunJobs(context.Background(), workers, jobs)
+	return sched.RunJobs(ctx, workers, jobs)
 }

@@ -1,6 +1,10 @@
 // Package perf defines the hardware performance counters the paper records
 // through Linux perf (Table 3) and the counter sets produced by the CPU
-// simulator. Event names and raw PMU descriptors match the paper.
+// simulator; event names and raw PMU descriptors match the paper. It also
+// owns the repository's own performance trajectory: the BENCH_ci.json
+// bench-artifact schema shared by cmd/benchjson (producer) and
+// cmd/benchtrend (consumer), and the cross-run trend comparison
+// (CompareBench) CI gates regressions with.
 package perf
 
 import (

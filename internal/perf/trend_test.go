@@ -1,0 +1,199 @@
+package perf
+
+import (
+	"testing"
+)
+
+func report(benches ...Benchmark) *BenchReport {
+	return &BenchReport{Schema: BenchSchema, Benchmarks: benches}
+}
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+// findDelta returns the delta for (bench, metric), failing the test when it
+// is absent.
+func findDelta(t *testing.T, tr *Trend, b, m string) TrendDelta {
+	t.Helper()
+	for _, d := range tr.Deltas {
+		if d.Bench == b && d.Metric == m {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s %s in %+v", b, m, tr.Deltas)
+	return TrendDelta{}
+}
+
+// TestCompareBench is the trend table test: improvements, regressions at
+// and around the threshold in both metric directions, missing metrics and
+// benchmarks, zero baselines, and new-only coverage.
+func TestCompareBench(t *testing.T) {
+	const threshold = 0.10
+	cases := []struct {
+		name     string
+		old, new Benchmark
+		metric   string
+		// expectations for the (bench, metric) delta:
+		regressed, improved, missing bool
+	}{
+		{
+			name:      "throughput drop of exactly the threshold regresses",
+			old:       bench("SimThroughput", map[string]float64{"sim-inst/s": 200e6}),
+			new:       bench("SimThroughput", map[string]float64{"sim-inst/s": 180e6}),
+			metric:    "sim-inst/s",
+			regressed: true,
+		},
+		{
+			name:   "throughput drop under the threshold is neutral",
+			old:    bench("SimThroughput", map[string]float64{"sim-inst/s": 200e6}),
+			new:    bench("SimThroughput", map[string]float64{"sim-inst/s": 195e6}),
+			metric: "sim-inst/s",
+		},
+		{
+			name:     "throughput gain past the threshold improves",
+			old:      bench("SimThroughput", map[string]float64{"sim-inst/s": 200e6}),
+			new:      bench("SimThroughput", map[string]float64{"sim-inst/s": 240e6}),
+			metric:   "sim-inst/s",
+			improved: true,
+		},
+		{
+			name:      "cost rise of exactly the threshold regresses",
+			old:       bench("CompileAllocs", map[string]float64{"allocs/op": 100}),
+			new:       bench("CompileAllocs", map[string]float64{"allocs/op": 110}),
+			metric:    "allocs/op",
+			regressed: true,
+		},
+		{
+			name:     "cost drop past the threshold improves",
+			old:      bench("CompileAllocs", map[string]float64{"ns/op": 5000}),
+			new:      bench("CompileAllocs", map[string]float64{"ns/op": 3000}),
+			metric:   "ns/op",
+			improved: true,
+		},
+		{
+			name:    "metric present only in old is missing, never a regression",
+			old:     bench("CompileAllocs", map[string]float64{"allocs/op": 100, "ns/op": 5000}),
+			new:     bench("CompileAllocs", map[string]float64{"ns/op": 5000}),
+			metric:  "allocs/op",
+			missing: true,
+		},
+		{
+			name:    "benchmark present only in old is missing",
+			old:     bench("SpawnAllocs", map[string]float64{"B/op": 2500}),
+			new:     bench("Renamed", map[string]float64{"B/op": 2500}),
+			metric:  "B/op",
+			missing: true,
+		},
+		{
+			name:      "cost appearing from a zero baseline regresses at any threshold",
+			old:       bench("CompileAllocs", map[string]float64{"allocs/op": 0}),
+			new:       bench("CompileAllocs", map[string]float64{"allocs/op": 50}),
+			metric:    "allocs/op",
+			regressed: true,
+		},
+		{
+			name:     "throughput appearing from a zero baseline improves",
+			old:      bench("SimThroughput", map[string]float64{"sim-inst/s": 0}),
+			new:      bench("SimThroughput", map[string]float64{"sim-inst/s": 100}),
+			metric:   "sim-inst/s",
+			improved: true,
+		},
+		{
+			name:   "zero to zero is neutral",
+			old:    bench("ColdMisses", map[string]float64{"misses/op": 0}),
+			new:    bench("ColdMisses", map[string]float64{"misses/op": 0}),
+			metric: "misses/op",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := CompareBench(report(tc.old), report(tc.new), threshold)
+			d := findDelta(t, tr, tc.old.Name, tc.metric)
+			if d.Regressed != tc.regressed || d.Improved != tc.improved || d.Missing != tc.missing {
+				t.Fatalf("delta = regressed=%v improved=%v missing=%v, want %v/%v/%v (worse=%g)",
+					d.Regressed, d.Improved, d.Missing, tc.regressed, tc.improved, tc.missing, d.Worse)
+			}
+			wantReg, wantImp, wantMiss := 0, 0, 0
+			if tc.regressed {
+				wantReg = 1
+			}
+			if tc.improved {
+				wantImp = 1
+			}
+			if tc.missing {
+				wantMiss = 1
+			}
+			if tr.Regressions != wantReg || tr.Improvements != wantImp || tr.Missing != wantMiss {
+				t.Fatalf("counts = %d/%d/%d, want %d/%d/%d",
+					tr.Regressions, tr.Improvements, tr.Missing, wantReg, wantImp, wantMiss)
+			}
+		})
+	}
+}
+
+// TestCompareBenchZeroThreshold pins the -threshold 0 boundary: an
+// unchanged metric is never flagged, while any strict worsening or
+// improvement is.
+func TestCompareBenchZeroThreshold(t *testing.T) {
+	oldR := report(bench("A", map[string]float64{"ns/op": 100, "B/op": 50, "sim-inst/s": 1000}))
+	newR := report(bench("A", map[string]float64{"ns/op": 100, "B/op": 51, "sim-inst/s": 1001}))
+	tr := CompareBench(oldR, newR, 0)
+	if d := findDelta(t, tr, "A", "ns/op"); d.Regressed || d.Improved {
+		t.Errorf("unchanged metric flagged at threshold 0: %+v", d)
+	}
+	if d := findDelta(t, tr, "A", "B/op"); !d.Regressed {
+		t.Errorf("strict cost rise not flagged at threshold 0: %+v", d)
+	}
+	if d := findDelta(t, tr, "A", "sim-inst/s"); !d.Improved {
+		t.Errorf("strict throughput gain not flagged at threshold 0: %+v", d)
+	}
+}
+
+// TestCompareBenchIgnoresNewCoverage pins that benchmarks and metrics that
+// exist only in the new report do not produce deltas.
+func TestCompareBenchIgnoresNewCoverage(t *testing.T) {
+	oldR := report(bench("A", map[string]float64{"ns/op": 100}))
+	newR := report(
+		bench("A", map[string]float64{"ns/op": 100, "allocs/op": 5}),
+		bench("B", map[string]float64{"ns/op": 10}),
+	)
+	tr := CompareBench(oldR, newR, 0.10)
+	if len(tr.Deltas) != 1 || tr.Compared != 1 {
+		t.Fatalf("deltas = %+v (compared %d), want exactly the one shared metric", tr.Deltas, tr.Compared)
+	}
+}
+
+func TestParseBenchReport(t *testing.T) {
+	good := []byte(`{"schema":"repro-bench/v1","benchmarks":[{"name":"X","iterations":1,"metrics":{"ns/op":5}}]}`)
+	r, err := ParseBenchReport(good)
+	if err != nil {
+		t.Fatalf("ParseBenchReport: %v", err)
+	}
+	if b := r.Find("X"); b == nil || b.Metrics["ns/op"] != 5 {
+		t.Fatalf("Find(X) = %+v", b)
+	}
+	if r.Find("Y") != nil {
+		t.Fatal("Find(Y) found a nonexistent benchmark")
+	}
+	if _, err := ParseBenchReport([]byte(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := ParseBenchReport([]byte(`{`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestHigherIsBetter(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"sim-inst/s": true,
+		"MB/s":       true,
+		"ns/op":      false,
+		"B/op":       false,
+		"allocs/op":  false,
+	} {
+		if got := HigherIsBetter(unit); got != want {
+			t.Errorf("HigherIsBetter(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}

@@ -55,9 +55,10 @@ func Run(src string, cfg *codegen.EngineConfig, argv []string, files map[string]
 }
 
 // RunContext builds src for cfg through the shared cache and executes it
-// under ctx (see ExecContext).
+// under ctx (see ExecContext; the build only uses ctx for scheduler-budget
+// accounting, see BuildContext).
 func RunContext(ctx context.Context, src string, cfg *codegen.EngineConfig, argv []string, files map[string][]byte) (*RunResult, error) {
-	cm, err := Build(src, cfg)
+	cm, err := BuildContext(ctx, src, cfg)
 	if err != nil {
 		return nil, err
 	}

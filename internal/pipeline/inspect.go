@@ -77,7 +77,11 @@ func ListArtifacts() ([]ArtifactInfo, error) {
 // least-recently-used artifacts until the total fits under maxBytes
 // (maxBytes <= 0 selects the configured budget). Stale temp files from
 // interrupted writers are reclaimed as part of the scan. It returns how
-// many artifacts were removed and how many bytes they freed.
+// many artifacts were removed and how many bytes they freed. Unlike the
+// automatic publish-path sweep, an explicit GC does not defer to the
+// cross-process sweep sentinel: the user asked for a sweep, and a
+// concurrent sweeper is safe (just redundant), so skipping silently would
+// be worse than double-scanning.
 func GCStore(maxBytes int64) (removed int, freed int64, err error) {
 	s := artifactStore()
 	if s == nil {

@@ -4,14 +4,18 @@
 // matter how many harnesses, tests, or CLIs ask for it) layered over a
 // disk-backed artifact store (one compile per content address across
 // processes — repeated CLI invocations, test runs, and CI jobs start warm),
-// a bounded job scheduler for suite fan-out, and the canonical "run one
-// binary in a fresh kernel" helper. The spec harness, the toolchain
-// front-end, the workloads differential tests, and the cmd/* binaries all
-// build and execute through this package, so builds are shared and suite
-// parallelism is governed in one place.
+// a budget-bounded job scheduler for suite fan-out (internal/sched: suite
+// jobs and the per-function compile fan-out inside them draw workers from
+// one process-wide token budget, so parallelism is ~GOMAXPROCS at any
+// nesting depth), and the canonical "run one binary in a fresh kernel"
+// helper. The spec harness, the toolchain front-end, the workloads
+// differential tests, and the cmd/* binaries all build and execute through
+// this package, so builds are shared and suite parallelism is governed in
+// one place.
 package pipeline
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -111,6 +115,19 @@ func countMiss() {
 // instantiation state lives in cpu.Machine, not here. Failed builds are
 // cached too (in memory only): identical inputs fail identically.
 func Build(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
+	return BuildContext(context.Background(), src, cfg)
+}
+
+// BuildContext is Build under a caller context. Cancellation is
+// deliberately stripped before the compile runs: a cache entry is shared by
+// every requester of the same content, so one caller's cancelled context
+// must never abort (or, worse, poison with its cancellation error) a
+// compile another caller is waiting on — and cached failures stay
+// input-deterministic. What survives is the context's values, in particular
+// the shared scheduler's pool marker: a build reached from inside a
+// RunJobs job (a suite shard) compiles without double-charging the worker
+// budget for the goroutine it is already running on.
+func BuildContext(ctx context.Context, src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
 	k := Key(src, cfg)
 	buildMu.Lock()
 	e, ok := buildCache[k]
@@ -130,7 +147,7 @@ func Build(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, erro
 			}
 		}
 		countMiss()
-		e.cm, e.err = buildUncached(src, cfg)
+		e.cm, e.err = buildUncached(context.WithoutCancel(ctx), src, cfg)
 		if e.err == nil {
 			if s := artifactStore(); s != nil {
 				s.save(k, e.cm)
@@ -141,13 +158,13 @@ func Build(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, erro
 }
 
 // buildUncached is the raw mini-C → engine pipeline with no caching.
-func buildUncached(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
+func buildUncached(ctx context.Context, src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
 	abi := ABIFor(cfg)
 	m, err := minic.Compile(src, abi)
 	if err != nil {
 		return nil, err
 	}
-	cm, err := codegen.Compile(m, cfg)
+	cm, err := codegen.CompileContext(ctx, m, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -15,11 +15,17 @@ type Job = sched.Job
 // GOMAXPROCS, instead of a hardcoded width.
 func DefaultWorkers() int { return sched.DefaultWorkers() }
 
-// RunJobs executes jobs on a bounded worker pool and returns every failure,
+// RunJobs executes jobs with bounded parallelism and returns every failure,
 // joined with errors.Join in job order (not completion order). workers <= 0
-// selects DefaultWorkers. When ctx is cancelled, queued jobs are abandoned,
-// in-flight jobs see the cancelled context, and ctx's error is included in
-// the aggregate.
+// selects DefaultWorkers. The width is additionally capped by the
+// process-wide scheduler budget (sched.Shared): the calling goroutine
+// always participates, and extra workers exist only while a budget token
+// can be borrowed — so suite fan-out and the per-function compile fan-out
+// inside each suite job (codegen.Compile, reached through Build) share one
+// pool instead of multiplying, keeping a cold suite start at roughly
+// GOMAXPROCS runnable goroutines at any nesting depth. When ctx is
+// cancelled, undispatched jobs are abandoned, in-flight jobs see the
+// cancelled context, and ctx's error is included in the aggregate.
 func RunJobs(ctx context.Context, workers int, jobs []Job) error {
 	return sched.RunJobs(ctx, workers, jobs)
 }

@@ -70,9 +70,10 @@ type diskStore struct {
 	maxBytes int64
 
 	// evictMu serializes eviction sweeps within the process and guards
-	// curBytes/sized; sweeps from concurrent processes are safe (removal of
-	// a file another process just read is benign — the reader has its
-	// bytes) just wasteful.
+	// curBytes/sized. Across processes the sweep sentinel (tryLockSweep)
+	// elects a single sweeper; a concurrent sweep would still be safe
+	// (removal of a file another process just read is benign — the reader
+	// has its bytes), the sentinel only removes the wasted double scan.
 	evictMu sync.Mutex
 	// curBytes approximates the store's total size so publishes far under
 	// budget skip the full directory sweep; it is seeded by one scan and
@@ -294,6 +295,65 @@ type storedFile struct {
 	mtime time.Time
 }
 
+// sweepLockName is the cross-process sweep sentinel at the store root.
+// Concurrent `go test` processes sharing one REPRO_CACHE_DIR each used to
+// sweep independently — safe (removals of just-read files are benign) but
+// wasteful: every process walked the whole store. The sentinel elects one
+// sweeper: whoever creates it (O_EXCL) sweeps; everyone else skips, keeps
+// its over-budget size accounting, and retries at its next publish, by
+// which point the elected sweeper has usually brought the store under
+// budget anyway.
+const sweepLockName = ".sweep-lock"
+
+// staleSweepLockAge is how old the sentinel must be before another process
+// steals it: far longer than any sweep (milliseconds), short enough that a
+// sweeper killed mid-walk cannot disable eviction for the store's lifetime.
+const staleSweepLockAge = 10 * time.Minute
+
+// tryLockSweep claims the sweep sentinel. It never blocks: a fresh sentinel
+// means another process is sweeping and the caller should skip; a stale one
+// (crashed sweeper) is removed and the claim retried once.
+func (s *diskStore) tryLockSweep(now time.Time) bool {
+	p := filepath.Join(s.dir, sweepLockName)
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(p, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			f.Close()
+			return true
+		}
+		if !os.IsExist(err) {
+			// Unwritable root: the store is best-effort everywhere else
+			// too, so just skip the sweep.
+			return false
+		}
+		info, serr := os.Stat(p)
+		if serr != nil {
+			// The holder released between our create and stat; retry once.
+			continue
+		}
+		if now.Sub(info.ModTime()) <= staleSweepLockAge {
+			return false
+		}
+		// Stale sentinel from a crashed sweeper: steal it by renaming it
+		// aside. The rename is the atomic election — exactly one contender
+		// succeeds (the rest see ENOENT and report the lock busy), so a
+		// loser's cleanup can never delete the sentinel the winner is
+		// about to create with O_EXCL.
+		stolen := fmt.Sprintf("%s.stale-%d", p, os.Getpid())
+		if os.Rename(p, stolen) != nil {
+			return false
+		}
+		os.Remove(stolen)
+	}
+	return false
+}
+
+// unlockSweep releases the sweep sentinel.
+func (s *diskStore) unlockSweep() {
+	os.Remove(filepath.Join(s.dir, sweepLockName))
+}
+
 // staleTempAge is how old an unpublished .tmp-* file must be before a sweep
 // reclaims it: long enough that a concurrent writer's in-flight temp file
 // is never deleted under it, short enough that crashed writers cannot leak
@@ -303,7 +363,9 @@ const staleTempAge = time.Hour
 // evict charges justWrote bytes against the running size total and, once
 // the budget is exceeded, sweeps the store back under it. mtime is the LRU
 // clock: load refreshes it on every hit. The running total makes the common
-// under-budget publish O(1) — only sweeps walk the directory.
+// under-budget publish O(1) — only sweeps walk the directory, and only one
+// process at a time does (the sweep sentinel): a loser keeps its
+// over-budget accounting and retries at its next publish.
 func (s *diskStore) evict(justWrote int64) {
 	s.evictMu.Lock()
 	defer s.evictMu.Unlock()
@@ -313,7 +375,15 @@ func (s *diskStore) evict(justWrote int64) {
 			return
 		}
 	}
-	s.sweepTo(s.maxBytes)
+	if !s.tryLockSweep(time.Now()) {
+		return
+	}
+	defer s.unlockSweep()
+	// Sweep to 90% of the budget, not the budget itself: a store hovering
+	// at its cap would otherwise pay a full directory walk on every
+	// publish. The slack amortizes one walk over many publishes. (Explicit
+	// GCStore still targets the exact budget — the user asked for it.)
+	s.sweepTo(s.maxBytes - s.maxBytes/10)
 }
 
 // scan walks the store, reclaiming stale temp files from interrupted
@@ -328,6 +398,14 @@ func (s *diskStore) scan(now time.Time) ([]storedFile, error) {
 	}
 	for _, sub := range subdirs {
 		if !sub.IsDir() {
+			// A .sweep-lock.stale-<pid> orphan is a stolen sentinel whose
+			// thief died between the rename-aside and the remove; reclaim
+			// it once it is old enough that the thief is certainly gone.
+			if strings.HasPrefix(sub.Name(), sweepLockName+".stale-") {
+				if info, err := sub.Info(); err == nil && now.Sub(info.ModTime()) > staleSweepLockAge {
+					os.Remove(filepath.Join(s.dir, sub.Name()))
+				}
+			}
 			continue
 		}
 		ents, err := os.ReadDir(filepath.Join(s.dir, sub.Name()))

@@ -7,6 +7,7 @@ package pipeline
 // recompiled module must be bit-identical in execution to an uncached build.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -108,7 +109,7 @@ func TestStoreCorruptionFallsBackToRecompile(t *testing.T) {
 	// Reference counters from a store-less build.
 	prev := setStore(nil)
 	t.Cleanup(func() { setStore(prev) })
-	ref, err := buildUncached(storeProbeSrc, cfg)
+	ref, err := buildUncached(context.Background(), storeProbeSrc, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,5 +448,136 @@ func TestGCReclaimsStaleTemps(t *testing.T) {
 	}
 	if _, err := os.Stat(fresh); err != nil {
 		t.Error("fresh temp file (possible in-flight writer) must survive GC")
+	}
+}
+
+// TestSweepLockElectsOneSweeper pins the cross-process sweep coordination:
+// while another process holds the sweep sentinel, this process's
+// publish-path eviction skips the sweep entirely (no files are removed even
+// far over budget), and once the sentinel is released the next publish
+// sweeps as usual.
+func TestSweepLockElectsOneSweeper(t *testing.T) {
+	// A 1-byte budget makes every publish want to sweep.
+	s := withTestStore(t, 1)
+
+	// Simulate a concurrent process mid-sweep: a fresh sentinel at the
+	// store root.
+	lock := filepath.Join(s.dir, sweepLockName)
+	if err := os.WriteFile(lock, []byte("424242\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srcs := []string{
+		"int main() { print_int(111); print_nl(); return 0; }",
+		"int main() { print_int(222); print_nl(); return 0; }",
+	}
+	for _, src := range srcs {
+		if _, err := Build(src, codegen.Native()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := func() (n int) {
+		files, err := s.scan(time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(files)
+	}
+	if got := count(); got != len(srcs) {
+		t.Fatalf("%d artifacts on disk with sweep locked elsewhere, want %d (sweep must be skipped)", got, len(srcs))
+	}
+
+	// Release the sentinel: the next publish elects this process and
+	// sweeps the store back under its (1-byte) budget.
+	if err := os.Remove(lock); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build("int main() { print_int(333); print_nl(); return 0; }", codegen.Native()); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != 0 {
+		t.Errorf("%d artifacts survived an unlocked sweep under a 1-byte budget, want 0", got)
+	}
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Error("sweep sentinel not released after the sweep")
+	}
+}
+
+// TestSweepLockStaleSentinelIsStolen pins crash recovery: a sentinel older
+// than staleSweepLockAge (a sweeper that died mid-walk) does not disable
+// eviction — the next publish steals it and sweeps.
+func TestSweepLockStaleSentinelIsStolen(t *testing.T) {
+	s := withTestStore(t, 1)
+
+	lock := filepath.Join(s.dir, sweepLockName)
+	if err := os.WriteFile(lock, []byte("424242\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * staleSweepLockAge)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Build("int main() { print_int(444); print_nl(); return 0; }", codegen.Native()); err != nil {
+		t.Fatal(err)
+	}
+	files, err := s.scan(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Errorf("%d artifacts survived: stale sentinel was not stolen", len(files))
+	}
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Error("stolen sentinel not released after the sweep")
+	}
+}
+
+// TestTryLockSweepMutualExclusion pins the sentinel protocol itself: one
+// winner among concurrent claimants, release enables the next claim.
+func TestTryLockSweepMutualExclusion(t *testing.T) {
+	s := withTestStore(t, 1<<30)
+	now := time.Now()
+	if !s.tryLockSweep(now) {
+		t.Fatal("first claim failed")
+	}
+	if s.tryLockSweep(now) {
+		t.Fatal("second claim succeeded while held")
+	}
+	s.unlockSweep()
+	if !s.tryLockSweep(now) {
+		t.Fatal("claim after release failed")
+	}
+	s.unlockSweep()
+}
+
+// TestScanReclaimsOrphanedStolenSentinel pins the crash-leak cleanup: a
+// .sweep-lock.stale-<pid> left by a thief that died between rename and
+// remove is reclaimed by the next old-enough scan, while a fresh one (a
+// steal in progress) survives.
+func TestScanReclaimsOrphanedStolenSentinel(t *testing.T) {
+	s := withTestStore(t, 1<<30)
+	orphan := filepath.Join(s.dir, sweepLockName+".stale-4242")
+	fresh := filepath.Join(s.dir, sweepLockName+".stale-4243")
+	for _, p := range []string{orphan, fresh} {
+		if err := os.WriteFile(p, []byte("4242\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleSweepLockAge)
+	if err := os.Chtimes(orphan, old, old); err != nil {
+		t.Fatal(err)
+	}
+	s.evictMu.Lock()
+	_, err := s.scan(time.Now())
+	s.evictMu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("old orphaned stolen sentinel survived scan")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh stolen sentinel (steal in progress) must survive scan")
 	}
 }

@@ -1,14 +1,30 @@
-// Package sched is the bounded job scheduler shared by every fan-out in the
-// reproduction: suite sharding in internal/pipeline and per-function module
-// compilation in internal/codegen. It is a leaf package (no repro imports) so
-// the compiler can use the same worker pool the pipeline layers on top of it.
+// Package sched is the process-wide scheduler every fan-out in the
+// reproduction shares: suite sharding in internal/pipeline and per-function
+// module compilation in internal/codegen. It owns two things — a bounded
+// job runner (RunJobs) and a weighted token Budget that caps how many extra
+// worker goroutines exist across *all* concurrent fan-outs at once, at any
+// nesting depth. It is a leaf package (no repro imports) so the compiler can
+// draw from the same budget the pipeline layers on top of it.
+//
+// The token protocol: a goroutine that calls RunJobs always works through
+// the job list itself (its slot is "free" — it exists whether or not the
+// scheduler helps it), and extra workers are spawned only while a token can
+// be borrowed from the shared Budget without blocking. Helpers return their
+// token when the job list runs dry. Because acquisition never blocks and
+// inline progress is always possible, nested fan-outs (a suite job whose
+// compile fans out per function) cannot deadlock, and the process-wide
+// count of scheduler-spawned goroutines never exceeds the budget capacity
+// (default GOMAXPROCS; $REPRO_SCHED_TOKENS overrides).
 package sched
 
 import (
 	"context"
 	"errors"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Job is one unit of work. Jobs receive the scheduler's context and should
@@ -20,11 +36,149 @@ type Job func(ctx context.Context) error
 // GOMAXPROCS, instead of a hardcoded width.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// RunJobs executes jobs on a bounded worker pool and returns every failure,
+// TokensEnv overrides the shared budget's capacity (a positive integer;
+// anything else is ignored). The default is DefaultWorkers.
+const TokensEnv = "REPRO_SCHED_TOKENS"
+
+// Budget is a weighted token pool bounding worker parallelism. Tokens are
+// borrowed with TryAcquire — never a blocking wait, which is what makes the
+// budget safe to share between nested fan-outs — and returned with Release.
+// The zero Budget is unusable; use NewBudget.
+type Budget struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	peak     int
+}
+
+// NewBudget returns a budget holding capacity tokens; capacity < 1 selects
+// DefaultWorkers.
+func NewBudget(capacity int) *Budget {
+	if capacity < 1 {
+		capacity = DefaultWorkers()
+	}
+	return &Budget{capacity: capacity}
+}
+
+// TryAcquire borrows w tokens if at least w are free, without blocking.
+// w must be positive.
+func (b *Budget) TryAcquire(w int) bool {
+	if w < 1 {
+		panic("sched: TryAcquire weight must be positive")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.inUse+w > b.capacity {
+		return false
+	}
+	b.inUse += w
+	if b.inUse > b.peak {
+		b.peak = b.inUse
+	}
+	return true
+}
+
+// Release returns w tokens borrowed with TryAcquire.
+func (b *Budget) Release(w int) {
+	if w < 1 {
+		panic("sched: Release weight must be positive")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.inUse -= w
+	if b.inUse < 0 {
+		panic("sched: Release without matching TryAcquire")
+	}
+}
+
+// Capacity reports the budget's token count.
+func (b *Budget) Capacity() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity
+}
+
+// InUse reports how many tokens are currently borrowed.
+func (b *Budget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}
+
+// Available reports how many tokens are currently free. The value is a
+// snapshot — it can be stale by the time the caller acts on it — so it is
+// only good for fast-path checks ("skip the fan-out machinery entirely"),
+// never for reservation.
+func (b *Budget) Available() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity - b.inUse
+}
+
+// Peak reports the high-water mark of borrowed tokens since the last
+// ResetPeak; by construction it never exceeds Capacity. Tests pin the
+// goroutine bound with it.
+func (b *Budget) Peak() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peak
+}
+
+// ResetPeak clears the high-water mark.
+func (b *Budget) ResetPeak() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.peak = b.inUse
+}
+
+// sharedBudget is the process-wide budget, sized once at init from
+// $REPRO_SCHED_TOKENS or GOMAXPROCS.
+var sharedBudget = NewBudget(capacityFromEnv())
+
+func capacityFromEnv() int {
+	if v := os.Getenv(TokensEnv); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return DefaultWorkers()
+}
+
+// Shared returns the process-wide budget that RunJobs and
+// codegen.Compile borrow workers from.
+func Shared() *Budget { return sharedBudget }
+
+// SetSharedCapacity resizes the process-wide budget and returns the
+// previous capacity (tests; restore with a deferred call). Outstanding
+// tokens are unaffected: shrinking below the in-use count just means no
+// new acquisitions succeed until enough are released.
+func SetSharedCapacity(n int) (prev int) {
+	b := sharedBudget
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	prev = b.capacity
+	if n >= 1 {
+		b.capacity = n
+	}
+	return prev
+}
+
+// poolCtxKey marks the context RunJobs hands its jobs, so a nested RunJobs
+// reached through that context knows its goroutine is already charged
+// against the budget (caller self-token or helper token) and skips the
+// best-effort self acquisition — double-charging would only waste capacity,
+// never overshoot, but wasted tokens are wasted parallelism.
+type poolCtxKey struct{}
+
+// RunJobs executes jobs with bounded parallelism and returns every failure,
 // joined with errors.Join in job order (not completion order). workers <= 0
-// selects DefaultWorkers. When ctx is cancelled, queued jobs are abandoned,
-// in-flight jobs see the cancelled context, and ctx's error is included in
-// the aggregate.
+// selects DefaultWorkers; the effective width is also capped by the shared
+// Budget: the calling goroutine always participates, and each extra worker
+// must hold a token borrowed (non-blocking) from the budget, so concurrent
+// and nested RunJobs calls collectively stay within one process-wide bound
+// instead of multiplying fan-outs. When ctx is cancelled, undispatched jobs
+// are abandoned, in-flight jobs see the cancelled context, and ctx's error
+// is included in the aggregate.
 func RunJobs(ctx context.Context, workers int, jobs []Job) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -35,45 +189,88 @@ func RunJobs(ctx context.Context, workers int, jobs []Job) error {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	if workers == 0 {
+	if len(jobs) == 0 {
 		return ctx.Err()
 	}
 
-	type task struct {
-		i  int
-		fn Job
-	}
 	// One error slot per job keeps the aggregate deterministic regardless
 	// of scheduling order; errors.Join drops the nils.
 	errs := make([]error, len(jobs)+1)
-	ch := make(chan task)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range ch {
-				errs[t.i] = t.fn(ctx)
+	jobCtx := ctx
+	if workers > 1 && ctx.Value(poolCtxKey{}) == nil {
+		jobCtx = context.WithValue(ctx, poolCtxKey{}, true)
+	}
+	var next atomic.Int64
+	// run is the worker loop shared by the caller and every helper: claim
+	// the next job index, optionally top the helper pool back up (topUp),
+	// run the job. The standalone Done check makes cancellation
+	// deterministic: once ctx is done, no worker claims another job.
+	run := func(topUp func()) {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
 			}
-		}()
-	}
-feed:
-	for i, fn := range jobs {
-		// The standalone check makes cancellation deterministic: once ctx
-		// is done, at most the one dispatch already racing in the send
-		// select below goes out, never the rest of the queue.
-		select {
-		case <-ctx.Done():
-			break feed
-		default:
-		}
-		select {
-		case ch <- task{i, fn}:
-		case <-ctx.Done():
-			break feed
+			i := int(next.Add(1)) - 1
+			if i >= len(jobs) {
+				return
+			}
+			if topUp != nil {
+				topUp()
+			}
+			errs[i] = jobs[i](jobCtx)
 		}
 	}
-	close(ch)
+
+	if workers <= 1 {
+		run(nil)
+		errs[len(jobs)] = ctx.Err()
+		return errors.Join(errs...)
+	}
+
+	b := Shared()
+	// The caller charges its own slot against the budget too (best-effort:
+	// if no token is free it proceeds anyway — inline progress is the
+	// deadlock-freedom guarantee). This makes a top-level suite fan-out
+	// occupy exactly `workers` tokens, so nested compiles inside its jobs
+	// see an exhausted budget and run serially instead of oversubscribing.
+	// A nested call reached through a scheduler-owned context skips the
+	// self charge: its goroutine is already counted.
+	if ctx.Value(poolCtxKey{}) == nil && b.TryAcquire(1) {
+		defer b.Release(1)
+	}
+	var wg sync.WaitGroup
+	var helpers atomic.Int64
+	// spawn tops the helper pool up to the remaining work, borrowing one
+	// token per helper. Every worker — the caller and the helpers — calls
+	// it between jobs, so tokens released by another fan-out are picked up
+	// mid-run even while the caller is deep inside a long job. A helper's
+	// wg.Add is safe relative to the caller's wg.Wait because the helper
+	// has not run its own wg.Done yet (the counter cannot be zero).
+	var spawn func()
+	spawn = func() {
+		for {
+			h := helpers.Load()
+			if int(h) >= workers-1 || int(h) >= len(jobs)-int(next.Load()) {
+				return
+			}
+			if !helpers.CompareAndSwap(h, h+1) {
+				continue
+			}
+			if !b.TryAcquire(1) {
+				helpers.Add(-1)
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer b.Release(1)
+				run(spawn)
+			}()
+		}
+	}
+	run(spawn)
 	wg.Wait()
 	errs[len(jobs)] = ctx.Err()
 	return errors.Join(errs...)

@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -85,11 +86,11 @@ func (h *Harness) Table2() (string, error) {
 	sb.WriteString("Table 2 — compile times (ms)\n")
 	fmt.Fprintf(&sb, "%-16s %12s %12s\n", "benchmark", "clang", "chrome")
 	for _, w := range workloads.SPECCPU() {
-		nat, err := h.build(w.Name, w.Source, codegen.Native())
+		nat, err := h.build(context.Background(), w.Name, w.Source, codegen.Native())
 		if err != nil {
 			return "", err
 		}
-		chr, err := h.build(w.Name, w.Source, codegen.Chrome())
+		chr, err := h.build(context.Background(), w.Name, w.Source, codegen.Chrome())
 		if err != nil {
 			return "", err
 		}

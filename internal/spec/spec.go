@@ -117,9 +117,10 @@ func AsmJSEngines() []*codegen.EngineConfig {
 }
 
 // build compiles src for cfg through the shared pipeline cache; key is only
-// used for error context.
-func (h *Harness) build(key, src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
-	cm, err := pipeline.Build(src, cfg)
+// used for error context, and ctx only for scheduler-budget accounting
+// (see pipeline.BuildContext).
+func (h *Harness) build(ctx context.Context, key, src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
+	cm, err := pipeline.BuildContext(ctx, src, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("spec: building %s for %s: %w", key, cfg.Name, err)
 	}
@@ -146,15 +147,15 @@ func (h *Harness) RunContext(ctx context.Context, w *workloads.Workload, cfg *co
 	}
 	h.mu.Unlock()
 
-	benchBin, err := h.build(w.Name, w.Source, cfg)
+	benchBin, err := h.build(ctx, w.Name, w.Source, cfg)
 	if err != nil {
 		return nil, err
 	}
-	runspecBin, err := h.build("runspec", runspecSrc, cfg)
+	runspecBin, err := h.build(ctx, "runspec", runspecSrc, cfg)
 	if err != nil {
 		return nil, err
 	}
-	specinvBin, err := h.build("specinvoke", specinvokeSrc, cfg)
+	specinvBin, err := h.build(ctx, "specinvoke", specinvokeSrc, cfg)
 	if err != nil {
 		return nil, err
 	}
