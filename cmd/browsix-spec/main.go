@@ -22,10 +22,13 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	workers := flag.Int("workers", 0, "suite parallelism (0 = GOMAXPROCS)")
 	cachestats := flag.Bool("cachestats", false, "report per-suite build-cache traffic (memory/disk/miss) on stderr")
+	degraded := flag.Bool("degraded", false, "survive individual workload failures: render FAILED rows, report a failure summary, exit nonzero")
 	flag.Parse()
 
 	h := spec.NewHarness()
 	h.Workers = *workers
+	h.Degraded = *degraded
+	exitCode := 0
 	reportTotals := func() {}
 	if *cachestats {
 		h.Logf = func(format string, args ...any) {
@@ -49,8 +52,14 @@ func main() {
 	needSpec := func() *spec.SuiteResults {
 		if specRes == nil {
 			r, err := h.RunSPEC()
-			if err != nil {
+			if err != nil && r == nil {
 				emit("", err)
+			}
+			if err != nil {
+				// Degraded run: results usable, failure summary to stderr,
+				// nonzero exit at the end.
+				fmt.Fprintln(os.Stderr, "browsix-spec:", err)
+				exitCode = 1
 			}
 			specRes = r
 		}
@@ -59,8 +68,14 @@ func main() {
 	needPoly := func() *spec.SuiteResults {
 		if polyRes == nil {
 			r, err := h.RunPolybench()
-			if err != nil {
+			if err != nil && r == nil {
 				emit("", err)
+			}
+			if err != nil {
+				// Degraded run: results usable, failure summary to stderr,
+				// nonzero exit at the end.
+				fmt.Fprintln(os.Stderr, "browsix-spec:", err)
+				exitCode = 1
 			}
 			polyRes = r
 		}
@@ -69,8 +84,14 @@ func main() {
 	needAsm := func() *spec.SuiteResults {
 		if asmRes == nil {
 			r, err := h.RunAsmJS()
-			if err != nil {
+			if err != nil && r == nil {
 				emit("", err)
+			}
+			if err != nil {
+				// Degraded run: results usable, failure summary to stderr,
+				// nonzero exit at the end.
+				fmt.Fprintln(os.Stderr, "browsix-spec:", err)
+				exitCode = 1
 			}
 			asmRes = r
 		}
@@ -131,5 +152,10 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if exitCode != 0 {
+		// os.Exit skips deferred calls; report the cache picture first.
+		reportTotals()
+		os.Exit(exitCode)
 	}
 }

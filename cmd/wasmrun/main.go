@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,13 @@ func main() {
 	argv := append([]string{flag.Arg(0)}, flag.Args()[1:]...)
 	res, err := pipeline.Run(string(src), cfg, argv, nil)
 	if err != nil {
+		var te *pipeline.TimeoutError
+		if errors.As(err, &te) {
+			// A watchdog kill is a result, not a crash: report the partial
+			// counters so the user sees how far the run got.
+			fmt.Fprintf(os.Stderr, "wasmrun: %v\nwasmrun: partial counters at kill:\n%s\n", te, te.Partial.String())
+			os.Exit(124)
+		}
 		fmt.Fprintln(os.Stderr, "wasmrun:", err)
 		os.Exit(1)
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/regalloc"
 	"repro/internal/wasm"
@@ -270,6 +271,12 @@ func CompileContext(ctx context.Context, m *wasm.Module, cfg *EngineConfig) (*Co
 		frags[fi] = sc
 		f, err := lowerFuncInto(m, fi, cfg, sc)
 		if err != nil {
+			return err
+		}
+		// Fault site inside the nested fan-out, keyed by function name: an
+		// injected panic here unwinds through a scheduler worker at the
+		// deepest containment boundary the pipeline has.
+		if err := fault.Check(fault.SiteCodegenFunc, f.Name); err != nil {
 			return err
 		}
 		optimize(sc, f)

@@ -1,0 +1,90 @@
+package kernel_test
+
+// External-package test (pipeline imports kernel, so the toolchain needed to
+// compile real spawn chains is only reachable from kernel_test): process
+// spawns must charge the shared scheduler budget, so a workload that fans
+// out with sys_spawn cannot multiply the process-wide parallelism bound.
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/kernel"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+)
+
+const leafSrc = `
+int main() { print_int(7); print_nl(); return 0; }`
+
+const midSrc = `
+int main() {
+  char *args[2];
+  args[0] = "leaf";
+  args[1] = (char*)0;
+  int pid = sys_spawn("/bin/leaf", args);
+  if (pid < 0) { return 111; }
+  return sys_wait(pid);
+}`
+
+const rootSrc = `
+int main() {
+  char *args[2];
+  args[0] = "mid";
+  args[1] = (char*)0;
+  int pid = sys_spawn("/bin/mid", args);
+  if (pid < 0) { return 112; }
+  return sys_wait(pid);
+}`
+
+// TestSpawnChargesSchedBudget runs a three-deep spawn chain (root waits on
+// mid waits on leaf) against a shared budget of 2 and pins the protocol:
+// each live process best-effort borrows one token, the chain's token
+// high-water mark never exceeds the budget capacity (the third process runs
+// unbudgeted rather than blocking — spawn must never deadlock on tokens),
+// and every borrowed token is back after the chain exits.
+func TestSpawnChargesSchedBudget(t *testing.T) {
+	cfg := codegen.Native()
+	var bins [3]*codegen.CompiledModule
+	for i, src := range []string{rootSrc, midSrc, leafSrc} {
+		cm, err := pipeline.Build(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bins[i] = cm
+	}
+
+	// Resize after the builds so compile-helper tokens don't pollute the
+	// peak we are pinning.
+	prev := sched.SetSharedCapacity(2)
+	defer sched.SetSharedCapacity(prev)
+	b := sched.Shared()
+	inUseBefore := b.InUse()
+	b.ResetPeak()
+
+	k := kernel.New(nil)
+	k.RegisterBinary("/bin/root", bins[0])
+	k.RegisterBinary("/bin/mid", bins[1])
+	k.RegisterBinary("/bin/leaf", bins[2])
+	p, err := k.Spawn(nil, "/bin/root", []string{"root"}, [3]*kernel.FD{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := k.WaitPID(p.PID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("spawn chain exited %d, want 0", code)
+	}
+
+	if peak := b.Peak(); peak > b.Capacity() {
+		t.Errorf("spawn chain peaked at %d tokens, capacity is %d", peak, b.Capacity())
+	}
+	if peak := b.Peak(); peak <= inUseBefore {
+		t.Errorf("spawn chain never charged the budget (peak %d, baseline %d)", peak, inUseBefore)
+	}
+	if got := b.InUse(); got != inUseBefore {
+		t.Errorf("tokens leaked: in-use %d after the chain, want %d", got, inUseBefore)
+	}
+}

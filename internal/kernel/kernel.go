@@ -12,10 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/browserfs"
 	"repro/internal/codegen"
 	"repro/internal/cpu"
+	"repro/internal/sched"
 )
 
 // DefaultPollInterval is how many retired instructions a process executes
@@ -55,6 +57,26 @@ type ExitError struct{ Code int }
 
 func (e *ExitError) Error() string { return fmt.Sprintf("exit(%d)", e.Code) }
 
+// WatchdogError kills a process from the kernel's interrupt poll when a
+// watchdog limit (Kernel.Deadline or Kernel.MaxInsts) is exceeded. The
+// machine flushes its cycle accounting before the interrupt error unwinds,
+// so the process's counters are an accurate partial result at the kill
+// point — pipeline.ExecContext repackages them into a TimeoutError.
+type WatchdogError struct {
+	// Wall is true when the wall-clock deadline expired, false when the
+	// retired-instruction limit was hit.
+	Wall bool
+	// Insts is the process's retired-instruction count at the kill.
+	Insts uint64
+}
+
+func (e *WatchdogError) Error() string {
+	if e.Wall {
+		return fmt.Sprintf("kernel: watchdog: wall-clock deadline exceeded (%d insts retired)", e.Insts)
+	}
+	return fmt.Sprintf("kernel: watchdog: instruction limit exceeded (%d insts retired)", e.Insts)
+}
+
 // Kernel is one Browsix-Wasm kernel instance.
 type Kernel struct {
 	FS *browserfs.FS
@@ -81,6 +103,20 @@ type Kernel struct {
 	// PollInterval overrides DefaultPollInterval (retired instructions
 	// between polls).
 	PollInterval uint64
+
+	// Deadline, when nonzero, is the watchdog's wall-clock limit: every
+	// process this kernel spawns checks it at its interrupt polls and dies
+	// with a WatchdogError once it passes. The deadline is shared by the
+	// whole process tree (one job = one kernel = one deadline), so a parent
+	// blocked in sys_wait trips its own poll after its hung child is
+	// killed. Set it before the first Spawn.
+	Deadline time.Time
+
+	// MaxInsts, when nonzero, kills any single process that retires more
+	// than this many instructions (checked at interrupt polls, so overshoot
+	// is at most one poll interval). Per process, not per tree: it bounds a
+	// runaway loop, while Deadline bounds a forking tree.
+	MaxInsts uint64
 }
 
 // New creates a kernel over the given filesystem.
@@ -138,6 +174,10 @@ type Process struct {
 	ExitErr  error
 
 	parent *Process
+	// budgeted records that this process's goroutine holds a shared
+	// scheduler token (best-effort, acquired at Spawn), returned when the
+	// process exits.
+	budgeted bool
 }
 
 // Done returns a channel closed when the process exits.
@@ -226,12 +266,26 @@ func (k *Kernel) Spawn(parent *Process, path string, argv []string, stdio [3]*FD
 	if err != nil {
 		return nil, err
 	}
-	if ctx := k.Ctx; ctx != nil {
+	if ctx, deadline, maxInsts := k.Ctx, k.Deadline, k.MaxInsts; ctx != nil || !deadline.IsZero() || maxInsts > 0 {
 		every := k.PollInterval
 		if every == 0 {
 			every = DefaultPollInterval
 		}
-		inst.Machine.SetInterrupt(every, func() error { return ctx.Err() })
+		m := inst.Machine
+		inst.Machine.SetInterrupt(every, func() error {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if maxInsts > 0 && m.Counters.Instructions >= maxInsts {
+				return &WatchdogError{Insts: m.Counters.Instructions}
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return &WatchdogError{Wall: true, Insts: m.Counters.Instructions}
+			}
+			return nil
+		})
 	}
 	k.mu.Lock()
 	pid := k.nextPID
@@ -260,6 +314,13 @@ func (k *Kernel) Spawn(parent *Process, path string, argv []string, stdio [3]*FD
 
 	bindSyscalls(p)
 
+	// A process is a long-running goroutine doing real simulation work, so
+	// it charges the shared scheduler budget like any other worker —
+	// best-effort (a deeply forking tree must not deadlock against its own
+	// budget), but enough that unixproc-style fork storms are counted
+	// against the global bound instead of multiplying past it.
+	p.budgeted = sched.Shared().TryAcquire(1)
+
 	go p.run()
 	return p, nil
 }
@@ -267,6 +328,9 @@ func (k *Kernel) Spawn(parent *Process, path string, argv []string, stdio [3]*FD
 // run executes the process to completion.
 func (p *Process) run() {
 	defer close(p.done)
+	if p.budgeted {
+		defer sched.Shared().Release(1)
+	}
 	defer func() {
 		aux := p.aux
 		p.aux = nil
@@ -277,6 +341,17 @@ func (p *Process) run() {
 	// Counters survive on the instance — results outlive processes.
 	defer p.Inst.ReleaseMemory()
 	defer p.closeAllFDs()
+	// Containment boundary: a panic on a process goroutine (an engine or
+	// syscall-handler bug, an injected fault) would kill the whole test
+	// process. Convert it to the same structured error shape the scheduler
+	// uses, delivered through the ordinary WaitPID path. Registered last so
+	// it runs first, before cleanup, stopping the unwind.
+	defer func() {
+		if pe := sched.CapturePanic("process "+p.Path, recover()); pe != nil {
+			p.ExitErr = pe
+			p.ExitCode = 128
+		}
+	}()
 	argc, argvPtr, err := p.writeArgs()
 	if err != nil {
 		p.ExitErr = err

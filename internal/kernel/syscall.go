@@ -1,10 +1,12 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/browserfs"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/x86"
 )
 
@@ -69,6 +71,12 @@ func bindSyscalls(p *Process) {
 		// Message round-trip + kernel service cost (§2 transport).
 		p.Syscalls++
 		p.chargeBrowsix(MsgRoundTripCycles + ServiceCycles)
+		// Fault site on the transport, keyed by import name: an injected
+		// error models a kernel-side message failure and kills the process
+		// accountably (the error unwinds through Invoke into ExitErr).
+		if err := fault.Check(fault.SiteSyscall, names[imp]); err != nil {
+			return err
+		}
 		var args [4]uint32
 		for i := 0; i < 4 && i < len(argRegs); i++ {
 			args[i] = uint32(m.Regs[argRegs[i]])
@@ -298,6 +306,15 @@ func sysSpawn(p *Process, a [4]uint32) (int32, error) {
 func sysWait(p *Process, a [4]uint32) (int32, error) {
 	code, err := p.Kernel.WaitPID(int(a[0]))
 	if err != nil {
+		var we *WatchdogError
+		if errors.As(err, &we) {
+			// The watchdog killed the waited child. The deadline governs the
+			// whole process chain (one job = one kernel = one deadline), so
+			// the kill unwinds the waiting parent too instead of degrading
+			// into an opaque ECHILD — the root WaitPID then reports the
+			// timeout no matter how deep in the chain the hang was.
+			return -10, err
+		}
 		return -10, nil // ECHILD
 	}
 	return int32(code), nil

@@ -2,9 +2,12 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/codegen"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 )
 
@@ -25,25 +28,54 @@ func Exec(cm *codegen.CompiledModule, argv []string, files map[string][]byte) (*
 
 // ExecContext is Exec under a caller context. Every process in the run's
 // kernel polls ctx while executing, so cancellation preempts a simulation
-// mid-run — a hung workload does not outlive its scheduler.
+// mid-run — a hung workload does not outlive its scheduler. When the
+// per-job watchdog is armed (JobLimits), the same polling enforces a
+// wall-clock deadline and an instruction ceiling; a tripped limit returns a
+// TimeoutError carrying the partial counters.
 func ExecContext(ctx context.Context, cm *codegen.CompiledModule, argv []string, files map[string][]byte) (*RunResult, error) {
+	if len(argv) == 0 {
+		argv = []string{"prog"}
+	}
+	label := fault.LabelOf(ctx)
+	if label == "" {
+		label = argv[0]
+	}
+	timeout, maxInsts := JobLimits()
 	k := kernel.New(nil)
 	k.Ctx = ctx
+	if timeout > 0 {
+		k.Deadline = time.Now().Add(timeout)
+	}
+	k.MaxInsts = maxInsts
+	// The exec fault site sits after the deadline is armed, so an injected
+	// delay ("hang") burns the job's wall-clock budget and the watchdog
+	// kills the run at its first interrupt poll — the honest simulation of
+	// a hung workload, partial counters included.
+	if err := fault.Check(fault.SiteExec, label); err != nil {
+		return nil, fmt.Errorf("pipeline: %s: %w", label, err)
+	}
 	for p, data := range files {
 		if err := k.FS.WriteFileAll(p, data); err != nil {
 			return nil, fmt.Errorf("pipeline: populating %s: %w", p, err)
 		}
 	}
 	k.RegisterBinary("/bin/prog", cm)
-	if len(argv) == 0 {
-		argv = []string{"prog"}
-	}
 	p, err := k.Spawn(nil, "/bin/prog", argv, [3]*kernel.FD{})
 	if err != nil {
 		return nil, err
 	}
 	code, err := k.WaitPID(p.PID)
 	if err != nil {
+		var we *kernel.WatchdogError
+		if errors.As(err, &we) {
+			return nil, &TimeoutError{
+				Label:    label,
+				Wall:     we.Wall,
+				Timeout:  timeout,
+				MaxInsts: maxInsts,
+				Partial:  p.Inst.Counters,
+			}
+		}
 		return nil, fmt.Errorf("pipeline: process failed: %w", err)
 	}
 	return &RunResult{ExitCode: code, Stdout: string(k.Console), Proc: p}, nil
@@ -58,6 +90,12 @@ func Run(src string, cfg *codegen.EngineConfig, argv []string, files map[string]
 // under ctx (see ExecContext; the build only uses ctx for scheduler-budget
 // accounting, see BuildContext).
 func RunContext(ctx context.Context, src string, cfg *codegen.EngineConfig, argv []string, files map[string][]byte) (*RunResult, error) {
+	// When faults are armed, default the fault-site label to argv[0] (the
+	// workload name on suite paths) so compile/exec rules can target one
+	// workload without every caller threading WithLabel itself.
+	if fault.Enabled() && fault.LabelOf(ctx) == "" && len(argv) > 0 {
+		ctx = fault.WithLabel(ctx, argv[0])
+	}
 	cm, err := BuildContext(ctx, src, cfg)
 	if err != nil {
 		return nil, err

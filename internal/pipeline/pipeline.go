@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/codegen"
+	"repro/internal/fault"
 	"repro/internal/minic"
 )
 
@@ -67,19 +68,28 @@ var (
 // CacheStats counts build-cache traffic since process start (or a snapshot,
 // via Sub). A memory hit found the module already resident; a disk hit
 // loaded it from the cross-process artifact store; a miss ran the compiler.
+// Corrupt counts artifacts that read back undecodable (truncation, bit
+// flips, version skew) — each is also a miss — and Quarantined counts how
+// many of those were successfully moved aside for inspection rather than
+// deleted. A nonzero Corrupt in a suite summary is a disk or encoder
+// problem worth chasing; silent deletion used to hide it.
 type CacheStats struct {
-	MemHits  uint64
-	DiskHits uint64
-	Misses   uint64
+	MemHits     uint64
+	DiskHits    uint64
+	Misses      uint64
+	Corrupt     uint64
+	Quarantined uint64
 }
 
 // Sub returns the per-interval delta s - prev; bracket a suite with Stats()
 // calls to get its traffic.
 func (s CacheStats) Sub(prev CacheStats) CacheStats {
 	return CacheStats{
-		MemHits:  s.MemHits - prev.MemHits,
-		DiskHits: s.DiskHits - prev.DiskHits,
-		Misses:   s.Misses - prev.Misses,
+		MemHits:     s.MemHits - prev.MemHits,
+		DiskHits:    s.DiskHits - prev.DiskHits,
+		Misses:      s.Misses - prev.Misses,
+		Corrupt:     s.Corrupt - prev.Corrupt,
+		Quarantined: s.Quarantined - prev.Quarantined,
 	}
 }
 
@@ -87,7 +97,11 @@ func (s CacheStats) Sub(prev CacheStats) CacheStats {
 func (s CacheStats) Compiles() uint64 { return s.Misses }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("mem=%d disk=%d miss=%d", s.MemHits, s.DiskHits, s.Misses)
+	out := fmt.Sprintf("mem=%d disk=%d miss=%d", s.MemHits, s.DiskHits, s.Misses)
+	if s.Corrupt != 0 || s.Quarantined != 0 {
+		out += fmt.Sprintf(" corrupt=%d quarantined=%d", s.Corrupt, s.Quarantined)
+	}
+	return out
 }
 
 // Stats snapshots the build-cache counters.
@@ -106,6 +120,18 @@ func countDiskHit() {
 func countMiss() {
 	buildMu.Lock()
 	stats.Misses++
+	buildMu.Unlock()
+}
+
+func countCorrupt() {
+	buildMu.Lock()
+	stats.Corrupt++
+	buildMu.Unlock()
+}
+
+func countQuarantined() {
+	buildMu.Lock()
+	stats.Quarantined++
 	buildMu.Unlock()
 }
 
@@ -139,6 +165,13 @@ func BuildContext(ctx context.Context, src string, cfg *codegen.EngineConfig) (*
 	}
 	buildMu.Unlock()
 	e.once.Do(func() {
+		// The compile fault site fires before the store is consulted, keyed
+		// by the suite-provided label (workload name) or the engine name, so
+		// an injected compile panic can never be masked by a warm cache.
+		if ferr := fault.Check(fault.SiteCompile, buildLabel(ctx, cfg)); ferr != nil {
+			e.err = ferr
+			return
+		}
 		if s := artifactStore(); s != nil {
 			if cm, ok := s.load(k, cfg); ok {
 				countDiskHit()
@@ -154,7 +187,24 @@ func BuildContext(ctx context.Context, src string, cfg *codegen.EngineConfig) (*
 			}
 		}
 	})
+	if e.cm == nil && e.err == nil {
+		// The entry's compile panicked: once.Do marks the entry done on the
+		// way out of the unwinding, leaving both fields nil. The panicking
+		// requester propagates the panic to its job boundary (JobPanicError);
+		// every later requester of the same content gets this deterministic
+		// error instead of a nil module.
+		return nil, fmt.Errorf("pipeline: build of %s panicked (poisoned cache entry)", k[:12])
+	}
 	return e.cm, e.err
+}
+
+// buildLabel is the compile fault site's key: the fault.WithLabel value when
+// a suite layer attached one (the workload name), else the engine name.
+func buildLabel(ctx context.Context, cfg *codegen.EngineConfig) string {
+	if l := fault.LabelOf(ctx); l != "" {
+		return l
+	}
+	return cfg.Name
 }
 
 // buildUncached is the raw mini-C → engine pipeline with no caching.

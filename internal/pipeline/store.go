@@ -3,8 +3,11 @@ package pipeline
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/codegen"
+	"repro/internal/fault"
 )
 
 // Disk-backed artifact store: the persistence layer under the in-memory
@@ -132,13 +136,16 @@ func openDefaultStore() *diskStore {
 		dir = filepath.Join(base, "repro-wasm", "artifacts")
 	}
 	maxBytes := int64(defaultMaxBytes)
-	if v := os.Getenv(cacheMaxEnv); v != "" {
+	if n, err := parseCacheMax(os.Getenv(cacheMaxEnv)); err != nil {
 		// An unparsable budget falls back to the default rather than
-		// silently disabling the layer; REPRO_CACHE_DIR=off is the one
-		// disable switch.
-		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
-			maxBytes = n
-		}
+		// silently disabling the layer (REPRO_CACHE_DIR=off is the one
+		// disable switch) — but loudly: a user who set the knob and mistyped
+		// it would otherwise run at 512 MB and never know.
+		warnCacheMaxOnce.Do(func() {
+			fmt.Fprintf(os.Stderr, "%v; using default %d\n", err, int64(defaultMaxBytes))
+		})
+	} else if n > 0 {
+		maxBytes = n
 	}
 	fp, err := compilerFingerprint()
 	if err != nil {
@@ -151,6 +158,23 @@ func openDefaultStore() *diskStore {
 		pruneFingerprints(dir, fp)
 	}
 	return s
+}
+
+var warnCacheMaxOnce sync.Once
+
+// parseCacheMax parses a $REPRO_CACHE_MAX_BYTES value. Empty selects the
+// default (ok with n == 0); anything that is not a positive integer is an
+// error — the caller decides whether to warn, but never silently treats a
+// typo as "use the default".
+func parseCacheMax(v string) (n int64, err error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err = strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("pipeline: %s=%q is not a positive byte count", cacheMaxEnv, v)
+	}
+	return n, nil
 }
 
 // compilerFingerprint identifies the code that produced an artifact: a hash
@@ -236,19 +260,53 @@ func (s *diskStore) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+artifactExt)
 }
 
-// load reads and decodes the artifact for key, reattaching cfg. Any failure
-// — absent file, truncation, corruption, version mismatch — removes the
-// artifact (so the subsequent recompile republishes a clean one) and reports
-// a miss via ok=false. Successful reads refresh the file's LRU position.
+// ioAttempts is how many times a store read or write is tried before the
+// failure is treated as a miss. Transient errors (NFS hiccups, AV scanners
+// holding files, injected faults) get two retries with capped jittered
+// backoff; a missing artifact is the normal miss path and never retried.
+const ioAttempts = 3
+
+// retryIO runs op up to ioAttempts times, sleeping a capped jittered backoff
+// between attempts (5–10ms, 10–20ms). fs.ErrNotExist is returned immediately:
+// an absent artifact is a cache miss, not a transient fault. The fault check
+// sits inside the loop so count-limited injected errors exercise the retries.
+func retryIO(site, key string, op func() error) error {
+	var err error
+	for attempt := 0; attempt < ioAttempts; attempt++ {
+		if attempt > 0 {
+			backoff := time.Duration(1<<attempt) * 5 * time.Millisecond / 2
+			backoff += time.Duration(rand.Int63n(int64(backoff) + 1))
+			time.Sleep(backoff)
+		}
+		if err = fault.Check(site, key); err == nil {
+			err = op()
+		}
+		if err == nil || errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	return err
+}
+
+// load reads and decodes the artifact for key, reattaching cfg. A read error
+// is retried (retryIO); decode failure — truncation, corruption, version
+// mismatch — quarantines the artifact (so the subsequent recompile
+// republishes a clean one, and the corrupt bytes stay inspectable) and
+// reports a miss via ok=false. Successful reads refresh the LRU position.
 func (s *diskStore) load(key string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, bool) {
 	p := s.path(key)
-	data, err := os.ReadFile(p)
+	var data []byte
+	err := retryIO(fault.SiteStoreRead, key, func() error {
+		var rerr error
+		data, rerr = os.ReadFile(p)
+		return rerr
+	})
 	if err != nil {
 		return nil, false
 	}
 	cm, err := codegen.DecodeModule(data, cfg)
 	if err != nil {
-		os.Remove(p)
+		s.quarantine(p)
 		return nil, false
 	}
 	now := time.Now()
@@ -257,8 +315,9 @@ func (s *diskStore) load(key string, cfg *codegen.EngineConfig) (*codegen.Compil
 }
 
 // save encodes and atomically publishes cm under key, then sweeps the store
-// back under its size budget. Best-effort: failures leave the store without
-// the artifact, which only costs a future recompile.
+// back under its size budget. Publication is retried like reads; persistent
+// failure leaves the store without the artifact, which only costs a future
+// recompile.
 func (s *diskStore) save(key string, cm *codegen.CompiledModule) {
 	data, err := codegen.EncodeModule(cm)
 	if err != nil {
@@ -269,23 +328,86 @@ func (s *diskStore) save(key string, cm *codegen.CompiledModule) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	err = retryIO(fault.SiteStoreWrite, key, func() error {
+		return s.publish(dir, p, data)
+	})
 	if err != nil {
 		return
+	}
+	s.evict(int64(len(data)))
+}
+
+// publish writes data to a temp file in dir and renames it over p. Atomic
+// publication: concurrent writers of one key rename complete files over each
+// other; readers never see a partial artifact.
+func (s *diskStore) publish(dir, p string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
 	}
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return
+		if werr != nil {
+			return werr
+		}
+		return cerr
 	}
-	// Atomic publication: concurrent writers of one key rename complete
-	// files over each other; readers never see a partial artifact.
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Quarantine layout: corrupt artifacts are moved (not deleted) to
+// quarantine/<base>.rpa.quarantined under the store root. The extra suffix
+// keeps scan from ever counting them as artifacts again; the age bound keeps
+// a store that keeps corrupting (bad disk) from leaking space forever.
+const (
+	quarantineDirName = "quarantine"
+	quarantinedExt    = ".quarantined"
+	// staleQuarantineAge is how long a quarantined artifact is kept for
+	// inspection before a sweep reclaims it.
+	staleQuarantineAge = 24 * time.Hour
+)
+
+// quarantine moves the corrupt artifact at p aside instead of silently
+// deleting it: corruption is a signal (bad disk, torn write, encoder bug)
+// that should stay visible in CacheStats and inspectable on disk. Falls back
+// to removal when the move fails — a corrupt artifact must never be
+// re-served either way.
+func (s *diskStore) quarantine(p string) {
+	countCorrupt()
+	qdir := filepath.Join(s.dir, quarantineDirName)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		os.Remove(p)
 		return
 	}
-	s.evict(int64(len(data)))
+	if err := os.Rename(p, filepath.Join(qdir, filepath.Base(p)+quarantinedExt)); err != nil {
+		os.Remove(p)
+		return
+	}
+	countQuarantined()
+}
+
+// reclaimQuarantine removes quarantined artifacts old enough that nobody is
+// coming back to inspect them. Called from scan, so reclamation rides the
+// same sweeps that bound the store's size.
+func (s *diskStore) reclaimQuarantine(now time.Time) {
+	ents, err := os.ReadDir(filepath.Join(s.dir, quarantineDirName))
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		if !strings.HasSuffix(ent.Name(), quarantinedExt) {
+			continue
+		}
+		if info, err := ent.Info(); err == nil && now.Sub(info.ModTime()) > staleQuarantineAge {
+			os.Remove(filepath.Join(s.dir, quarantineDirName, ent.Name()))
+		}
+	}
 }
 
 // storedFile is one artifact during an eviction sweep.
@@ -397,6 +519,10 @@ func (s *diskStore) scan(now time.Time) ([]storedFile, error) {
 		return nil, err
 	}
 	for _, sub := range subdirs {
+		if sub.Name() == quarantineDirName {
+			s.reclaimQuarantine(now)
+			continue
+		}
 		if !sub.IsDir() {
 			// A .sweep-lock.stale-<pid> orphan is a stolen sentinel whose
 			// thief died between the rename-aside and the remove; reclaim

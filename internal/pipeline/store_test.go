@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -579,5 +580,100 @@ func TestScanReclaimsOrphanedStolenSentinel(t *testing.T) {
 	}
 	if _, err := os.Stat(fresh); err != nil {
 		t.Error("fresh stolen sentinel (steal in progress) must survive scan")
+	}
+}
+
+// TestQuarantineKeepsCorruptArtifact asserts the corruption response in
+// detail: the damaged file is moved (not deleted) into quarantine/ with the
+// .quarantined suffix, the move is visible in CacheStats.Corrupt and
+// .Quarantined, and the quarantined copy never re-enters the store's
+// artifact scan.
+func TestQuarantineKeepsCorruptArtifact(t *testing.T) {
+	cfg := codegen.Firefox()
+	key := Key(storeProbeSrc, cfg)
+	s := withTestStore(t, defaultMaxBytes)
+	dropMemEntry(key)
+	if _, err := Build(storeProbeSrc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dropMemEntry(key)
+
+	before := Stats()
+	if _, err := Build(storeProbeSrc, cfg); err != nil {
+		t.Fatalf("corrupt artifact surfaced an error: %v", err)
+	}
+	d := Stats().Sub(before)
+	if d.Corrupt != 1 || d.Quarantined != 1 {
+		t.Errorf("corruption not counted: corrupt=%d quarantined=%d, want 1/1", d.Corrupt, d.Quarantined)
+	}
+	if d.Misses != 1 {
+		t.Errorf("corruption must read as a miss: %v", d)
+	}
+
+	qpath := filepath.Join(s.dir, quarantineDirName, filepath.Base(p)+quarantinedExt)
+	st, err := os.Stat(qpath)
+	if err != nil {
+		t.Fatalf("damaged artifact not preserved in quarantine: %v", err)
+	}
+	if st.Size() != int64(len(data)/2) {
+		t.Errorf("quarantined copy is %d bytes, want the damaged %d", st.Size(), len(data)/2)
+	}
+
+	// The recompile republished a clean artifact; a scan must see only that
+	// artifact (the quarantined copy is invisible to eviction accounting).
+	files, err := s.scan(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.Contains(f.path, quarantineDirName) {
+			t.Errorf("scan counted quarantined file %s as an artifact", f.path)
+		}
+	}
+
+	// A fresh quarantined file survives a sweep; an old one is reclaimed.
+	s.reclaimQuarantine(time.Now())
+	if _, err := os.Stat(qpath); err != nil {
+		t.Error("fresh quarantined artifact must survive reclamation")
+	}
+	s.reclaimQuarantine(time.Now().Add(staleQuarantineAge + time.Hour))
+	if _, err := os.Stat(qpath); !os.IsNotExist(err) {
+		t.Error("stale quarantined artifact must be reclaimed")
+	}
+}
+
+// TestParseCacheMax pins the $REPRO_CACHE_MAX_BYTES parse contract: empty
+// selects the default, a positive integer is honored, and anything else is
+// an error (which the env reader reports once and ignores).
+func TestParseCacheMax(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		{"", 0, false}, // empty means "use the default", signaled as n == 0
+		{"1048576", 1 << 20, false},
+		{"0", 0, true},
+		{"-5", 0, true},
+		{"2GB", 0, true},
+		{"lots", 0, true},
+	}
+	for _, tc := range cases {
+		n, err := parseCacheMax(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseCacheMax(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if !tc.wantErr && n != tc.want {
+			t.Errorf("parseCacheMax(%q) = %d, want %d", tc.in, n, tc.want)
+		}
 	}
 }

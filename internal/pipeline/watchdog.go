@@ -1,0 +1,109 @@
+package pipeline
+
+// Per-job watchdog: every ExecContext run can carry a wall-clock deadline
+// and a retired-instruction ceiling, enforced inside the kernel's existing
+// SetInterrupt polling (no extra goroutines, no timers racing the
+// simulation). A tripped watchdog kills the process tree and surfaces as a
+// typed TimeoutError carrying the counters accumulated up to the kill — the
+// partial result is real data (the machine flushes its cycle accounting on
+// the interrupt path), not garbage, so degraded suite rows can still report
+// how far a hung workload got.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/perf"
+)
+
+// Environment knobs for the per-job watchdog.
+const (
+	// jobTimeoutEnv is a time.Duration ("30s", "2m") bounding each job's
+	// wall-clock execution; unset or zero disables the deadline.
+	jobTimeoutEnv = "REPRO_JOB_TIMEOUT"
+	// jobMaxInstsEnv bounds each process's retired instructions; unset or
+	// zero disables the limit.
+	jobMaxInstsEnv = "REPRO_JOB_MAX_INSTS"
+)
+
+// TimeoutError reports a run killed by the per-job watchdog. Partial holds
+// the waited process's counters at the kill point — accurate (cycles are
+// flushed before the interrupt unwinds) but incomplete by definition.
+type TimeoutError struct {
+	// Label identifies the job (the workload name on suite paths, argv[0]
+	// otherwise).
+	Label string
+	// Wall is true when the wall-clock deadline expired, false when the
+	// instruction limit was hit.
+	Wall bool
+	// Timeout and MaxInsts are the limits that were armed.
+	Timeout  time.Duration
+	MaxInsts uint64
+	// Partial is the killed process's perf counters at the kill.
+	Partial perf.Counters
+}
+
+func (e *TimeoutError) Error() string {
+	if e.Wall {
+		return fmt.Sprintf("pipeline: %s: watchdog timeout after %v (%d insts retired)",
+			e.Label, e.Timeout, e.Partial.Instructions)
+	}
+	return fmt.Sprintf("pipeline: %s: watchdog instruction limit %d hit (%d insts retired)",
+		e.Label, e.MaxInsts, e.Partial.Instructions)
+}
+
+var (
+	limitsOnce  sync.Once
+	limitsMu    sync.Mutex
+	jobTimeout  time.Duration
+	jobMaxInsts uint64
+)
+
+// initLimitsFromEnv parses the watchdog knobs once per process, warning on
+// unparsable values instead of silently running unguarded — someone who
+// armed a timeout and mistyped it should not discover that via a hung CI
+// job.
+func initLimitsFromEnv() {
+	if v := os.Getenv(jobTimeoutEnv); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			fmt.Fprintf(os.Stderr, "pipeline: %s=%q is not a duration; watchdog deadline disabled\n", jobTimeoutEnv, v)
+		} else {
+			jobTimeout = d
+		}
+	}
+	if v := os.Getenv(jobMaxInstsEnv); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipeline: %s=%q is not an instruction count; watchdog limit disabled\n", jobMaxInstsEnv, v)
+		} else {
+			jobMaxInsts = n
+		}
+	}
+}
+
+// JobLimits returns the armed per-job watchdog limits (zero = disabled).
+func JobLimits() (timeout time.Duration, maxInsts uint64) {
+	limitsOnce.Do(initLimitsFromEnv)
+	limitsMu.Lock()
+	defer limitsMu.Unlock()
+	return jobTimeout, jobMaxInsts
+}
+
+// SetJobLimits overrides the watchdog limits process-wide and returns a
+// restore function (tests; zero disables a limit).
+func SetJobLimits(timeout time.Duration, maxInsts uint64) (restore func()) {
+	limitsOnce.Do(initLimitsFromEnv)
+	limitsMu.Lock()
+	defer limitsMu.Unlock()
+	prevT, prevN := jobTimeout, jobMaxInsts
+	jobTimeout, jobMaxInsts = timeout, maxInsts
+	return func() {
+		limitsMu.Lock()
+		defer limitsMu.Unlock()
+		jobTimeout, jobMaxInsts = prevT, prevN
+	}
+}

@@ -20,8 +20,10 @@ package sched
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -31,6 +33,44 @@ import (
 // return early when it is cancelled; long-running jobs that ignore it still
 // finish, but no further jobs are dispatched after cancellation.
 type Job func(ctx context.Context) error
+
+// JobPanicError is a panic contained at a scheduler job boundary (or, via
+// the kernel, at a simulated-process boundary): the panic value plus the
+// goroutine stack captured at recovery. RunJobs converts every job panic
+// into one of these and aggregates it with ordinary job errors, so one
+// panicking job — a compiler bug, an injected fault — fails its own slot
+// in the errors.Join result instead of killing the process and losing
+// every other job's work.
+type JobPanicError struct {
+	// Job labels the panicking unit when the container knows a name (the
+	// kernel uses the process path); RunJobs leaves it empty.
+	Job string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery —
+	// it includes the frames between the panic site and the job boundary.
+	Stack []byte
+}
+
+func (e *JobPanicError) Error() string {
+	if e.Job != "" {
+		return fmt.Sprintf("sched: %s panicked: %v\n%s", e.Job, e.Value, e.Stack)
+	}
+	return fmt.Sprintf("sched: job panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// CapturePanic converts a recovered panic value (from recover()) into a
+// JobPanicError with the current stack. Containment boundaries outside the
+// scheduler — the kernel's process goroutines, degraded suite runners —
+// share this so every contained panic is reported in one shape. Returns
+// nil for a nil recover value, so it can be called unconditionally in a
+// deferred recovery block.
+func CapturePanic(job string, v any) *JobPanicError {
+	if v == nil {
+		return nil
+	}
+	return &JobPanicError{Job: job, Value: v, Stack: debug.Stack()}
+}
 
 // DefaultWorkers is the scheduler's default parallelism: the machine's
 // GOMAXPROCS, instead of a hardcoded width.
@@ -135,13 +175,33 @@ func (b *Budget) ResetPeak() {
 // $REPRO_SCHED_TOKENS or GOMAXPROCS.
 var sharedBudget = NewBudget(capacityFromEnv())
 
-func capacityFromEnv() int {
-	if v := os.Getenv(TokensEnv); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			return n
-		}
+// parseTokens parses a $REPRO_SCHED_TOKENS value. An empty value selects
+// the default (ok with n == 0); anything that is not a positive integer is
+// an error — the caller decides whether to warn, but never silently treats
+// a typo as "use the default".
+func parseTokens(v string) (n int, err error) {
+	if v == "" {
+		return 0, nil
 	}
-	return DefaultWorkers()
+	n, err = strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("sched: %s=%q is not a positive integer", TokensEnv, v)
+	}
+	return n, nil
+}
+
+func capacityFromEnv() int {
+	n, err := parseTokens(os.Getenv(TokensEnv))
+	if err != nil {
+		// Warn instead of silently defaulting: a user who set the knob and
+		// mistyped it would otherwise run at GOMAXPROCS and never know.
+		// (Once per process by construction — this runs at init.)
+		fmt.Fprintf(os.Stderr, "%v; using default %d\n", err, DefaultWorkers())
+	}
+	if n < 1 {
+		return DefaultWorkers()
+	}
+	return n
 }
 
 // Shared returns the process-wide budget that RunJobs and
@@ -201,6 +261,19 @@ func RunJobs(ctx context.Context, workers int, jobs []Job) error {
 		jobCtx = context.WithValue(ctx, poolCtxKey{}, true)
 	}
 	var next atomic.Int64
+	// call runs one job with panic containment: a panicking job fails its
+	// own error slot with a JobPanicError (stack captured at the boundary)
+	// instead of unwinding the worker goroutine — which for a helper would
+	// kill the whole process, and for the caller would tear down every
+	// sibling fan-out above it.
+	call := func(i int) (err error) {
+		defer func() {
+			if pe := CapturePanic("", recover()); pe != nil {
+				err = pe
+			}
+		}()
+		return jobs[i](jobCtx)
+	}
 	// run is the worker loop shared by the caller and every helper: claim
 	// the next job index, optionally top the helper pool back up (topUp),
 	// run the job. The standalone Done check makes cancellation
@@ -219,7 +292,7 @@ func RunJobs(ctx context.Context, workers int, jobs []Job) error {
 			if topUp != nil {
 				topUp()
 			}
-			errs[i] = jobs[i](jobCtx)
+			errs[i] = call(i)
 		}
 	}
 

@@ -278,3 +278,100 @@ func TestRunJobsConcurrentFanoutsShareBudget(t *testing.T) {
 func errorsContains(err error, substr string) bool {
 	return err != nil && strings.Contains(err.Error(), substr)
 }
+
+// TestRunJobsContainsPanics covers the containment boundary on every worker
+// path: the serial loop (workers=1), the caller's inline loop, and helper
+// goroutines (workers>1). A panicking job must surface as a JobPanicError in
+// the aggregate while every other job still runs.
+func TestRunJobsContainsPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var ran atomic.Int64
+			jobs := make([]Job, 16)
+			for i := range jobs {
+				i := i
+				jobs[i] = func(context.Context) error {
+					if i == 5 {
+						panic("boom-5")
+					}
+					ran.Add(1)
+					return nil
+				}
+			}
+			err := RunJobs(context.Background(), workers, jobs)
+			var pe *JobPanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want JobPanicError", err)
+			}
+			if pe.Value != "boom-5" {
+				t.Errorf("panic value = %v, want boom-5", pe.Value)
+			}
+			if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "sched") {
+				t.Errorf("stack not captured: %q", pe.Stack)
+			}
+			if got := ran.Load(); got != 15 {
+				t.Errorf("ran %d non-faulted jobs, want 15", got)
+			}
+			if got := Shared().InUse(); got != 0 {
+				t.Errorf("tokens leaked after panic: InUse = %d", got)
+			}
+		})
+	}
+}
+
+// TestRunJobsPanicJoinedWithErrors: a panic and an ordinary error from
+// different jobs must both appear in the errors.Join aggregate.
+func TestRunJobsPanicJoinedWithErrors(t *testing.T) {
+	jobs := []Job{
+		func(context.Context) error { return nil },
+		func(context.Context) error { panic("pow") },
+		func(context.Context) error { return errors.New("plain failure") },
+	}
+	err := RunJobs(context.Background(), 2, jobs)
+	var pe *JobPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("aggregate %v missing JobPanicError", err)
+	}
+	if !errorsContains(err, "plain failure") {
+		t.Errorf("aggregate %v missing the ordinary error", err)
+	}
+}
+
+func TestCapturePanicNil(t *testing.T) {
+	if pe := CapturePanic("x", nil); pe != nil {
+		t.Fatalf("CapturePanic(nil) = %v, want nil", pe)
+	}
+	pe := CapturePanic("durbin", "bad")
+	if pe == nil || !strings.Contains(pe.Error(), "durbin") {
+		t.Fatalf("labeled panic error = %v, want label in message", pe)
+	}
+}
+
+func TestParseTokens(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{in: "", want: 0},
+		{in: "4", want: 4},
+		{in: "1", want: 1},
+		{in: "0", wantErr: true},
+		{in: "-2", wantErr: true},
+		{in: "four", wantErr: true},
+		{in: "4.5", wantErr: true},
+		{in: " 4", wantErr: true},
+	}
+	for _, tc := range cases {
+		n, err := parseTokens(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseTokens(%q): no error, want one", tc.in)
+			}
+			continue
+		}
+		if err != nil || n != tc.want {
+			t.Errorf("parseTokens(%q) = %d, %v; want %d, nil", tc.in, n, err, tc.want)
+		}
+	}
+}

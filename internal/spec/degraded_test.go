@@ -1,0 +1,144 @@
+package spec_test
+
+// The acceptance shape of the failure-containment work, end to end: with a
+// panic injected into one workload's compile and a hang injected into
+// another's exec, a degraded suite run completes — the two faulted
+// workloads come back as typed failed rows (JobPanicError with a stack,
+// TimeoutError with partial counters), every other row is bit-identical to
+// a fault-free run, and the suite-level error is a SuiteFailure.
+//
+// The workload sources carry marker comments: comments lex away (identical
+// artifacts) but change the pipeline cache key, so the fault-poisoned cache
+// entries this test creates can never be served to the real suites.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/fault"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/workloads"
+)
+
+// degradedSrc builds a distinct spin workload: the marker comment isolates
+// this test's cache keys, and the loop retires well past one watchdog poll
+// interval so an armed deadline is actually observed.
+func degradedSrc(name, marker string) string {
+	return fmt.Sprintf(`/* degraded-suite-test %s %s */
+int spin(int n) {
+  int i; int acc;
+  acc = 0;
+  for (i = 0; i < n; i++) { acc += i * 3 + 1; }
+  return acc;
+}
+int main() {
+  int r; int k;
+  r = 0;
+  for (k = 0; k < 500; k++) { r += spin(10000); }
+  print_int(r);
+  print_nl();
+  return 0;
+}`, name, marker)
+}
+
+func degradedSuite(marker string) []*workloads.Workload {
+	mk := func(name string) *workloads.Workload {
+		return &workloads.Workload{Name: name, Source: degradedSrc(name, marker)}
+	}
+	return []*workloads.Workload{mk("deg-a"), mk("deg-b"), mk("deg-c"), mk("deg-d")}
+}
+
+func TestDegradedSuiteContainsInjectedFaults(t *testing.T) {
+	if testing.Short() {
+		// The wall-clock watchdog margin below assumes full-speed
+		// simulation; under -race (CI runs it with -short) honest rows blow
+		// the deadline too. Containment under race is covered by the codegen
+		// fault stress test; this end-to-end shape runs in the full tier.
+		t.Skip("wall-clock watchdog margins are not race-detector safe")
+	}
+	cfgs := []*codegen.EngineConfig{codegen.Native(), codegen.Chrome()}
+
+	// Fault-free reference run. deg-b gets a different marker here so the
+	// faulted run's compile is a cache miss (the fault site lives inside the
+	// build path; a memory hit would never reach it). Comments don't change
+	// the artifact, so this does not perturb any measurement.
+	base := degradedSuite("baseline")
+	base[1].Source = degradedSrc("deg-b", "baseline-only")
+	h0 := spec.NewHarness()
+	baseRes, err := h0.RunSuite(base, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	disarm, err := fault.ArmSpec("compile@deg-b=panic:*,exec@deg-c=delay:*:4s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	restore := pipeline.SetJobLimits(2*time.Second, 0)
+	defer restore()
+
+	faulted := degradedSuite("baseline")
+	faulted[1].Source = degradedSrc("deg-b", "faulted-only")
+	h1 := spec.NewHarness()
+	h1.Degraded = true
+	out, err := h1.RunSuiteContext(context.Background(), faulted, cfgs)
+	if err == nil {
+		t.Fatal("degraded run with armed faults must return an error")
+	}
+	var sf *spec.SuiteFailure
+	if !errors.As(err, &sf) {
+		t.Fatalf("error is not a SuiteFailure: %v", err)
+	}
+	if len(sf.Failures) != 4 || sf.Total != 8 {
+		t.Fatalf("want 4 of 8 runs failed, got %d of %d: %v", len(sf.Failures), sf.Total, err)
+	}
+	if out == nil {
+		t.Fatal("degraded run must still return the partial result matrix")
+	}
+
+	for wi, w := range faulted {
+		for ci := range cfgs {
+			r := out[wi][ci]
+			switch w.Name {
+			case "deg-b": // injected compile panic
+				var pe *sched.JobPanicError
+				if r.Err == nil || !errors.As(r.Err, &pe) {
+					t.Errorf("%s/%s: want JobPanicError, got %v", w.Name, cfgs[ci].Name, r.Err)
+					continue
+				}
+				if len(pe.Stack) == 0 {
+					t.Errorf("%s/%s: contained panic lost its stack", w.Name, cfgs[ci].Name)
+				}
+			case "deg-c": // injected exec hang, killed by the watchdog
+				var te *pipeline.TimeoutError
+				if r.Err == nil || !errors.As(r.Err, &te) {
+					t.Errorf("%s/%s: want TimeoutError, got %v", w.Name, cfgs[ci].Name, r.Err)
+					continue
+				}
+				if !te.Wall {
+					t.Errorf("%s/%s: watchdog kill should be wall-clock, got %+v", w.Name, cfgs[ci].Name, te)
+				}
+				if te.Partial.Instructions == 0 {
+					t.Errorf("%s/%s: TimeoutError lost its partial counters", w.Name, cfgs[ci].Name)
+				}
+			default: // surviving rows: bit-identical to the fault-free run
+				if r.Err != nil {
+					t.Errorf("%s/%s: unfaulted run failed: %v", w.Name, cfgs[ci].Name, r.Err)
+					continue
+				}
+				if !reflect.DeepEqual(r, baseRes[wi][ci]) {
+					t.Errorf("%s/%s: result differs from fault-free run:\n got %+v\nwant %+v",
+						w.Name, cfgs[ci].Name, r, baseRes[wi][ci])
+				}
+			}
+		}
+	}
+}

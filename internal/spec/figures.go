@@ -25,10 +25,12 @@ func (h *Harness) RunSPEC() (*SuiteResults, error) {
 	ws := workloads.SPECCPU()
 	cfgs := EngineSet()
 	r, err := h.RunSuite(ws, cfgs)
-	if err != nil {
+	if r == nil {
 		return nil, err
 	}
-	return &SuiteResults{Workloads: ws, Engines: cfgs, R: r}, nil
+	// err may be a *SuiteFailure from a degraded run: the results are
+	// usable (failed rows are Err-marked), the run still reads as failed.
+	return &SuiteResults{Workloads: ws, Engines: cfgs, R: r}, err
 }
 
 // RunPolybench runs the PolybenchC suite on native/Chrome/Firefox.
@@ -36,10 +38,12 @@ func (h *Harness) RunPolybench() (*SuiteResults, error) {
 	ws := workloads.Polybench()
 	cfgs := EngineSet()
 	r, err := h.RunSuite(ws, cfgs)
-	if err != nil {
+	if r == nil {
 		return nil, err
 	}
-	return &SuiteResults{Workloads: ws, Engines: cfgs, R: r}, nil
+	// err may be a *SuiteFailure from a degraded run: the results are
+	// usable (failed rows are Err-marked), the run still reads as failed.
+	return &SuiteResults{Workloads: ws, Engines: cfgs, R: r}, err
 }
 
 // RunAsmJS runs the SPEC suite on the asm.js configurations.
@@ -47,10 +51,12 @@ func (h *Harness) RunAsmJS() (*SuiteResults, error) {
 	ws := workloads.SPECCPU()
 	cfgs := AsmJSEngines()
 	r, err := h.RunSuite(ws, cfgs)
-	if err != nil {
+	if r == nil {
 		return nil, err
 	}
-	return &SuiteResults{Workloads: ws, Engines: cfgs, R: r}, nil
+	// err may be a *SuiteFailure from a degraded run: the results are
+	// usable (failed rows are Err-marked), the run still reads as failed.
+	return &SuiteResults{Workloads: ws, Engines: cfgs, R: r}, err
 }
 
 // Relative returns, per workload, time(engine col)/time(col 0).
@@ -115,6 +121,10 @@ func Fig5(wasmRes, asmRes *SuiteResults) string {
 	fmt.Fprintf(&sb, "%-16s %10s %10s\n", "benchmark", "chrome", "firefox")
 	var rc, rf []float64
 	for i, w := range wasmRes.Workloads {
+		if !RowOK(wasmRes.R[i]) || !RowOK(asmRes.R[i]) {
+			fmt.Fprintf(&sb, "%-16s %10s\n", w.Name, "FAILED")
+			continue
+		}
 		c := asmRes.R[i][0].Seconds / wasmRes.R[i][1].Seconds
 		f := asmRes.R[i][1].Seconds / wasmRes.R[i][2].Seconds
 		rc = append(rc, c)
@@ -131,6 +141,10 @@ func Fig6(wasmRes, asmRes *SuiteResults) string {
 	sb.WriteString("Figure 6 — best asm.js relative to best WebAssembly\n")
 	var ratios []float64
 	for i, w := range wasmRes.Workloads {
+		if !RowOK(wasmRes.R[i]) || !RowOK(asmRes.R[i]) {
+			fmt.Fprintf(&sb, "%-16s %10s\n", w.Name, "FAILED")
+			continue
+		}
 		bestWasm := stats.Min([]float64{wasmRes.R[i][1].Seconds, wasmRes.R[i][2].Seconds})
 		bestAsm := stats.Min([]float64{asmRes.R[i][0].Seconds, asmRes.R[i][1].Seconds})
 		r := bestAsm / bestWasm

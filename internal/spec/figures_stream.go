@@ -25,6 +25,41 @@ type RowSink interface {
 	AddRow(wi int, w *workloads.Workload, row []*Result)
 }
 
+// RowOK reports whether a row is measurable: every engine produced a real
+// result (non-nil, no Err). Degraded suite runs deliver failed rows too, so
+// every sink guards with this and renders FAILED lines instead of plotting
+// zeros — and keeps failed rows out of its geomean inputs.
+func RowOK(row []*Result) bool {
+	if len(row) == 0 {
+		return false
+	}
+	for _, r := range row {
+		if r == nil || r.Err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// failedLine is the rendered form of a failed row in line-based figures.
+func failedLine(name string) string {
+	return fmt.Sprintf("%-16s %10s\n", name, "FAILED")
+}
+
+// okFilter selects vals at positions marked ok, in workload order: the
+// aggregate inputs for a figure with failed rows. Positional (not appended
+// at AddRow time) so the aggregation order — and therefore the rendered
+// floating-point digits — never depends on row completion order.
+func okFilter(vals []float64, ok []bool) []float64 {
+	out := make([]float64, 0, len(vals))
+	for i, v := range vals {
+		if ok[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // rel returns row[col]'s time relative to the native column.
 func rel(row []*Result, col int) float64 { return row[col].Seconds / row[0].Seconds }
 
@@ -42,18 +77,24 @@ func counterRatio(row []*Result, ev perf.Event, col int) float64 {
 type Fig3Stream struct {
 	title           string
 	lines           []string
+	ok              []bool
 	chrome, firefox []float64
 }
 
 // NewFig3Stream sizes the builder for n workloads.
 func NewFig3Stream(title string, n int) *Fig3Stream {
-	return &Fig3Stream{title: title, lines: make([]string, n),
+	return &Fig3Stream{title: title, lines: make([]string, n), ok: make([]bool, n),
 		chrome: make([]float64, n), firefox: make([]float64, n)}
 }
 
 // AddRow implements RowSink.
 func (f *Fig3Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	if !RowOK(row) {
+		f.lines[wi] = failedLine(w.Name)
+		return
+	}
 	c, fx := rel(row, 1), rel(row, 2)
+	f.ok[wi] = true
 	f.chrome[wi], f.firefox[wi] = c, fx
 	f.lines[wi] = fmt.Sprintf("%-16s %10.2f %10.2f\n", w.Name, c, fx)
 }
@@ -66,27 +107,34 @@ func (f *Fig3Stream) Render() string {
 	for _, l := range f.lines {
 		sb.WriteString(l)
 	}
-	fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", "geomean", stats.Geomean(f.chrome), stats.Geomean(f.firefox))
+	fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", "geomean",
+		stats.Geomean(okFilter(f.chrome, f.ok)), stats.Geomean(okFilter(f.firefox, f.ok)))
 	return sb.String()
 }
 
 // Table1Stream accumulates the SPEC absolute-times table.
 type Table1Stream struct {
 	lines           []string
+	ok              []bool
 	chrome, firefox []float64
 }
 
 // NewTable1Stream sizes the builder for n workloads.
 func NewTable1Stream(n int) *Table1Stream {
-	return &Table1Stream{lines: make([]string, n),
+	return &Table1Stream{lines: make([]string, n), ok: make([]bool, n),
 		chrome: make([]float64, n), firefox: make([]float64, n)}
 }
 
 // AddRow implements RowSink.
 func (t *Table1Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	if !RowOK(row) {
+		t.lines[wi] = fmt.Sprintf("%-16s %12s %12s %12s\n", w.Name, "FAILED", "-", "-")
+		return
+	}
 	n := row[0].Seconds * 1000
 	c := row[1].Seconds * 1000
 	f := row[2].Seconds * 1000
+	t.ok[wi] = true
 	t.chrome[wi], t.firefox[wi] = c/n, f/n
 	t.lines[wi] = fmt.Sprintf("%-16s %12.2f %12.2f %12.2f\n", w.Name, n, c, f)
 }
@@ -99,25 +147,32 @@ func (t *Table1Stream) Render() string {
 	for _, l := range t.lines {
 		sb.WriteString(l)
 	}
-	fmt.Fprintf(&sb, "%-16s %12s %11.2fx %11.2fx\n", "Slowdown: geomean", "-", stats.Geomean(t.chrome), stats.Geomean(t.firefox))
-	fmt.Fprintf(&sb, "%-16s %12s %11.2fx %11.2fx\n", "Slowdown: median", "-", stats.Median(t.chrome), stats.Median(t.firefox))
+	chrome, firefox := okFilter(t.chrome, t.ok), okFilter(t.firefox, t.ok)
+	fmt.Fprintf(&sb, "%-16s %12s %11.2fx %11.2fx\n", "Slowdown: geomean", "-", stats.Geomean(chrome), stats.Geomean(firefox))
+	fmt.Fprintf(&sb, "%-16s %12s %11.2fx %11.2fx\n", "Slowdown: median", "-", stats.Median(chrome), stats.Median(firefox))
 	return sb.String()
 }
 
 // Fig4Stream accumulates the Browsix-overhead figure.
 type Fig4Stream struct {
 	lines  []string
+	ok     []bool
 	shares []float64
 }
 
 // NewFig4Stream sizes the builder for n workloads.
 func NewFig4Stream(n int) *Fig4Stream {
-	return &Fig4Stream{lines: make([]string, n), shares: make([]float64, n)}
+	return &Fig4Stream{lines: make([]string, n), ok: make([]bool, n), shares: make([]float64, n)}
 }
 
 // AddRow implements RowSink.
 func (f *Fig4Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	if !RowOK(row) {
+		f.lines[wi] = failedLine(w.Name)
+		return
+	}
 	share := row[2].BrowsixShare * 100
+	f.ok[wi] = true
 	f.shares[wi] = share
 	f.lines[wi] = fmt.Sprintf("%-16s %8.3f%%   (%d syscalls)\n", w.Name, share, row[2].Syscalls)
 }
@@ -129,20 +184,21 @@ func (f *Fig4Stream) Render() string {
 	for _, l := range f.lines {
 		sb.WriteString(l)
 	}
-	fmt.Fprintf(&sb, "%-16s %8.3f%%\n", "average", stats.Mean(f.shares))
+	fmt.Fprintf(&sb, "%-16s %8.3f%%\n", "average", stats.Mean(okFilter(f.shares, f.ok)))
 	return sb.String()
 }
 
 // Fig9Stream accumulates the six counter panels.
 type Fig9Stream struct {
 	names   []string
+	ok      []bool
 	chrome  [][]float64 // [panel][workload]
 	firefox [][]float64
 }
 
 // NewFig9Stream sizes the builder for n workloads.
 func NewFig9Stream(n int) *Fig9Stream {
-	f := &Fig9Stream{names: make([]string, n),
+	f := &Fig9Stream{names: make([]string, n), ok: make([]bool, n),
 		chrome: make([][]float64, len(Fig9Events)), firefox: make([][]float64, len(Fig9Events))}
 	for i := range Fig9Events {
 		f.chrome[i] = make([]float64, n)
@@ -154,6 +210,10 @@ func NewFig9Stream(n int) *Fig9Stream {
 // AddRow implements RowSink.
 func (f *Fig9Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
 	f.names[wi] = w.Name
+	if !RowOK(row) {
+		return
+	}
+	f.ok[wi] = true
 	for pi, ev := range Fig9Events {
 		f.chrome[pi][wi] = counterRatio(row, ev, 1)
 		f.firefox[pi][wi] = counterRatio(row, ev, 2)
@@ -168,9 +228,14 @@ func (f *Fig9Stream) Render() string {
 		fmt.Fprintf(&sb, "\n(%c) %s\n", 'a'+pi, ev)
 		fmt.Fprintf(&sb, "%-16s %10s %10s\n", "benchmark", "chrome", "firefox")
 		for wi, name := range f.names {
+			if !f.ok[wi] {
+				sb.WriteString(failedLine(name))
+				continue
+			}
 			fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", name, f.chrome[pi][wi], f.firefox[pi][wi])
 		}
-		fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", "geomean", stats.Geomean(f.chrome[pi]), stats.Geomean(f.firefox[pi]))
+		fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", "geomean",
+			stats.Geomean(okFilter(f.chrome[pi], f.ok)), stats.Geomean(okFilter(f.firefox[pi], f.ok)))
 	}
 	return sb.String()
 }
@@ -178,19 +243,25 @@ func (f *Fig9Stream) Render() string {
 // Fig10Stream accumulates the L1-icache miss-ratio figure.
 type Fig10Stream struct {
 	lines           []string
+	ok              []bool
 	chrome, firefox []float64
 }
 
 // NewFig10Stream sizes the builder for n workloads.
 func NewFig10Stream(n int) *Fig10Stream {
-	return &Fig10Stream{lines: make([]string, n),
+	return &Fig10Stream{lines: make([]string, n), ok: make([]bool, n),
 		chrome: make([]float64, n), firefox: make([]float64, n)}
 }
 
 // AddRow implements RowSink.
 func (f *Fig10Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	if !RowOK(row) {
+		f.lines[wi] = failedLine(w.Name)
+		return
+	}
 	c := counterRatio(row, perf.L1ICacheLoadMisses, 1)
 	fx := counterRatio(row, perf.L1ICacheLoadMisses, 2)
+	f.ok[wi] = true
 	f.chrome[wi], f.firefox[wi] = c, fx
 	f.lines[wi] = fmt.Sprintf("%-16s %10.2f %10.2f\n", w.Name, c, fx)
 }
@@ -203,7 +274,8 @@ func (f *Fig10Stream) Render() string {
 	for _, l := range f.lines {
 		sb.WriteString(l)
 	}
-	fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", "geomean", stats.Geomean(f.chrome), stats.Geomean(f.firefox))
+	fmt.Fprintf(&sb, "%-16s %10.2f %10.2f\n", "geomean",
+		stats.Geomean(okFilter(f.chrome, f.ok)), stats.Geomean(okFilter(f.firefox, f.ok)))
 	return sb.String()
 }
 
@@ -215,6 +287,7 @@ func table4Events() []perf.Event {
 
 // Table4Stream accumulates the geomean counter-increase table.
 type Table4Stream struct {
+	ok      []bool
 	chrome  [][]float64 // [event][workload]
 	firefox [][]float64
 }
@@ -222,7 +295,8 @@ type Table4Stream struct {
 // NewTable4Stream sizes the builder for n workloads.
 func NewTable4Stream(n int) *Table4Stream {
 	evs := table4Events()
-	t := &Table4Stream{chrome: make([][]float64, len(evs)), firefox: make([][]float64, len(evs))}
+	t := &Table4Stream{ok: make([]bool, n),
+		chrome: make([][]float64, len(evs)), firefox: make([][]float64, len(evs))}
 	for i := range evs {
 		t.chrome[i] = make([]float64, n)
 		t.firefox[i] = make([]float64, n)
@@ -232,6 +306,10 @@ func NewTable4Stream(n int) *Table4Stream {
 
 // AddRow implements RowSink.
 func (t *Table4Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	if !RowOK(row) {
+		return
+	}
+	t.ok[wi] = true
 	for ei, ev := range table4Events() {
 		t.chrome[ei][wi] = counterRatio(row, ev, 1)
 		t.firefox[ei][wi] = counterRatio(row, ev, 2)
@@ -245,7 +323,7 @@ func (t *Table4Stream) Render() string {
 	fmt.Fprintf(&sb, "%-26s %10s %10s\n", "counter", "chrome", "firefox")
 	for ei, ev := range table4Events() {
 		fmt.Fprintf(&sb, "%-26s %9.2fx %9.2fx\n", ev,
-			stats.Geomean(t.chrome[ei]), stats.Geomean(t.firefox[ei]))
+			stats.Geomean(okFilter(t.chrome[ei], t.ok)), stats.Geomean(okFilter(t.firefox[ei], t.ok)))
 	}
 	return sb.String()
 }
@@ -263,6 +341,9 @@ func NewFig1Stream(n int) *Fig1Stream {
 
 // AddRow implements RowSink.
 func (f *Fig1Stream) AddRow(wi int, w *workloads.Workload, row []*Result) {
+	if !RowOK(row) {
+		return
+	}
 	best := stats.Min([]float64{rel(row, 1), rel(row, 2)})
 	for _, th := range []float64{1.1, 1.5, 2.0, 2.5} {
 		if best < th {

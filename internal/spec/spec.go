@@ -9,13 +9,18 @@ package spec
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/codegen"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
+	"repro/internal/sched"
 	"repro/internal/workloads"
 )
 
@@ -65,6 +70,11 @@ int main(int argc, char **argv) {
 type Result struct {
 	Bench  string
 	Engine string
+	// Err marks a failed run in a degraded suite: the workload/engine pair
+	// that failed and why (a JobPanicError, a pipeline.TimeoutError, an
+	// ordinary build or run error). All measurement fields are zero when Err
+	// is set; sinks render such rows as FAILED instead of plotting them.
+	Err error
 	// Seconds is simulated wall time between the perf marks.
 	Seconds float64
 	// Counters are the perf-recorded interval counters.
@@ -93,8 +103,48 @@ type Harness struct {
 	// t.Logf / b.Logf in tests and benchmarks.
 	Logf func(format string, args ...any)
 
+	// Degraded makes suite runs survive individual failures: a workload ×
+	// engine run that fails (build error, panic, watchdog timeout, output
+	// mismatch) becomes a Result with Err set, its row is still delivered
+	// to the sinks (rendered as FAILED), and RunSuiteRows returns a
+	// *SuiteFailure summarizing every failure — nonzero exit, zero lost
+	// rows. Without it, the first failure aborts the suite (the historical
+	// strict behavior tests rely on).
+	Degraded bool
+
 	mu      sync.Mutex
 	results map[string]*Result
+}
+
+// FailedRun is one failed workload × engine execution in a degraded suite.
+type FailedRun struct {
+	Bench  string
+	Engine string
+	Err    error
+}
+
+// SuiteFailure is the error a degraded suite run returns when any run
+// failed: the suite completed (every surviving row was measured, validated,
+// and delivered) but the run as a whole must not read as clean.
+type SuiteFailure struct {
+	Failures []FailedRun
+	// Total is the number of workload × engine runs attempted.
+	Total int
+}
+
+func (e *SuiteFailure) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "spec: %d of %d runs failed (degraded suite)", len(e.Failures), e.Total)
+	for _, f := range e.Failures {
+		msg := f.Err.Error()
+		// Keep the summary one line per failure; panic stacks stay
+		// available through errors.As on the Failures slice.
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i] + " ..."
+		}
+		fmt.Fprintf(&sb, "\n  %s on %s: %s", f.Bench, f.Engine, msg)
+	}
+	return sb.String()
 }
 
 // NewHarness returns an empty harness.
@@ -138,7 +188,14 @@ func (h *Harness) Run(w *workloads.Workload, cfg *codegen.EngineConfig) (*Result
 // RunContext is Run under a caller context: the whole process chain
 // (runspec, specinvoke, the benchmark) polls ctx while simulating, so
 // cancellation preempts an in-flight measurement, not just queued ones.
+// The per-job watchdog (pipeline.JobLimits) rides the same polling; a
+// tripped limit returns a pipeline.TimeoutError with partial counters.
 func (h *Harness) RunContext(ctx context.Context, w *workloads.Workload, cfg *codegen.EngineConfig) (*Result, error) {
+	if fault.Enabled() && fault.LabelOf(ctx) == "" {
+		// Key the compile/exec fault sites under this run by workload name,
+		// so a rule can target one workload out of the suite.
+		ctx = fault.WithLabel(ctx, w.Name)
+	}
 	key := w.Name + "/" + pipeline.Key(w.Source, cfg)
 	h.mu.Lock()
 	if r, ok := h.results[key]; ok {
@@ -163,6 +220,21 @@ func (h *Harness) RunContext(ctx context.Context, w *workloads.Workload, cfg *co
 	// Filesystem image: command file plus workload inputs.
 	k := kernel.New(nil)
 	k.Ctx = ctx
+	timeout, maxInsts := pipeline.JobLimits()
+	if timeout > 0 {
+		// One deadline for the whole process chain: when the watchdog kills
+		// the hung benchmark, runspec (blocked in sys_wait) resumes and
+		// trips the same deadline at its own next poll, so the WaitPID below
+		// surfaces the kill no matter which process hung.
+		k.Deadline = time.Now().Add(timeout)
+	}
+	k.MaxInsts = maxInsts
+	// The exec fault site sits after the deadline is armed: an injected
+	// delay ("hang") burns the job's wall-clock budget, and the watchdog
+	// kills the run at its first interrupt poll — partial counters included.
+	if err := fault.Check(fault.SiteExec, w.Name); err != nil {
+		return nil, fmt.Errorf("spec: %s on %s: %w", w.Name, cfg.Name, err)
+	}
 	if err := k.FS.MkdirAll("/spec"); err != nil {
 		return nil, err
 	}
@@ -218,6 +290,20 @@ func (h *Harness) RunContext(ctx context.Context, w *workloads.Workload, cfg *co
 	}
 	code, err := k.WaitPID(proc.PID)
 	if err != nil {
+		var we *kernel.WatchdogError
+		if errors.As(err, &we) {
+			// Partial is the waited root's counters (runspec): the killed
+			// benchmark's own counters die with its process, but the
+			// interval data up to the kill is real — flushed on the
+			// interrupt path — and enough to show how far the job got.
+			return nil, &pipeline.TimeoutError{
+				Label:    w.Name,
+				Wall:     we.Wall,
+				Timeout:  timeout,
+				MaxInsts: maxInsts,
+				Partial:  proc.Inst.Counters,
+			}
+		}
 		return nil, fmt.Errorf("spec: %s on %s: %w", w.Name, cfg.Name, err)
 	}
 	if code != 0 {
@@ -250,10 +336,14 @@ func (h *Harness) RunSuite(ws []*workloads.Workload, cfgs []*codegen.EngineConfi
 func (h *Harness) RunSuiteContext(ctx context.Context, ws []*workloads.Workload, cfgs []*codegen.EngineConfig) ([][]*Result, error) {
 	out := make([][]*Result, len(ws))
 	err := h.RunSuiteRows(ctx, ws, cfgs, rowCollector(out))
-	if err != nil {
+	var sf *SuiteFailure
+	if err != nil && !errors.As(err, &sf) {
 		return nil, err
 	}
-	return out, nil
+	// A degraded run returns the partial matrix alongside the SuiteFailure:
+	// surviving rows are real measurements, failed rows carry Err-marked
+	// entries, and the caller decides whether to render despite the error.
+	return out, err
 }
 
 // rowCollector is the RowSink that materializes the [][]*Result matrix for
@@ -284,6 +374,7 @@ func (h *Harness) RunSuiteRows(ctx context.Context, ws []*workloads.Workload, cf
 		states[wi] = rowState{row: make([]*Result, len(cfgs)), left: len(cfgs)}
 	}
 	var mu sync.Mutex
+	var failures []FailedRun
 	jobs := make([]pipeline.Job, 0, len(ws)*len(cfgs))
 	for wi := range ws {
 		for ci := range cfgs {
@@ -292,25 +383,47 @@ func (h *Harness) RunSuiteRows(ctx context.Context, ws []*workloads.Workload, cf
 				if err := ctx.Err(); err != nil {
 					return nil // the scheduler reports the cancellation
 				}
-				r, err := h.RunContext(ctx, ws[wi], cfgs[ci])
-				if err != nil {
-					return err
-				}
+				r, err := h.runContained(ctx, ws[wi], cfgs[ci])
 				mu.Lock()
 				defer mu.Unlock()
+				if err != nil {
+					if !h.Degraded {
+						return err
+					}
+					// Degraded: the failure becomes a marked row entry and a
+					// summary line; the suite keeps going.
+					failures = append(failures, FailedRun{ws[wi].Name, cfgs[ci].Name, err})
+					r = &Result{Bench: ws[wi].Name, Engine: cfgs[ci].Name, Err: err}
+				}
 				st := &states[wi]
 				st.row[ci] = r
 				st.left--
 				if st.left > 0 {
 					return nil
 				}
-				// Last engine in: validate, deliver, drop.
+				// Last engine in: validate, deliver, drop. A row with a
+				// failed entry skips cmp validation (there is nothing to
+				// compare) but is still delivered so sinks render it FAILED.
 				row := st.row
 				st.row = nil
-				for i := 1; i < len(row); i++ {
-					if row[i].Output != row[0].Output {
-						return fmt.Errorf("spec: %s: output mismatch between %s and %s",
-							ws[wi].Name, row[0].Engine, row[i].Engine)
+				if RowOK(row) {
+					for i := 1; i < len(row); i++ {
+						if row[i].Output != row[0].Output {
+							err := fmt.Errorf("spec: %s: output mismatch between %s and %s",
+								ws[wi].Name, row[0].Engine, row[i].Engine)
+							if !h.Degraded {
+								return err
+							}
+							failures = append(failures, FailedRun{ws[wi].Name, row[i].Engine, err})
+							// Mark the whole row: a mismatch impeaches the
+							// comparison, not one engine's measurement.
+							marked := make([]*Result, len(row))
+							for j, rr := range row {
+								marked[j] = &Result{Bench: rr.Bench, Engine: rr.Engine, Err: err}
+							}
+							row = marked
+							break
+						}
 					}
 				}
 				for _, sk := range sinks {
@@ -324,6 +437,25 @@ func (h *Harness) RunSuiteRows(ctx context.Context, ws []*workloads.Workload, cf
 	if h.Logf != nil {
 		h.Logf("spec suite (%d workloads × %d engines) cache: %v",
 			len(ws), len(cfgs), pipeline.Stats().Sub(before))
+		if len(failures) > 0 {
+			h.Logf("spec suite: %d of %d runs failed (degraded)", len(failures), len(jobs))
+		}
+	}
+	if len(failures) > 0 {
+		err = errors.Join(err, &SuiteFailure{Failures: failures, Total: len(jobs)})
 	}
 	return err
+}
+
+// runContained is RunContext with the same panic containment the scheduler
+// applies at job boundaries, so a degraded suite can turn a panicking run —
+// an injected compile fault, an engine bug — into a failed row instead of a
+// failed job (which would abandon the whole row's accounting).
+func (h *Harness) runContained(ctx context.Context, w *workloads.Workload, cfg *codegen.EngineConfig) (r *Result, err error) {
+	defer func() {
+		if pe := sched.CapturePanic(w.Name+" on "+cfg.Name, recover()); pe != nil {
+			r, err = nil, pe
+		}
+	}()
+	return h.RunContext(ctx, w, cfg)
 }

@@ -2,7 +2,6 @@ package workloads_test
 
 import (
 	"context"
-	"fmt"
 	"os"
 	"testing"
 
@@ -21,51 +20,18 @@ func TestMain(m *testing.M) {
 }
 
 // runSuiteSharded runs every workload × engine combination through the
-// pipeline scheduler (pipeline.RunJobs) instead of t.Parallel subtests: the
-// suite is one sharded job list with bounded parallelism, every failure is
-// reported (not just the first), and differential validation compares the
-// collected outputs row by row. Returns the per-suite cache traffic.
+// degraded-capable suite runner (workloads.RunDifferential) in strict mode:
+// the suite is one sharded job list with bounded parallelism, every failure
+// is reported (not just the first), and differential validation compares
+// the collected outputs row by row. Returns the per-suite cache traffic.
 func runSuiteSharded(t *testing.T, suite []*workloads.Workload, cfgs []*codegen.EngineConfig) pipeline.CacheStats {
 	t.Helper()
-	before := pipeline.Stats()
-	outs := make([][]string, len(suite))
-	jobs := make([]pipeline.Job, 0, len(suite)*len(cfgs))
-	for wi := range suite {
-		outs[wi] = make([]string, len(cfgs))
-		for ci := range cfgs {
-			wi, ci := wi, ci
-			jobs = append(jobs, func(ctx context.Context) error {
-				w, cfg := suite[wi], cfgs[ci]
-				res, err := pipeline.RunContext(ctx, w.Source, cfg, append([]string{w.Name}, w.Args...), w.Files)
-				if err != nil {
-					return fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
-				}
-				if res.ExitCode != 0 {
-					return fmt.Errorf("%s on %s: exit %d, stdout %q", w.Name, cfg.Name, res.ExitCode, res.Stdout)
-				}
-				if res.Stdout == "" {
-					return fmt.Errorf("%s on %s: no output", w.Name, cfg.Name)
-				}
-				outs[wi][ci] = res.Stdout
-				return nil
-			})
-		}
-	}
-	if err := pipeline.RunJobs(context.Background(), 0, jobs); err != nil {
+	rep, err := workloads.RunDifferential(context.Background(), suite, cfgs, false)
+	if err != nil {
 		t.Fatal(err)
 	}
-	// cmp validation: every engine must produce the reference output.
-	for wi, row := range outs {
-		for ci := 1; ci < len(row); ci++ {
-			if row[ci] != row[0] {
-				t.Errorf("%s: output mismatch: %s %q vs %s %q",
-					suite[wi].Name, cfgs[0].Name, row[0], cfgs[ci].Name, row[ci])
-			}
-		}
-	}
-	d := pipeline.Stats().Sub(before)
-	t.Logf("suite (%d workloads × %d engines) cache: %v", len(suite), len(cfgs), d)
-	return d
+	t.Logf("suite (%d workloads × %d engines) cache: %v", len(suite), len(cfgs), rep.Cache)
+	return rep.Cache
 }
 
 // TestPolybenchDifferential runs every Polybench kernel on native and
