@@ -421,24 +421,37 @@ func BenchmarkAblation_BrowserFSAppend(b *testing.B) {
 func BenchmarkSimThroughput(b *testing.B) {
 	for _, cfg := range []*codegen.EngineConfig{codegen.Native(), codegen.Chrome()} {
 		b.Run(cfg.Name, func(b *testing.B) {
-			w := workloads.Polybench()[0] // 2mm: FP matrix kernel
-			cm, err := toolchain.Build(w.Source, cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			var insts uint64
-			for i := 0; i < b.N; i++ {
-				res, err := toolchain.RunCompiled(cm, nil, nil)
-				if err != nil {
-					b.Fatal(err)
-				}
-				insts += res.Proc.Inst.Counters.Instructions
-			}
-			if secs := b.Elapsed().Seconds(); secs > 0 {
-				b.ReportMetric(float64(insts)/secs, "sim-inst/s")
-			}
+			benchSimThroughput(b, cfg, "sim-inst/s")
 		})
+	}
+	// Fidelity-tier variants on the native config: the functional fast path
+	// (sim-func-inst/s, the ≥5x target) and the sampled tier at default
+	// windows (sim-sampled-inst/s, in between).
+	b.Run("native-functional", func(b *testing.B) {
+		benchSimThroughput(b, codegen.Native().ApplyFidelity(codegen.FidelityFunctional, codegen.SampleWindows{}), "sim-func-inst/s")
+	})
+	b.Run("native-sampled", func(b *testing.B) {
+		benchSimThroughput(b, codegen.Native().ApplyFidelity(codegen.FidelitySampled, codegen.SampleWindows{}), "sim-sampled-inst/s")
+	})
+}
+
+func benchSimThroughput(b *testing.B, cfg *codegen.EngineConfig, metric string) {
+	w := workloads.Polybench()[0] // 2mm: FP matrix kernel
+	cm, err := toolchain.Build(w.Source, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := toolchain.RunCompiled(cm, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Proc.Inst.Counters.Instructions
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(insts)/secs, metric)
 	}
 }
 

@@ -9,13 +9,21 @@
 //
 // Usage:
 //
-//	benchtrend [-threshold 0.10] [-all] [-v] old.json [...] new.json
+//	benchtrend [-threshold 0.10] [-all|-median] [-v] old.json [...] new.json
 //
 // Exit status: 0 = no gated regression; 1 = regression past the threshold;
 // 2 = usage or artifact decode error. Metrics present only in the older
 // report are listed as missing (lost coverage) but never fail the gate;
 // gate on them by eye, or keep benchmark names stable. -all gates every
 // adjacent pair instead of only the newest; -v lists unflagged metrics too.
+//
+// -median switches to rolling-window mode: the last path is the candidate
+// and every earlier path is a baseline artifact (oldest first). The newest
+// three baselines are collapsed per-metric into their median and the
+// candidate is gated against that synthetic report — one noisy CI run in
+// the window can no longer fail (or mask) the gate by itself. Extra
+// baselines beyond three are accepted and ignored, so callers can pass
+// however many artifacts a download step found.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/perf"
 )
@@ -37,9 +46,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 0.10, "fractional worsening that counts as a regression")
 	all := fs.Bool("all", false, "gate every adjacent pair, not just the newest")
+	median := fs.Bool("median", false, "gate the last artifact against the per-metric median of the newest 3 preceding ones")
 	verbose := fs.Bool("v", false, "list unflagged metrics too")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: benchtrend [-threshold 0.10] [-all] [-v] old.json [...] new.json")
+		fmt.Fprintln(stderr, "usage: benchtrend [-threshold 0.10] [-all|-median] [-v] old.json [...] new.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -62,6 +72,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "benchtrend: %s: %v\n", p, err)
 			return 2
 		}
+	}
+
+	if *median {
+		// Rolling window: newest 3 baselines -> median -> gate candidate.
+		base, cand := reports[:len(reports)-1], reports[len(reports)-1]
+		basePaths := paths[:len(paths)-1]
+		if len(base) > 3 {
+			base, basePaths = base[len(base)-3:], basePaths[len(basePaths)-3:]
+		}
+		syn := perf.MedianBaseline(base)
+		label := fmt.Sprintf("median(%s)", strings.Join(basePaths, ", "))
+		tr := perf.CompareBench(syn, cand, *threshold)
+		printTrend(stdout, label, paths[len(paths)-1], tr, true, *verbose)
+		failed := tr.Regressions > 0
+		if tr.Compared == 0 && len(syn.Benchmarks) > 0 {
+			fmt.Fprintf(stdout, "   GATE FAILED: no metric of %s survives into %s — renamed everything, or empty artifact?\n",
+				label, paths[len(paths)-1])
+			failed = true
+		}
+		if failed {
+			return 1
+		}
+		return 0
 	}
 
 	gateFailed := false

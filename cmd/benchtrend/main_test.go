@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -156,5 +157,57 @@ func TestBenchtrendUsageAndDecodeErrors(t *testing.T) {
 	}
 	if code := run([]string{good, filepath.Join(dir, "absent.json")}, &out, &out); code != 2 {
 		t.Fatalf("missing file exit = %d, want 2", code)
+	}
+}
+
+// TestBenchtrendMedianWindow pins -median mode: the candidate is gated
+// against the per-metric median of the preceding artifacts, so one noisy
+// baseline neither fails nor masks the gate, windows wider than 3 drop the
+// oldest members, and a real regression against the median still fails.
+func TestBenchtrendMedianWindow(t *testing.T) {
+	dir := t.TempDir()
+	sim := func(name string, v float64) string {
+		return writeReport(t, dir, name,
+			`{"schema":"repro-bench/v1","benchmarks":[{"name":"SimThroughput","iterations":1,"metrics":{"sim-inst/s":`+
+				fmt.Sprint(v)+`}}]}`)
+	}
+	b1 := sim("b1.json", 200e6)
+	noisy := sim("b2.json", 5e6) // one bad run in the window
+	b3 := sim("b3.json", 210e6)
+
+	// Candidate within 10% of the median(200M, 5M, 210M) = 200M passes
+	// even though it is far below the window mean.
+	cand := sim("cand.json", 190e6)
+	var out bytes.Buffer
+	if got := run([]string{"-median", b1, noisy, b3, cand}, &out, &out); got != 0 {
+		t.Fatalf("exit = %d with one noisy baseline, want 0\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "median(") {
+		t.Errorf("output does not label the median baseline:\n%s", out.String())
+	}
+
+	// A real 25% drop against the median fails.
+	bad := sim("bad.json", 150e6)
+	out.Reset()
+	if got := run([]string{"-median", b1, noisy, b3, bad}, &out, &out); got != 1 {
+		t.Fatalf("exit = %d for real regression against median, want 1\n%s", got, out.String())
+	}
+
+	// Window wider than 3: the oldest (terrible) artifact is dropped, so
+	// the median stays at the steady level and the regression still fails.
+	out.Reset()
+	older := sim("b0.json", 1e6)
+	if got := run([]string{"-median", older, b1, noisy, b3, bad}, &out, &out); got != 1 {
+		t.Fatalf("exit = %d with >3 baselines, want 1\n%s", got, out.String())
+	}
+	if strings.Contains(out.String(), "b0.json") {
+		t.Errorf("dropped baseline b0.json still appears in the label:\n%s", out.String())
+	}
+
+	// Two-artifact degenerate case: -median with one baseline is a plain
+	// pairwise gate.
+	out.Reset()
+	if got := run([]string{"-median", b1, cand}, &out, &out); got != 0 {
+		t.Fatalf("exit = %d for single-baseline median, want 0\n%s", got, out.String())
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/codegen"
 	"repro/internal/pipeline"
 	"repro/internal/spec"
 )
@@ -23,11 +24,20 @@ func main() {
 	workers := flag.Int("workers", 0, "suite parallelism (0 = GOMAXPROCS)")
 	cachestats := flag.Bool("cachestats", false, "report per-suite build-cache traffic (memory/disk/miss) on stderr")
 	degraded := flag.Bool("degraded", false, "survive individual workload failures: render FAILED rows, report a failure summary, exit nonzero")
+	fidelity := flag.String("fidelity", "", "simulation tier: exact, functional, sampled (default $REPRO_FIDELITY, else exact)")
 	flag.Parse()
+
+	fid, windows, err := codegen.ResolveFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "browsix-spec:", err)
+		os.Exit(2)
+	}
 
 	h := spec.NewHarness()
 	h.Workers = *workers
 	h.Degraded = *degraded
+	h.Fidelity = fid
+	h.SampleWindows = windows
 	exitCode := 0
 	reportTotals := func() {}
 	if *cachestats {

@@ -25,7 +25,14 @@ func main() {
 	suite := flag.String("suite", "polybench", "suite to run: polybench, spec, all")
 	short := flag.Bool("short", false, "run the scaled-down short subsets")
 	degraded := flag.Bool("degraded", false, "survive individual workload failures: report FAIL rows, exit nonzero")
+	fidelity := flag.String("fidelity", "", "simulation tier: exact, functional, sampled (default $REPRO_FIDELITY, else exact)")
 	flag.Parse()
+
+	fid, windows, err := codegen.ResolveFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runsuite:", err)
+		os.Exit(2)
+	}
 
 	type job struct {
 		name string
@@ -62,6 +69,9 @@ func main() {
 
 	exit := 0
 	for _, j := range jobs {
+		for _, cfg := range j.cfgs {
+			cfg.ApplyFidelity(fid, windows)
+		}
 		rep, err := workloads.RunDifferential(context.Background(), j.ws, j.cfgs, *degraded)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "runsuite: %s: %v\n", j.name, err)

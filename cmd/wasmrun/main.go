@@ -18,6 +18,7 @@ import (
 
 func main() {
 	engine := flag.String("engine", "chrome", "engine: native, chrome, firefox, asmjs-chrome, asmjs-firefox")
+	fidelity := flag.String("fidelity", "", "simulation tier: exact, functional, sampled (default $REPRO_FIDELITY, else exact)")
 	counters := flag.Bool("counters", true, "print perf counters after the run")
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -45,6 +46,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wasmrun: unknown engine %q\n", *engine)
 		os.Exit(2)
 	}
+	f, w, err := codegen.ResolveFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wasmrun:", err)
+		os.Exit(2)
+	}
+	cfg.ApplyFidelity(f, w)
 
 	argv := append([]string{flag.Arg(0)}, flag.Args()[1:]...)
 	res, err := pipeline.Run(string(src), cfg, argv, nil)

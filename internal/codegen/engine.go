@@ -95,6 +95,18 @@ type EngineConfig struct {
 	// NopPad aligns function entries to this many bytes with nops
 	// (V8 pads; contributes to the larger Chrome code footprint).
 	NopPad int
+
+	// Fidelity selects the simulation tier the compiled module runs under
+	// (see fidelity.go). It does not change generated code, but it is part
+	// of the content address: cached artifacts and memoized suite results
+	// never mix fidelities.
+	Fidelity Fidelity
+
+	// SamplePeriod/SampleDetail/SampleWarmup override the sampled tier's
+	// window schedule, in retired instructions (0 = simulator default).
+	SamplePeriod uint64
+	SampleDetail uint64
+	SampleWarmup uint64
 }
 
 // Native returns the Clang-like native configuration.

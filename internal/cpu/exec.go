@@ -43,10 +43,31 @@ var extWidth = [5]uint8{extZX8: 1, extZX16: 2, extSX8: 1, extSX16: 2, extSXD: 4}
 
 func (m *Machine) run() error {
 	if m.NoPredecode {
+		// The legacy interpreter is the reference oracle: it always runs
+		// exact, regardless of the fidelity tier.
 		return m.runLegacy()
 	}
+	switch m.fid {
+	case FidelityFunctional:
+		return m.runFunctional()
+	case FidelitySampled:
+		return m.runSampled()
+	}
+	return m.runExact()
+}
+
+// runExact is the full-fidelity micro-op loop: every icache/dcache access
+// and branch prediction modeled on every retired instruction. It is also
+// the detailed-window engine of the sampled tier, which sets stopAt to end
+// a window: the loop then returns nil with rip (and lastILine) preserved,
+// so re-entry continues bit-identically.
+func (m *Machine) runExact() error {
 	ops := m.uops
 	for !m.halted {
+		if m.Counters.Instructions >= m.stopAt {
+			m.FlushCycles()
+			return nil
+		}
 		if uint(m.rip) >= uint(len(ops)) {
 			return &TrapError{Msg: "execution left code segment", PC: m.rip}
 		}
@@ -1117,15 +1138,24 @@ func roundMode(f float64, mode uint8) float64 {
 	}
 }
 
-// branchTo redirects control and charges branch costs.
+// branchTo redirects control and charges branch costs. Branch counters are
+// architectural and always move; the predictor (and its BranchMiss counter)
+// is timing state, skipped while timing is suppressed so the uSlow/legacy
+// fallback stays usable from the functional engine.
 func (m *Machine) branchTo(target int, conditional, taken bool, addr uint32) {
 	m.Counters.Branches++
 	m.q(qBranch)
 	if conditional {
 		m.Counters.CondBranches++
-		if !m.BP.Predict(addr, taken) {
+		if !m.noTime {
+			if !m.BP.Predict(addr, taken) {
+				m.Counters.BranchMiss++
+				m.q(qMispred)
+			}
+		} else if m.warm && !m.BP.Predict(addr, taken) {
+			// Sampled fast-forward: the predictor is simulated always-on
+			// (state and mispredict count), only the cycle charge is omitted.
 			m.Counters.BranchMiss++
-			m.q(qMispred)
 		}
 	}
 	if taken {

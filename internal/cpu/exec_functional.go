@@ -1,0 +1,1062 @@
+package cpu
+
+// Functional-fidelity engine: retires the same pre-decoded micro-op stream
+// as the exact engine (exec.go) and produces bit-identical architectural
+// state and exact-by-construction counters — Instructions, Loads, Stores,
+// Branches, CondBranches — but models no icache, dcache, branch predictor,
+// or cycles. That is the whole speedup: no per-instruction line compare, no
+// cache walks, no quarter-cycle accumulation, and the hot loop carries only
+// two values in locals — rip and a signed countdown to the next
+// machine-level event — so both stay enregistered across the dispatch
+// switch. Counter fields are bumped directly on m.Counters (an L1-resident
+// memory add, exactly like the exact engine) except Instructions, which is
+// reconstructed from the countdown at sync points: Instructions =
+// limit - rem, so its per-instruction cost is the decrement the loop
+// condition needs anyway.
+//
+// Structure: runFunctional is the outer loop. It computes how far the inner
+// chunk may run without observing machine-level events — the segment stop
+// (stopAt, set by the sampled driver), the interrupt poll point (pollAt),
+// and the instruction budget — and funcChunk then pays exactly one
+// countdown decrement per instruction for all three. Chunk boundaries re-check the events with
+// the same semantics as the exact engine's per-instruction checks.
+//
+// Unspecialized shapes fall back to the legacy single-instruction
+// interpreter (m.exec), exactly like the exact engine's uSlow arm; the
+// noTime gates in dcache/branchTo/FlushCycles keep that path — and every
+// generic load/store — free of timing side effects.
+
+import (
+	"repro/internal/x86"
+
+	"encoding/binary"
+	"math"
+)
+
+func (m *Machine) runFunctional() error {
+	ops := m.uops
+	for !m.halted {
+		limit := m.stopAt
+		if m.pollAt < limit {
+			limit = m.pollAt
+		}
+		budget := ^uint64(0)
+		if m.MaxInstructions > 0 {
+			budget = m.MaxInstructions
+			if budget < limit {
+				limit = budget
+			}
+		}
+		// Bound the chunk span so the countdown fits comfortably in int64
+		// even when every limit is the ^0 "disabled" sentinel; the outer
+		// loop re-enters cheaply. A clamped limit is below the budget by
+		// construction, so fused pairs cannot cross the budget mid-chunk.
+		tight := budget == limit
+		const maxChunk = 1 << 30
+		if n := m.Counters.Instructions; limit-n > maxChunk {
+			limit = n + maxChunk
+			tight = false
+		}
+		if err := m.funcChunk(ops, limit, tight); err != nil {
+			m.FlushCycles()
+			return err
+		}
+		if m.halted {
+			break
+		}
+		n := m.Counters.Instructions
+		if n >= m.stopAt {
+			m.FlushCycles()
+			return nil
+		}
+		if n >= budget {
+			// Match the exact engine's budget semantics: the instruction
+			// that would exceed the budget is counted but not executed, and
+			// the trap carries its PC.
+			m.Counters.Instructions++
+			return &TrapError{Msg: "instruction budget exhausted", PC: m.rip}
+		}
+		if n >= m.pollAt {
+			m.pollAt = n + m.pollEvery
+			if err := m.interrupt(); err != nil {
+				m.FlushCycles()
+				return err
+			}
+		}
+	}
+	m.FlushCycles()
+	return nil
+}
+
+// funcChunk retires micro-ops until Instructions reaches limit, an error
+// occurs, or the program halts. The instruction count is carried as the
+// signed countdown rem = limit - Instructions: the loop condition and the
+// per-instruction decrement are one operation, and a fused
+// compare-and-branch pair may legitimately drive it to -1 (the pair's
+// second retirement crossing the limit), which the signed exit arithmetic
+// folds back into the counter. budgetTight reports that limit IS the
+// instruction budget, so the fused arms' mid-dispatch budget check reduces
+// to a sign test. m.rip is synced before any call-out that can observe
+// machine state (host calls, the uSlow fallback, generic loads/stores that
+// trap with m.rip).
+func (m *Machine) funcChunk(ops []uop, limit uint64, budgetTight bool) error {
+	rip := m.rip
+	rem := int64(limit - m.Counters.Instructions)
+	warm := m.warm // sampled fast-forward: keep caches and BP state hot
+	var err error
+
+loop:
+	for rem > 0 {
+		if uint(rip) >= uint(len(ops)) {
+			err = &TrapError{Msg: "execution left code segment", PC: rip}
+			break loop
+		}
+		u := &ops[rip]
+		rem--
+
+		switch u.kind {
+		case uSlow:
+			// Sync rip and the count: the legacy interpreter traps with
+			// m.rip, and an OCallHost shape would let perf hooks snapshot
+			// counters.
+			m.rip = rip
+			m.Counters.Instructions = limit - uint64(rem)
+			if err = m.exec(&m.Prog.Code[rip]); err != nil {
+				break loop
+			}
+			rip = m.rip
+			if m.halted {
+				break loop
+			}
+
+		case uNop:
+			rip++
+
+		case uMovRR:
+			v := m.Regs[u.src]
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[u.dst] = v
+			rip++
+
+		case uMovRI:
+			m.Regs[u.dst] = u.imm
+			rip++
+
+		case uMovLoad:
+			m.rip = rip
+			var v uint64
+			if v, err = m.load(m.uea(u), u.w); err != nil {
+				break loop
+			}
+			m.Regs[u.dst] = v
+			rip++
+
+		case uMovStore:
+			m.rip = rip
+			if err = m.store(m.uea(u), u.w, m.Regs[u.src]); err != nil {
+				break loop
+			}
+			rip++
+
+		case uMovStoreI:
+			m.rip = rip
+			if err = m.store(m.uea(u), u.w, u.imm); err != nil {
+				break loop
+			}
+			rip++
+
+		case uExtR:
+			v := extend(m.Regs[u.src], u.alu)
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[u.dst] = v
+			rip++
+
+		case uExtM:
+			a := m.uea(u)
+			w := extWidth[u.alu]
+			if s, off, ok := m.fastSlab(a, uint32(w)); ok {
+				m.Counters.Loads++
+				if warm {
+					m.dwarm(a)
+				}
+				var v uint64
+				switch w {
+				case 1:
+					v = uint64(s[off])
+				case 2:
+					v = uint64(binary.LittleEndian.Uint16(s[off:]))
+				default:
+					v = uint64(binary.LittleEndian.Uint32(s[off:]))
+				}
+				v = extend(v, u.alu)
+				if u.w == 4 {
+					v = uint64(uint32(v))
+				}
+				m.Regs[u.dst] = v
+				rip++
+			} else {
+				m.rip = rip
+				var v uint64
+				if v, err = m.load(a, w); err != nil {
+					break loop
+				}
+				v = extend(v, u.alu)
+				if u.w == 4 {
+					v = uint64(uint32(v))
+				}
+				m.Regs[u.dst] = v
+				rip++
+			}
+
+		case uLea:
+			v := uint64(m.uea(u))
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[u.dst] = v
+			rip++
+
+		case uAluRR:
+			m.Regs[u.dst] = funcAluOp(u, m.Regs[u.dst], m.Regs[u.src])
+			rip++
+
+		case uAluRI:
+			m.Regs[u.dst] = funcAluOp(u, m.Regs[u.dst], u.imm)
+			rip++
+
+		case uAluRM:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, uint32(u.w)); ok && u.w >= 4 {
+				m.Counters.Loads++
+				if warm {
+					m.dwarm(a)
+				}
+				var b uint64
+				if u.w == 4 {
+					b = uint64(binary.LittleEndian.Uint32(s[off:]))
+				} else {
+					b = binary.LittleEndian.Uint64(s[off:])
+				}
+				m.Regs[u.dst] = funcAluOp(u, m.Regs[u.dst], b)
+				rip++
+			} else {
+				m.rip = rip
+				var b uint64
+				if b, err = m.load(a, u.w); err != nil {
+					break loop
+				}
+				m.Regs[u.dst] = funcAluOp(u, m.Regs[u.dst], b)
+				rip++
+			}
+
+		case uAluMR:
+			m.rip = rip
+			ea := m.uea(u)
+			var a uint64
+			if a, err = m.load(ea, u.w); err != nil {
+				break loop
+			}
+			if err = m.store(ea, u.w, funcAluOp(u, a, m.Regs[u.src])); err != nil {
+				break loop
+			}
+			rip++
+
+		case uAluMI:
+			m.rip = rip
+			ea := m.uea(u)
+			var a uint64
+			if a, err = m.load(ea, u.w); err != nil {
+				break loop
+			}
+			if err = m.store(ea, u.w, funcAluOp(u, a, u.imm)); err != nil {
+				break loop
+			}
+			rip++
+
+		case uShiftR:
+			var s uint
+			if u.w == 4 {
+				s = uint(m.Regs[u.src] & 31)
+			} else {
+				s = uint(m.Regs[u.src] & 63)
+			}
+			m.Regs[u.dst] = shiftOp(u, m.Regs[u.dst], s)
+			rip++
+
+		case uShiftI:
+			m.Regs[u.dst] = shiftOp(u, m.Regs[u.dst], uint(u.imm))
+			rip++
+
+		case uNegR:
+			v := -m.Regs[u.dst]
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[u.dst] = v
+			rip++
+
+		case uNotR:
+			v := ^m.Regs[u.dst]
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[u.dst] = v
+			rip++
+
+		case uBitR:
+			m.Regs[u.dst] = bitOp(u, m.Regs[u.src])
+			rip++
+
+		case uBitM:
+			m.rip = rip
+			var v uint64
+			if v, err = m.load(m.uea(u), u.w); err != nil {
+				break loop
+			}
+			m.Regs[u.dst] = bitOp(u, v)
+			rip++
+
+		case uCdq:
+			m.execCdq(u.w)
+			rip++
+
+		case uDivR:
+			m.rip = rip
+			d := m.Regs[u.dst]
+			if u.w == 4 {
+				d = uint64(uint32(d))
+			}
+			if err = m.execDiv(d, u.w, u.alu == 1); err != nil {
+				break loop
+			}
+			rip++
+
+		case uDivM:
+			m.rip = rip
+			var d uint64
+			if d, err = m.load(m.uea(u), u.w); err != nil {
+				break loop
+			}
+			if err = m.execDiv(d, u.w, u.alu == 1); err != nil {
+				break loop
+			}
+			rip++
+
+		case uCmpRR:
+			m.setCmpFlags(m.Regs[u.dst], m.Regs[u.src], u.w)
+			rip++
+
+		case uCmpRI:
+			m.setCmpFlags(m.Regs[u.dst], u.imm, u.w)
+			rip++
+
+		case uCmpRM:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, uint32(u.w)); ok && u.w >= 4 {
+				m.Counters.Loads++
+				if warm {
+					m.dwarm(a)
+				}
+				var b uint64
+				if u.w == 4 {
+					b = uint64(binary.LittleEndian.Uint32(s[off:]))
+				} else {
+					b = binary.LittleEndian.Uint64(s[off:])
+				}
+				m.setCmpFlags(m.Regs[u.dst], b, u.w)
+				rip++
+			} else {
+				m.rip = rip
+				var b uint64
+				if b, err = m.load(a, u.w); err != nil {
+					break loop
+				}
+				m.setCmpFlags(m.Regs[u.dst], b, u.w)
+				rip++
+			}
+
+		case uCmpMR:
+			m.rip = rip
+			var a uint64
+			if a, err = m.load(m.uea(u), u.w); err != nil {
+				break loop
+			}
+			m.setCmpFlags(a, m.Regs[u.src], u.w)
+			rip++
+
+		case uCmpMI:
+			m.rip = rip
+			var a uint64
+			if a, err = m.load(m.uea(u), u.w); err != nil {
+				break loop
+			}
+			m.setCmpFlags(a, u.imm, u.w)
+			rip++
+
+		case uTestRR:
+			m.setTestFlags(m.Regs[u.dst], m.Regs[u.src], u.w)
+			rip++
+
+		case uTestRI:
+			m.setTestFlags(m.Regs[u.dst], u.imm, u.w)
+			rip++
+
+		case uSet:
+			var v uint64
+			if m.cc(u.cc) {
+				v = 1
+			}
+			m.Regs[u.dst] = (m.Regs[u.dst] &^ 0xff) | v
+			rip++
+
+		case uCmovRR:
+			if m.cc(u.cc) {
+				v := m.Regs[u.src]
+				if u.w == 4 {
+					v = uint64(uint32(v))
+				}
+				m.Regs[u.dst] = v
+			}
+			rip++
+
+		case uCmovRM:
+			// cmov with a memory source performs the load either way.
+			m.rip = rip
+			var v uint64
+			if v, err = m.load(m.uea(u), u.w); err != nil {
+				break loop
+			}
+			if m.cc(u.cc) {
+				m.Regs[u.dst] = v
+			}
+			rip++
+
+		case uJmp:
+			m.Counters.Branches++
+			rip = int(u.tgt)
+
+		case uJcc:
+			m.Counters.Branches++
+			m.Counters.CondBranches++
+			taken := m.cc(u.cc)
+			if warm && !m.BP.Predict(uint32(u.imm), taken) {
+				m.Counters.BranchMiss++
+			}
+			if taken {
+				rip = int(u.tgt)
+			} else {
+				rip++
+			}
+
+		case uJmpTable:
+			targets := m.Prog.Code[rip].TableTargets
+			idx := int(uint32(m.Regs[u.dst]))
+			if idx < 0 || idx >= len(targets) {
+				err = &TrapError{Msg: "jump table index out of range", PC: rip}
+				break loop
+			}
+			m.Counters.Loads++ // table entry fetch
+			m.Counters.Branches++
+			rip = targets[idx]
+
+		case uCall:
+			m.Regs[x86.RSP] -= 8
+			a := uint32(m.Regs[x86.RSP])
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Stores++
+				if warm {
+					m.dwarm(a)
+				}
+				binary.LittleEndian.PutUint64(s[off:], uint64(rip+1))
+			} else {
+				m.rip = rip
+				if err = m.store(a, 8, uint64(rip+1)); err != nil {
+					break loop
+				}
+			}
+			m.Counters.Branches++
+			rip = int(u.tgt)
+
+		case uCallR, uCallM:
+			var t uint64
+			if u.kind == uCallR {
+				t = m.Regs[u.dst]
+			} else {
+				m.rip = rip
+				if t, err = m.load(m.uea(u), 8); err != nil {
+					break loop
+				}
+			}
+			if t >= uint64(len(ops)) {
+				err = &TrapError{Msg: "indirect call to invalid target", PC: rip}
+				break loop
+			}
+			m.Regs[x86.RSP] -= 8
+			a := uint32(m.Regs[x86.RSP])
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Stores++
+				if warm {
+					m.dwarm(a)
+				}
+				binary.LittleEndian.PutUint64(s[off:], uint64(rip+1))
+			} else {
+				m.rip = rip
+				if err = m.store(a, 8, uint64(rip+1)); err != nil {
+					break loop
+				}
+			}
+			m.Counters.Branches++
+			rip = int(t)
+
+		case uRet:
+			a := uint32(m.Regs[x86.RSP])
+			var ra uint64
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Loads++
+				if warm {
+					m.dwarm(a)
+				}
+				ra = binary.LittleEndian.Uint64(s[off:])
+			} else {
+				m.rip = rip
+				if ra, err = m.load(a, 8); err != nil {
+					break loop
+				}
+			}
+			m.Regs[x86.RSP] += 8
+			m.Counters.Branches++
+			if ra == haltSentinel {
+				m.halted = true
+				break loop
+			}
+			rip = int(ra)
+
+		case uPushR:
+			m.Regs[x86.RSP] -= 8
+			a := uint32(m.Regs[x86.RSP])
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Stores++
+				if warm {
+					m.dwarm(a)
+				}
+				binary.LittleEndian.PutUint64(s[off:], m.Regs[u.src])
+				rip++
+			} else {
+				m.rip = rip
+				if err = m.store(a, 8, m.Regs[u.src]); err != nil {
+					break loop
+				}
+				rip++
+			}
+
+		case uPushI:
+			m.rip = rip
+			m.Regs[x86.RSP] -= 8
+			if err = m.store(uint32(m.Regs[x86.RSP]), 8, u.imm); err != nil {
+				break loop
+			}
+			rip++
+
+		case uPushM:
+			m.rip = rip
+			var v uint64
+			if v, err = m.load(m.uea(u), 8); err != nil {
+				break loop
+			}
+			m.Regs[x86.RSP] -= 8
+			if err = m.store(uint32(m.Regs[x86.RSP]), 8, v); err != nil {
+				break loop
+			}
+			rip++
+
+		case uPop:
+			a := uint32(m.Regs[x86.RSP])
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Loads++
+				if warm {
+					m.dwarm(a)
+				}
+				m.Regs[x86.RSP] += 8
+				m.Regs[u.dst] = binary.LittleEndian.Uint64(s[off:])
+				rip++
+			} else {
+				m.rip = rip
+				var v uint64
+				if v, err = m.load(a, 8); err != nil {
+					break loop
+				}
+				m.Regs[x86.RSP] += 8
+				m.Regs[u.dst] = v
+				rip++
+			}
+
+		case uUd2:
+			err = &TrapError{Msg: "unreachable executed (ud2)", PC: rip}
+			break loop
+
+		case uCallHost:
+			if m.Host == nil {
+				err = &TrapError{Msg: "host call with no host bound", PC: rip}
+				break loop
+			}
+			m.Counters.Branches++
+			// Host handlers (syscalls, perf hooks) observe machine state:
+			// sync rip and the count before the call.
+			m.rip = rip
+			m.Counters.Instructions = limit - uint64(rem)
+			if err = m.Host(m, int(u.tgt)); err != nil {
+				break loop
+			}
+			rip++
+
+		case uMovsdRR:
+			m.Xmm[u.dst] = m.Xmm[u.src]
+			rip++
+
+		case uMovsdLoad:
+			m.rip = rip
+			var v uint64
+			if v, err = m.load(m.uea(u), u.w); err != nil {
+				break loop
+			}
+			m.Xmm[u.dst] = v
+			rip++
+
+		case uMovsdStore:
+			m.rip = rip
+			if err = m.store(m.uea(u), u.w, m.Xmm[u.src]); err != nil {
+				break loop
+			}
+			rip++
+
+		case uFAluRR:
+			m.Xmm[u.dst] = bitsOf(funcFAluOp(u, f64of(m.Xmm[u.dst], u.w), f64of(m.Xmm[u.src], u.w)), u.w)
+			rip++
+
+		case uFAluRM:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, uint32(u.w)); ok {
+				m.Counters.Loads++
+				if warm {
+					m.dwarm(a)
+				}
+				var bv uint64
+				if u.w == 4 {
+					bv = uint64(binary.LittleEndian.Uint32(s[off:]))
+				} else {
+					bv = binary.LittleEndian.Uint64(s[off:])
+				}
+				m.Xmm[u.dst] = bitsOf(funcFAluOp(u, f64of(m.Xmm[u.dst], u.w), f64of(bv, u.w)), u.w)
+				rip++
+			} else {
+				m.rip = rip
+				var bv uint64
+				if bv, err = m.load(a, u.w); err != nil {
+					break loop
+				}
+				m.Xmm[u.dst] = bitsOf(funcFAluOp(u, f64of(m.Xmm[u.dst], u.w), f64of(bv, u.w)), u.w)
+				rip++
+			}
+
+		case uSqrtR:
+			m.Xmm[u.dst] = bitsOf(math.Sqrt(f64of(m.Xmm[u.src], u.w)), u.w)
+			rip++
+
+		case uSqrtM:
+			m.rip = rip
+			var bv uint64
+			if bv, err = m.load(m.uea(u), u.w); err != nil {
+				break loop
+			}
+			m.Xmm[u.dst] = bitsOf(math.Sqrt(f64of(bv, u.w)), u.w)
+			rip++
+
+		case uUcomiR:
+			m.setUcomiFlags(f64of(m.Xmm[u.dst], u.w), f64of(m.Xmm[u.src], u.w))
+			rip++
+
+		case uUcomiM:
+			m.rip = rip
+			a := f64of(m.Xmm[u.dst], u.w)
+			var bv uint64
+			if bv, err = m.load(m.uea(u), u.w); err != nil {
+				break loop
+			}
+			m.setUcomiFlags(a, f64of(bv, u.w))
+			rip++
+
+		case uCvtSI2SDR:
+			m.Xmm[u.dst] = math.Float64bits(cvtIntToF64(m.Regs[u.src], u.w, u.uns))
+			rip++
+
+		case uCvtSI2SDM:
+			m.rip = rip
+			var v uint64
+			if v, err = m.load(m.uea(u), u.w); err != nil {
+				break loop
+			}
+			m.Xmm[u.dst] = math.Float64bits(cvtIntToF64(v, u.w, u.uns))
+			rip++
+
+		case uCvtTSD2SIR:
+			m.rip = rip
+			var r uint64
+			if r, err = m.cvtF64ToInt(f64of(m.Xmm[u.src], u.alu), u.w, u.uns); err != nil {
+				break loop
+			}
+			m.Regs[u.dst] = r
+			rip++
+
+		case uCvtTSD2SIM:
+			m.rip = rip
+			var bv uint64
+			if bv, err = m.load(m.uea(u), u.alu); err != nil {
+				break loop
+			}
+			var r uint64
+			if r, err = m.cvtF64ToInt(f64of(bv, u.alu), u.w, u.uns); err != nil {
+				break loop
+			}
+			m.Regs[u.dst] = r
+			rip++
+
+		case uCvtSD2SSR:
+			m.Xmm[u.dst] = uint64(math.Float32bits(float32(math.Float64frombits(m.Xmm[u.src]))))
+			rip++
+
+		case uCvtSD2SSM:
+			m.rip = rip
+			var bv uint64
+			if bv, err = m.load(m.uea(u), 8); err != nil {
+				break loop
+			}
+			m.Xmm[u.dst] = uint64(math.Float32bits(float32(math.Float64frombits(bv))))
+			rip++
+
+		case uCvtSS2SDR:
+			m.Xmm[u.dst] = math.Float64bits(float64(math.Float32frombits(uint32(m.Xmm[u.src]))))
+			rip++
+
+		case uCvtSS2SDM:
+			m.rip = rip
+			var bv uint64
+			if bv, err = m.load(m.uea(u), 4); err != nil {
+				break loop
+			}
+			m.Xmm[u.dst] = math.Float64bits(float64(math.Float32frombits(uint32(bv))))
+			rip++
+
+		case uMovqXR:
+			v := m.Regs[u.src]
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Xmm[u.dst] = v
+			rip++
+
+		case uMovqRX:
+			v := m.Xmm[u.src]
+			if u.w == 4 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[u.dst] = v
+			rip++
+
+		case uLogicXX:
+			if u.alu == 0 {
+				m.Xmm[u.dst] &= m.Xmm[u.src]
+			} else {
+				m.Xmm[u.dst] ^= m.Xmm[u.src]
+			}
+			rip++
+
+		case uLogicXM:
+			m.rip = rip
+			var b uint64
+			if b, err = m.load(m.uea(u), 8); err != nil {
+				break loop
+			}
+			if u.alu == 0 {
+				m.Xmm[u.dst] &= b
+			} else {
+				m.Xmm[u.dst] ^= b
+			}
+			rip++
+
+		case uRoundR:
+			m.Xmm[u.dst] = bitsOf(roundMode(f64of(m.Xmm[u.src], u.w), u.alu), u.w)
+			rip++
+
+		case uRoundM:
+			m.rip = rip
+			var bv uint64
+			if bv, err = m.load(m.uea(u), u.w); err != nil {
+				break loop
+			}
+			m.Xmm[u.dst] = bitsOf(roundMode(f64of(bv, u.w), u.alu), u.w)
+			rip++
+
+		case uMovLoad64:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Loads++
+				if warm {
+					m.dwarm(a)
+				}
+				m.Regs[u.dst] = binary.LittleEndian.Uint64(s[off:])
+				rip++
+			} else {
+				m.rip = rip
+				var v uint64
+				if v, err = m.load(a, 8); err != nil {
+					break loop
+				}
+				m.Regs[u.dst] = v
+				rip++
+			}
+
+		case uMovLoad32:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 4); ok {
+				m.Counters.Loads++
+				if warm {
+					m.dwarm(a)
+				}
+				m.Regs[u.dst] = uint64(binary.LittleEndian.Uint32(s[off:]))
+				rip++
+			} else {
+				m.rip = rip
+				var v uint64
+				if v, err = m.load(a, 4); err != nil {
+					break loop
+				}
+				m.Regs[u.dst] = v
+				rip++
+			}
+
+		case uMovStore64:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Stores++
+				if warm {
+					m.dwarm(a)
+				}
+				binary.LittleEndian.PutUint64(s[off:], m.Regs[u.src])
+				rip++
+			} else {
+				m.rip = rip
+				if err = m.store(a, 8, m.Regs[u.src]); err != nil {
+					break loop
+				}
+				rip++
+			}
+
+		case uMovStore32:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 4); ok {
+				m.Counters.Stores++
+				if warm {
+					m.dwarm(a)
+				}
+				binary.LittleEndian.PutUint32(s[off:], uint32(m.Regs[u.src]))
+				rip++
+			} else {
+				m.rip = rip
+				if err = m.store(a, 4, m.Regs[u.src]); err != nil {
+					break loop
+				}
+				rip++
+			}
+
+		case uFLoad64:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Loads++
+				if warm {
+					m.dwarm(a)
+				}
+				m.Xmm[u.dst] = binary.LittleEndian.Uint64(s[off:])
+				rip++
+			} else {
+				m.rip = rip
+				var v uint64
+				if v, err = m.load(a, 8); err != nil {
+					break loop
+				}
+				m.Xmm[u.dst] = v
+				rip++
+			}
+
+		case uFLoad32:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 4); ok {
+				m.Counters.Loads++
+				if warm {
+					m.dwarm(a)
+				}
+				m.Xmm[u.dst] = uint64(binary.LittleEndian.Uint32(s[off:]))
+				rip++
+			} else {
+				m.rip = rip
+				var v uint64
+				if v, err = m.load(a, 4); err != nil {
+					break loop
+				}
+				m.Xmm[u.dst] = v
+				rip++
+			}
+
+		case uFStore64:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 8); ok {
+				m.Counters.Stores++
+				if warm {
+					m.dwarm(a)
+				}
+				binary.LittleEndian.PutUint64(s[off:], m.Xmm[u.src])
+				rip++
+			} else {
+				m.rip = rip
+				if err = m.store(a, 8, m.Xmm[u.src]); err != nil {
+					break loop
+				}
+				rip++
+			}
+
+		case uFStore32:
+			a := m.uea(u)
+			if s, off, ok := m.fastSlab(a, 4); ok {
+				m.Counters.Stores++
+				if warm {
+					m.dwarm(a)
+				}
+				binary.LittleEndian.PutUint32(s[off:], uint32(m.Xmm[u.src]))
+				rip++
+			} else {
+				m.rip = rip
+				if err = m.store(a, 4, m.Xmm[u.src]); err != nil {
+					break loop
+				}
+				rip++
+			}
+
+		case uCmpRRJcc:
+			m.setCmpFlags(m.Regs[u.dst], m.Regs[u.src], u.w)
+			rem--
+			if budgetTight && rem < 0 {
+				rip++
+				err = &TrapError{Msg: "instruction budget exhausted", PC: rip}
+				break loop
+			}
+			m.Counters.Branches++
+			m.Counters.CondBranches++
+			taken := m.cc(u.cc)
+			if warm && !m.BP.Predict(uint32(u.disp), taken) {
+				m.Counters.BranchMiss++
+			}
+			if taken {
+				rip = int(u.tgt)
+			} else {
+				rip += 2
+			}
+
+		case uCmpRIJcc:
+			m.setCmpFlags(m.Regs[u.dst], u.imm, u.w)
+			rem--
+			if budgetTight && rem < 0 {
+				rip++
+				err = &TrapError{Msg: "instruction budget exhausted", PC: rip}
+				break loop
+			}
+			m.Counters.Branches++
+			m.Counters.CondBranches++
+			taken := m.cc(u.cc)
+			if warm && !m.BP.Predict(uint32(u.disp), taken) {
+				m.Counters.BranchMiss++
+			}
+			if taken {
+				rip = int(u.tgt)
+			} else {
+				rip += 2
+			}
+
+		case uTestRRJcc:
+			m.setTestFlags(m.Regs[u.dst], m.Regs[u.src], u.w)
+			rem--
+			if budgetTight && rem < 0 {
+				rip++
+				err = &TrapError{Msg: "instruction budget exhausted", PC: rip}
+				break loop
+			}
+			m.Counters.Branches++
+			m.Counters.CondBranches++
+			taken := m.cc(u.cc)
+			if warm && !m.BP.Predict(uint32(u.disp), taken) {
+				m.Counters.BranchMiss++
+			}
+			if taken {
+				rip = int(u.tgt)
+			} else {
+				rip += 2
+			}
+		}
+	}
+
+	m.rip = rip
+	// rem is -1 when a fused pair's second retirement crossed the limit; the
+	// unsigned subtraction folds the overshoot back in (mod 2^64).
+	m.Counters.Instructions = limit - uint64(rem)
+	return err
+}
+
+// funcAluOp and funcFAluOp are the exact engine's ALU helpers minus the
+// cycle-cost accumulation — the functional tier discards qacc anyway, and
+// as pure functions they inline into the dispatch arms.
+func funcAluOp(u *uop, a, b uint64) uint64 {
+	var r uint64
+	switch u.alu {
+	case aluAdd:
+		r = a + b
+	case aluSub:
+		r = a - b
+	case aluAnd:
+		r = a & b
+	case aluOr:
+		r = a | b
+	case aluXor:
+		r = a ^ b
+	case aluImul:
+		r = a * b
+	}
+	if u.w == 4 {
+		r = uint64(uint32(r))
+	}
+	return r
+}
+
+func funcFAluOp(u *uop, a, b float64) float64 {
+	var r float64
+	switch u.alu {
+	case fAdd:
+		r = a + b
+	case fSub:
+		r = a - b
+	case fMul:
+		r = a * b
+	case fDiv:
+		r = a / b
+	case fMin:
+		r = wasmMin(a, b)
+	case fMax:
+		r = wasmMax(a, b)
+	}
+	if u.w == 4 {
+		// float32 rounding at each step
+		r = float64(float32(r))
+	}
+	return r
+}

@@ -96,6 +96,34 @@ type Machine struct {
 	qacc      uint64
 	qInstBase uint64 // Instructions value at the last cycle flush
 
+	// Fidelity tier state (see fidelity in exec_sampled.go). noTime is true
+	// whenever timing modeling is suppressed: the whole run in the
+	// functional tier, the fast-forward segments of the sampled tier. It
+	// gates the generic dcache path, branch prediction, and cycle flushing,
+	// so the uSlow/legacy fallbacks stay architecturally exact without
+	// touching timing structures. stopAt ends the current execution segment
+	// when Counters.Instructions reaches it (^0 = no segment boundary, the
+	// same always-false-compare trick as pollAt); the run loops return nil
+	// with rip preserved, and the tier driver resumes or switches engines.
+	// warm enables SMARTS functional warming while noTime is set: loads,
+	// stores, and conditional branches still update cache and predictor
+	// STATE (tags, LRU order, direction counters) without charging cycles or
+	// counting misses, so detailed windows measure warm-structure rates
+	// instead of re-paying compulsory misses after every fast-forward gap.
+	// Only the sampled tier sets it; the standalone functional tier keeps
+	// warming off and touches no timing structures at all.
+	fid    Fidelity
+	noTime bool
+	warm   bool
+	stopAt uint64
+	// Sampled-tier schedule (instructions) and extrapolation accumulators.
+	samplePeriod uint64
+	sampleDetail uint64
+	sampleWarmup uint64
+	smpMeasInsts uint64 // instructions retired inside measured windows
+	smpMeas      timing // timing-counter deltas measured inside windows
+	smpStamp     uint64 // Instructions at the last extrapolation stamp
+
 	// uops is the pre-decoded micro-op stream (1:1 with Prog.Code), shared
 	// across machines running the same program.
 	uops []uop
@@ -194,6 +222,7 @@ func NewMachine(prog *x86.Program, pages, maxPages uint32) *Machine {
 	m.uops = predecode(prog)
 	m.lastDLine = ^uint32(0)
 	m.pollAt = ^uint64(0)
+	m.stopAt = ^uint64(0)
 	m.setMisc()
 	m.Regs[x86.RSP] = uint64(x86.StackTop - 64)
 	return m
@@ -321,8 +350,17 @@ func (m *Machine) GrowLinear(delta uint32) int32 {
 }
 
 // AddCycles charges host-side work (the Browsix syscall shim) to the
-// simulated clock, in quarter-cycles.
-func (m *Machine) AddCycles(q uint64) { m.Counters.Cycles += q / 4 }
+// simulated clock, in quarter-cycles. While timing is suppressed
+// (functional tier, sampled fast-forward) the charge is dropped: the
+// functional tier's contract is zero timing counters, and the sampled
+// tier's window extrapolation already scales up the host charges it
+// observes inside measured windows.
+func (m *Machine) AddCycles(q uint64) {
+	if m.noTime {
+		return
+	}
+	m.Counters.Cycles += q / 4
+}
 
 // fastSlab resolves the two hot regions — linear memory and the machine
 // stack — and is small enough to inline; ok=false routes everything else
@@ -447,6 +485,17 @@ func (m *Machine) growStack(addr uint32) {
 // dropping consecutive duplicate touches of one line never changes the
 // relative last-use order of any two lines in a set.
 func (m *Machine) dcache(addr uint32) {
+	if m.noTime {
+		// Functional fidelity: no data-cache timing. This gate covers every
+		// generic load/store (including the uSlow/legacy fallback paths);
+		// the exact engine's inlined fast paths call dcacheWalk directly and
+		// are never reached while noTime is set. Under sampled fast-forward
+		// the access still warms cache state.
+		if m.warm {
+			m.dwarm(addr)
+		}
+		return
+	}
 	if addr>>6 == m.lastDLine {
 		m.qacc += qLoad
 		return
@@ -492,6 +541,33 @@ func (m *Machine) dcacheWalk(addr uint32) {
 	m.q(qL3DMiss)
 }
 
+// dwarm walks the data-cache hierarchy for addr during sampled
+// fast-forward: tags, LRU order, AND miss counters move exactly as
+// dcache/dcacheWalk would move them — only the cycle charges are omitted.
+// Because the warmed access stream is identical to the one the exact
+// engine would issue, the data-cache miss counters stay exact (not
+// extrapolated) across fast-forward gaps; per SMARTS, the caches and
+// branch predictor are simulated always-on and only cycle timing is
+// sampled.
+func (m *Machine) dwarm(addr uint32) {
+	if addr>>6 == m.lastDLine {
+		return
+	}
+	m.lastDLine = addr >> 6
+	if m.L1D.Access(addr) {
+		return
+	}
+	m.Counters.L1DMisses++
+	if m.L2.Access(addr) {
+		return
+	}
+	m.Counters.L2Misses++
+	if m.L3 == nil {
+		m.L3 = NewCache(15*1024*1024, 64, 16)
+	}
+	m.L3.Access(addr)
+}
+
 // icache fetches the instruction at addr.
 func (m *Machine) icache(addr uint32) {
 	line := addr >> 6
@@ -516,8 +592,18 @@ func (m *Machine) q(n uint64) { m.qacc += n }
 // FlushCycles folds accumulated quarter-cycles into the cycle counter. The
 // per-instruction base cost is not charged in the fetch loop at all: every
 // instruction costs exactly qBase, so it is reconstructed here from the
-// retired-instruction count since the previous flush.
+// retired-instruction count since the previous flush. While timing is
+// suppressed (functional tier, sampled fast-forward) the flush is a
+// discard-and-rebase instead: stray quarter-cycle charges from shared
+// helpers (imul/div/fp costs) are dropped and the qBase reconstruction is
+// re-based, so functional instructions never turn into cycles (AddCycles
+// host charges are likewise dropped while noTime is set).
 func (m *Machine) FlushCycles() {
+	if m.noTime {
+		m.qacc = 0
+		m.qInstBase = m.Counters.Instructions
+		return
+	}
 	m.qacc += (m.Counters.Instructions - m.qInstBase) * qBase
 	m.qInstBase = m.Counters.Instructions
 	m.Counters.Cycles += m.qacc / 4

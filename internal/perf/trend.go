@@ -97,6 +97,62 @@ type Trend struct {
 	Compared int
 }
 
+// MedianBaseline collapses a rolling window of baseline reports into one
+// synthetic report: each (benchmark, metric) carries the median of its
+// values across the reports where it appears, and benchmarks keep
+// first-appearance order. With three baselines the median discards a single
+// noisy CI run in either direction, so a gate against the result is robust
+// to one outlier where a gate against the single previous run is not. A
+// metric absent from some window members is the median of the values that
+// do exist — partial coverage shrinks the sample instead of dropping the
+// metric.
+func MedianBaseline(reports []*BenchReport) *BenchReport {
+	out := &BenchReport{Schema: BenchSchema}
+	type acc struct {
+		iters   int64
+		metrics map[string][]float64
+	}
+	idx := make(map[string]*acc)
+	var order []string
+	for _, r := range reports {
+		for _, b := range r.Benchmarks {
+			a := idx[b.Name]
+			if a == nil {
+				a = &acc{metrics: make(map[string][]float64)}
+				idx[b.Name] = a
+				order = append(order, b.Name)
+			}
+			if b.Iterations > a.iters {
+				a.iters = b.Iterations
+			}
+			for u, v := range b.Metrics {
+				a.metrics[u] = append(a.metrics[u], v)
+			}
+		}
+	}
+	for _, name := range order {
+		a := idx[name]
+		m := make(map[string]float64, len(a.metrics))
+		for u, vs := range a.metrics {
+			m[u] = median(vs)
+		}
+		out.Benchmarks = append(out.Benchmarks, Benchmark{Name: name, Iterations: a.iters, Metrics: m})
+	}
+	return out
+}
+
+// median returns the middle value of vs (mean of the middle two for even
+// counts). vs must be non-empty; it is not modified.
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
 // trendEps absorbs float rounding at the threshold boundary, so a change of
 // exactly the threshold fraction (a 10% drop against threshold 0.10) always
 // flags regardless of how the division rounded.

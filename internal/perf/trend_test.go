@@ -197,3 +197,52 @@ func TestHigherIsBetter(t *testing.T) {
 		}
 	}
 }
+
+// TestMedianBaseline pins the rolling-window collapse: odd windows take the
+// middle value, even windows the mean of the middle two, partial coverage
+// uses the values that exist, and benchmark order follows first appearance.
+func TestMedianBaseline(t *testing.T) {
+	r1 := report(
+		bench("Sim", map[string]float64{"sim-inst/s": 100, "ns/op": 10}),
+		bench("Compile", map[string]float64{"allocs/op": 7}),
+	)
+	r2 := report(
+		bench("Sim", map[string]float64{"sim-inst/s": 300, "ns/op": 30}),
+	)
+	r3 := report(
+		bench("Sim", map[string]float64{"sim-inst/s": 120, "ns/op": 20}),
+		bench("Compile", map[string]float64{"allocs/op": 9}),
+	)
+	m := MedianBaseline([]*BenchReport{r1, r2, r3})
+	if len(m.Benchmarks) != 2 || m.Benchmarks[0].Name != "Sim" || m.Benchmarks[1].Name != "Compile" {
+		t.Fatalf("benchmarks = %+v, want Sim then Compile", m.Benchmarks)
+	}
+	sim := m.Find("Sim")
+	if got := sim.Metrics["sim-inst/s"]; got != 120 {
+		t.Errorf("median sim-inst/s = %v, want 120 (middle of 100,300,120)", got)
+	}
+	if got := sim.Metrics["ns/op"]; got != 20 {
+		t.Errorf("median ns/op = %v, want 20", got)
+	}
+	// Compile appears in only two reports: even window, mean of middle two.
+	if got := m.Find("Compile").Metrics["allocs/op"]; got != 8 {
+		t.Errorf("median allocs/op = %v, want 8 (mean of 7,9)", got)
+	}
+}
+
+// TestMedianBaselineDiscardsOneOutlier is the property the CI gate relies
+// on: a single wildly-noisy run in a 3-report window does not shift the
+// gate's baseline.
+func TestMedianBaselineDiscardsOneOutlier(t *testing.T) {
+	steady := func(v float64) *BenchReport {
+		return report(bench("Sim", map[string]float64{"sim-inst/s": v}))
+	}
+	m := MedianBaseline([]*BenchReport{steady(200), steady(1e12), steady(210)})
+	if got := m.Find("Sim").Metrics["sim-inst/s"]; got != 210 {
+		t.Errorf("median with outlier = %v, want 210", got)
+	}
+	tr := CompareBench(m, steady(195), 0.10)
+	if tr.Regressions != 0 {
+		t.Errorf("7%% drop against outlier-robust median flagged as regression: %+v", tr.Deltas)
+	}
+}

@@ -29,3 +29,15 @@ func DefaultWorkers() int { return sched.DefaultWorkers() }
 func RunJobs(ctx context.Context, workers int, jobs []Job) error {
 	return sched.RunJobs(ctx, workers, jobs)
 }
+
+// WeightedJob is a job with a dispatch weight (for suite work, the
+// workload's expected simulated instruction count).
+type WeightedJob = sched.WeightedJob
+
+// RunJobsWeighted is RunJobs with longest-job-first dispatch: jobs are
+// claimed in descending weight order so heavyweight workloads start early
+// instead of serializing at the tail. Error aggregation order and all
+// budget-sharing behavior match RunJobs.
+func RunJobsWeighted(ctx context.Context, workers int, jobs []WeightedJob) error {
+	return sched.RunJobsWeighted(ctx, workers, jobs)
+}

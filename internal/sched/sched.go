@@ -24,6 +24,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -240,6 +241,42 @@ type poolCtxKey struct{}
 // are abandoned, in-flight jobs see the cancelled context, and ctx's error
 // is included in the aggregate.
 func RunJobs(ctx context.Context, workers int, jobs []Job) error {
+	return runJobs(ctx, workers, jobs, nil)
+}
+
+// WeightedJob is a job with a scheduling weight — the expected amount of
+// work, in whatever unit the caller uses consistently (the suites use
+// expected simulated instructions). Weights order dispatch; they do not
+// change how many budget tokens a job holds.
+type WeightedJob struct {
+	Weight uint64
+	Run    Job
+}
+
+// RunJobsWeighted is RunJobs with longest-job-first dispatch: jobs are
+// claimed in descending Weight order (ties keep slice order), so one heavy
+// job starts immediately instead of serializing behind a queue of cheap
+// ones it happened to be listed after. Error aggregation is unchanged —
+// joined in slice order, not dispatch or completion order.
+func RunJobsWeighted(ctx context.Context, workers int, jobs []WeightedJob) error {
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return jobs[order[a]].Weight > jobs[order[b]].Weight
+	})
+	plain := make([]Job, len(jobs))
+	for i, j := range jobs {
+		plain[i] = j.Run
+	}
+	return runJobs(ctx, workers, plain, order)
+}
+
+// runJobs is the shared dispatch core. order, when non-nil, is the claim
+// order (a permutation of job indices); error slots always stay in slice
+// order.
+func runJobs(ctx context.Context, workers int, jobs []Job, order []int) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -288,6 +325,9 @@ func RunJobs(ctx context.Context, workers int, jobs []Job) error {
 			i := int(next.Add(1)) - 1
 			if i >= len(jobs) {
 				return
+			}
+			if order != nil {
+				i = order[i]
 			}
 			if topUp != nil {
 				topUp()

@@ -375,3 +375,59 @@ func TestParseTokens(t *testing.T) {
 		}
 	}
 }
+
+// TestRunJobsWeightedDispatchOrder pins longest-job-first claiming: with a
+// single worker, jobs start strictly in descending weight order regardless
+// of slice order. Errors still aggregate in slice order.
+func TestRunJobsWeightedDispatchOrder(t *testing.T) {
+	withCapacity(t, 1)
+	var mu sync.Mutex
+	var started []int
+	weights := []uint64{10, 500, 50, 1000, 1}
+	jobs := make([]WeightedJob, len(weights))
+	for i, w := range weights {
+		i, w := i, w
+		jobs[i] = WeightedJob{Weight: w, Run: func(context.Context) error {
+			mu.Lock()
+			started = append(started, i)
+			mu.Unlock()
+			if i == 2 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		}}
+	}
+	err := RunJobsWeighted(context.Background(), 1, jobs)
+	want := []int{3, 1, 2, 0, 4} // descending weight: 1000, 500, 50, 10, 1
+	if fmt.Sprint(started) != fmt.Sprint(want) {
+		t.Errorf("dispatch order = %v, want %v", started, want)
+	}
+	if err == nil || !errorsContains(err, "job 2 failed") {
+		t.Errorf("aggregate error missing job 2 failure: %v", err)
+	}
+}
+
+// TestRunJobsWeightedStableTies pins that equal weights preserve slice
+// order (stable sort), keeping runs deterministic.
+func TestRunJobsWeightedStableTies(t *testing.T) {
+	withCapacity(t, 1)
+	var mu sync.Mutex
+	var started []int
+	jobs := make([]WeightedJob, 6)
+	for i := range jobs {
+		i := i
+		jobs[i] = WeightedJob{Weight: uint64(7), Run: func(context.Context) error {
+			mu.Lock()
+			started = append(started, i)
+			mu.Unlock()
+			return nil
+		}}
+	}
+	if err := RunJobsWeighted(context.Background(), 1, jobs); err != nil {
+		t.Fatalf("RunJobsWeighted: %v", err)
+	}
+	want := []int{0, 1, 2, 3, 4, 5}
+	if fmt.Sprint(started) != fmt.Sprint(want) {
+		t.Errorf("tie dispatch order = %v, want %v", started, want)
+	}
+}

@@ -20,10 +20,20 @@ type SuiteResults struct {
 	R         [][]*Result
 }
 
+// applyFidelity stamps the harness's tier selection onto a fresh config
+// set. Config constructors are pure; the tier is harness state so that one
+// -fidelity flag (or $REPRO_FIDELITY) reaches every suite the binary runs.
+func (h *Harness) applyFidelity(cfgs []*codegen.EngineConfig) []*codegen.EngineConfig {
+	for _, cfg := range cfgs {
+		cfg.ApplyFidelity(h.Fidelity, h.SampleWindows)
+	}
+	return cfgs
+}
+
 // RunSPEC runs the SPEC-shaped suite on native/Chrome/Firefox.
 func (h *Harness) RunSPEC() (*SuiteResults, error) {
 	ws := workloads.SPECCPU()
-	cfgs := EngineSet()
+	cfgs := h.applyFidelity(EngineSet())
 	r, err := h.RunSuite(ws, cfgs)
 	if r == nil {
 		return nil, err
@@ -36,7 +46,7 @@ func (h *Harness) RunSPEC() (*SuiteResults, error) {
 // RunPolybench runs the PolybenchC suite on native/Chrome/Firefox.
 func (h *Harness) RunPolybench() (*SuiteResults, error) {
 	ws := workloads.Polybench()
-	cfgs := EngineSet()
+	cfgs := h.applyFidelity(EngineSet())
 	r, err := h.RunSuite(ws, cfgs)
 	if r == nil {
 		return nil, err
@@ -49,7 +59,7 @@ func (h *Harness) RunPolybench() (*SuiteResults, error) {
 // RunAsmJS runs the SPEC suite on the asm.js configurations.
 func (h *Harness) RunAsmJS() (*SuiteResults, error) {
 	ws := workloads.SPECCPU()
-	cfgs := AsmJSEngines()
+	cfgs := h.applyFidelity(AsmJSEngines())
 	r, err := h.RunSuite(ws, cfgs)
 	if r == nil {
 		return nil, err

@@ -98,6 +98,14 @@ type Harness struct {
 	// (GOMAXPROCS).
 	Workers int
 
+	// Fidelity and SampleWindows select the simulation tier for the
+	// harness-owned suites (RunSPEC, RunPolybench, RunAsmJS). The zero value
+	// is the exact tier — today's behavior. Callers that pass their own
+	// configs to RunSuite set the tier on the configs instead
+	// (codegen.EngineConfig.ApplyFidelity).
+	Fidelity      codegen.Fidelity
+	SampleWindows codegen.SampleWindows
+
 	// Logf, when set, receives per-suite reporting (the build-cache traffic
 	// a RunSuite generated: memory hits, disk hits, compiles). Wire it to
 	// t.Logf / b.Logf in tests and benchmarks.
@@ -375,11 +383,11 @@ func (h *Harness) RunSuiteRows(ctx context.Context, ws []*workloads.Workload, cf
 	}
 	var mu sync.Mutex
 	var failures []FailedRun
-	jobs := make([]pipeline.Job, 0, len(ws)*len(cfgs))
+	jobs := make([]pipeline.WeightedJob, 0, len(ws)*len(cfgs))
 	for wi := range ws {
 		for ci := range cfgs {
 			wi, ci := wi, ci
-			jobs = append(jobs, func(ctx context.Context) error {
+			jobs = append(jobs, pipeline.WeightedJob{Weight: ws[wi].ExpectedInstructions(), Run: func(ctx context.Context) error {
 				if err := ctx.Err(); err != nil {
 					return nil // the scheduler reports the cancellation
 				}
@@ -430,10 +438,13 @@ func (h *Harness) RunSuiteRows(ctx context.Context, ws []*workloads.Workload, cf
 					sk.AddRow(wi, ws[wi], row)
 				}
 				return nil
-			})
+			}})
 		}
 	}
-	err := pipeline.RunJobs(ctx, h.Workers, jobs)
+	// Weighted dispatch: heavy workloads (by expected simulated
+	// instructions) are claimed first, so one long SPEC program overlaps
+	// the cheap Polybench kernels instead of starting after them.
+	err := pipeline.RunJobsWeighted(ctx, h.Workers, jobs)
 	if h.Logf != nil {
 		h.Logf("spec suite (%d workloads × %d engines) cache: %v",
 			len(ws), len(cfgs), pipeline.Stats().Sub(before))

@@ -1,0 +1,73 @@
+package workloads
+
+// Sampled-accuracy pin: with the default window schedule, the sampled
+// tier's extrapolated cycles and cache-miss counts must stay within 3% of
+// the exact oracle on real workloads, and the architectural counters must
+// be bit-identical in every tier. The kernels are chosen to retire several
+// million instructions each — many sampling periods — while keeping the
+// test fast; a workload short enough to fit inside the first detailed
+// window would pass trivially and pin nothing.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/codegen"
+)
+
+// fidelityKernels is the pinned measurement set: dense fp matrix work
+// (2mm, gemm), bandwidth-bound vector sweeps (bicg), and a data-dependent
+// triangular loop nest (trmm) — different cache and branch behavior, so
+// the extrapolation is exercised on more than one traffic pattern.
+var fidelityKernels = []string{"2mm", "gemm", "bicg", "trmm"}
+
+// relErrBound is the pinned ceiling for timing-counter relative error with
+// the default sampled windows.
+const relErrBound = 0.03
+
+// errFloor ignores counters whose oracle population is tiny: relative
+// error over a few hundred events measures noise, not sampling quality.
+const errFloor = 1000
+
+func TestSampledAccuracyWithinBound(t *testing.T) {
+	ws := ByName(Polybench(), fidelityKernels...)
+	rep, err := MeasureFidelity(context.Background(), ws, codegen.Native(),
+		codegen.FidelitySampled, codegen.SampleWindows{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	for _, r := range rep.Rows {
+		if !r.ArchExact() {
+			t.Errorf("%s: architectural counters diverged under sampling:\n exact:   %v\n sampled: %v",
+				r.Workload, r.Exact.String(), r.Approx.String())
+		}
+	}
+	if wl, tc, rel := rep.Worst(errFloor); rel > relErrBound {
+		t.Errorf("sampled %s error on %s is %.2f%% (exact %d, sampled %d), want <= %.0f%%",
+			tc.Name, wl, rel*100, tc.Exact, tc.Approx, relErrBound*100)
+	}
+}
+
+// TestFunctionalSuiteArchExact pins the functional tier through the full
+// pipeline (kernel, syscalls, host calls — not just the bare machine): the
+// architectural counters must be bit-identical to exact and the timing
+// counters must be zero.
+func TestFunctionalSuiteArchExact(t *testing.T) {
+	ws := ByName(Polybench(), "2mm")
+	rep, err := MeasureFidelity(context.Background(), ws, codegen.Native(),
+		codegen.FidelityFunctional, codegen.SampleWindows{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if !r.ArchExact() {
+			t.Errorf("%s: architectural counters diverged under functional tier:\n exact:      %v\n functional: %v",
+				r.Workload, r.Exact.String(), r.Approx.String())
+		}
+		c := r.Approx
+		if c.Cycles != 0 || c.L1IMisses != 0 || c.L1DMisses != 0 || c.L2Misses != 0 || c.BranchMiss != 0 {
+			t.Errorf("%s: functional tier produced timing counts: %v", r.Workload, c.String())
+		}
+	}
+}

@@ -74,11 +74,11 @@ func RunDifferential(ctx context.Context, suite []*Workload, cfgs []*codegen.Eng
 		failed[wi] = make([]bool, len(cfgs))
 	}
 	var mu sync.Mutex
-	jobs := make([]pipeline.Job, 0, rep.Rows)
+	jobs := make([]pipeline.WeightedJob, 0, rep.Rows)
 	for wi := range suite {
 		for ci := range cfgs {
 			wi, ci := wi, ci
-			jobs = append(jobs, func(ctx context.Context) error {
+			jobs = append(jobs, pipeline.WeightedJob{Weight: suite[wi].ExpectedInstructions(), Run: func(ctx context.Context) error {
 				if err := ctx.Err(); err != nil {
 					return nil // the scheduler reports the cancellation
 				}
@@ -106,10 +106,10 @@ func RunDifferential(ctx context.Context, suite []*Workload, cfgs []*codegen.Eng
 				rep.Outputs[wi][ci] = res.Stdout
 				mu.Unlock()
 				return nil
-			})
+			}})
 		}
 	}
-	err := pipeline.RunJobs(ctx, 0, jobs)
+	err := pipeline.RunJobsWeighted(ctx, 0, jobs)
 	if err != nil && !degraded {
 		return nil, err
 	}
