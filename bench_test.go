@@ -9,6 +9,7 @@ package repro_test
 // The suites are deterministic; results are memoized within a run.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -470,18 +471,19 @@ int main() {
   print_nl();
   return 0;
 }`
-	cm, err := pipeline.Build(src, codegen.Chrome())
+	ctx := context.Background()
+	cm, err := pipeline.Compile(ctx, &pipeline.Request{Module: src, Config: codegen.Chrome()})
 	if err != nil {
 		b.Fatal(err)
 	}
 	// Warm the pools.
-	if _, err := pipeline.Exec(cm, nil, nil); err != nil {
+	if _, err := pipeline.Execute(ctx, cm, &pipeline.Request{}); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := pipeline.Exec(cm, nil, nil)
+		res, err := pipeline.Execute(ctx, cm, &pipeline.Request{})
 		if err != nil {
 			b.Fatal(err)
 		}

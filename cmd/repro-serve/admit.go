@@ -1,0 +1,253 @@
+package main
+
+// Weighted fair admission. The daemon bounds how many requests run at once
+// (run slots, defaulting to the shared scheduler budget's capacity) and,
+// when requests queue for a slot, grants slots across tenants by stride
+// scheduling: a tenant with weight w holds a virtual "pass" that advances
+// by strideBase/w per grant, and the waiting tenant with the lowest pass is
+// served next. Heavier tenants advance slower, so they are picked
+// proportionally more often — alice=4,bob=1 converges to a 4:1 grant ratio
+// under contention while staying work-conserving when only one tenant is
+// active.
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+)
+
+// strideBase is the stride numerator; weights divide it, so the ratio of
+// two tenants' strides is the inverse ratio of their weights.
+const strideBase = 1 << 16
+
+// errQueueFull rejects a request when the daemon's waiting queue is at
+// capacity — the client should back off and retry (HTTP 429).
+var errQueueFull = errors.New("admission queue full")
+
+// errDraining rejects new work once the daemon has begun shutting down
+// (HTTP 503); in-flight requests still complete.
+var errDraining = errors.New("server draining")
+
+// ticket is one request waiting for a run slot.
+type ticket struct {
+	tn *tenant
+	// ready is closed by dispatch when the slot is granted.
+	ready chan struct{}
+	// canceled marks an abandoned ticket (client gone before grant);
+	// dispatch discards it without spending a slot.
+	canceled bool
+}
+
+// tenant is the admission state of one X-Repro-Tenant value.
+type tenant struct {
+	name   string
+	weight int
+	// pass is the stride-scheduling virtual time; the waiting tenant with
+	// the lowest pass is granted the next free slot.
+	pass uint64
+	// queue is this tenant's FIFO of waiting tickets.
+	queue []*ticket
+	// inflight and served count admitted requests (current and lifetime).
+	inflight int
+	served   uint64
+	rejected uint64
+}
+
+// admitter hands out run slots with per-tenant weighted fairness.
+type admitter struct {
+	mu       sync.Mutex
+	slots    int // free run slots
+	queueCap int // max waiting tickets across all tenants
+	queued   int
+	draining bool
+	weights  map[string]int // configured weights; unlisted tenants get 1
+	tenants  map[string]*tenant
+}
+
+func newAdmitter(slots, queueCap int, weights map[string]int) *admitter {
+	if slots < 1 {
+		slots = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	return &admitter{
+		slots:    slots,
+		queueCap: queueCap,
+		weights:  weights,
+		tenants:  map[string]*tenant{},
+	}
+}
+
+// tenantFor returns (creating if needed) the named tenant. A new tenant
+// starts at the minimum pass currently in play, so joining late neither
+// starves it nor lets it monopolize slots with a stale low pass.
+func (a *admitter) tenantFor(name string) *tenant {
+	t := a.tenants[name]
+	if t != nil {
+		return t
+	}
+	w := a.weights[name]
+	if w <= 0 {
+		w = 1
+	}
+	t = &tenant{name: name, weight: w}
+	var minPass uint64
+	first := true
+	for _, o := range a.tenants {
+		if o.inflight > 0 || len(o.queue) > 0 {
+			if first || o.pass < minPass {
+				minPass, first = o.pass, false
+			}
+		}
+	}
+	if !first {
+		t.pass = minPass
+	}
+	a.tenants[name] = t
+	return t
+}
+
+// admit blocks until the named tenant is granted a run slot, the context is
+// canceled, or the request is rejected (queue full, draining). Every
+// successful admit must be paired with release.
+func (a *admitter) admit(ctx context.Context, name string) error {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return errDraining
+	}
+	t := a.tenantFor(name)
+	if a.slots > 0 && a.queued == 0 {
+		// Fast path: a free slot and nobody waiting.
+		a.grantLocked(t)
+		a.mu.Unlock()
+		return nil
+	}
+	if a.queued >= a.queueCap {
+		t.rejected++
+		a.mu.Unlock()
+		return errQueueFull
+	}
+	tk := &ticket{tn: t, ready: make(chan struct{})}
+	t.queue = append(t.queue, tk)
+	a.queued++
+	a.mu.Unlock()
+
+	select {
+	case <-tk.ready:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-tk.ready:
+			// Lost the race: the slot was granted while we were
+			// canceling. Hand it back so it is not leaked.
+			a.releaseLocked(t)
+			a.mu.Unlock()
+			return ctx.Err()
+		default:
+		}
+		tk.canceled = true
+		a.queued--
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// grantLocked spends a slot on tenant t and advances its pass.
+func (a *admitter) grantLocked(t *tenant) {
+	a.slots--
+	t.inflight++
+	t.served++
+	t.pass += strideBase / uint64(t.weight)
+}
+
+// release returns a run slot and dispatches it to the fairest waiter.
+func (a *admitter) release(name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.releaseLocked(a.tenantFor(name))
+}
+
+func (a *admitter) releaseLocked(t *tenant) {
+	a.slots++
+	t.inflight--
+	a.dispatchLocked()
+}
+
+// dispatchLocked grants free slots to waiting tickets, lowest pass first,
+// discarding canceled tickets as it finds them.
+func (a *admitter) dispatchLocked() {
+	for a.slots > 0 {
+		var next *tenant
+		for _, t := range a.tenants {
+			// Drop abandoned tickets at the head of each queue.
+			for len(t.queue) > 0 && t.queue[0].canceled {
+				t.queue = t.queue[1:]
+			}
+			if len(t.queue) == 0 {
+				continue
+			}
+			if next == nil || t.pass < next.pass || (t.pass == next.pass && t.name < next.name) {
+				next = t
+			}
+		}
+		if next == nil {
+			return
+		}
+		tk := next.queue[0]
+		next.queue = next.queue[1:]
+		a.queued--
+		a.grantLocked(next)
+		close(tk.ready)
+	}
+}
+
+// drain stops admitting new work. Requests already admitted or queued were
+// accepted and still complete — http.Server.Shutdown waits for their
+// handlers — only requests arriving after drain are turned away.
+func (a *admitter) drain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+}
+
+// tenantStat is one tenant's row in /statz.
+type tenantStat struct {
+	Weight   int    `json:"weight"`
+	Inflight int    `json:"inflight"`
+	Queued   int    `json:"queued"`
+	Served   uint64 `json:"served"`
+	Rejected uint64 `json:"rejected,omitempty"`
+}
+
+// snapshot returns the admission state for /statz, keyed by tenant name.
+func (a *admitter) snapshot() (tenants map[string]tenantStat, queued int, draining bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tenants = make(map[string]tenantStat, len(a.tenants))
+	names := make([]string, 0, len(a.tenants))
+	for n := range a.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := a.tenants[n]
+		waiting := 0
+		for _, tk := range t.queue {
+			if !tk.canceled {
+				waiting++
+			}
+		}
+		tenants[n] = tenantStat{
+			Weight:   t.weight,
+			Inflight: t.inflight,
+			Queued:   waiting,
+			Served:   t.served,
+			Rejected: t.rejected,
+		}
+	}
+	return tenants, a.queued, a.draining
+}

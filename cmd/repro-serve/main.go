@@ -1,0 +1,108 @@
+// Command repro-serve is the compile-and-run daemon: it accepts
+// pipeline.Request JSON over HTTP, compiles modules through the shared
+// content-addressed build cache, executes them under the scheduler budget,
+// and streams results back. Identical concurrent requests trigger exactly
+// one compile (the pipeline's singleflight cache), admission is weighted
+// fair per tenant, and SIGTERM/SIGINT drain gracefully: in-flight requests
+// return their results before the process exits 0.
+//
+// Usage:
+//
+//	repro-serve [-addr :8080] [-slots N] [-queue N] [-tenants alice=4,bob=1]
+//
+// Every flag also reads its $REPRO_SERVE_* environment knob; flags win
+// (resolution order flag > env > default, via internal/config).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/sched"
+)
+
+func main() {
+	addrFlag := flag.String("addr", "", "listen address (default $"+config.EnvServeAddr+", else :8080)")
+	slotsFlag := flag.String("slots", "", "concurrent run slots (default: scheduler budget capacity)")
+	queueFlag := flag.String("queue", "", "admission queue depth (default $"+config.EnvServeQueue+", else 64)")
+	tenantsFlag := flag.String("tenants", "", "tenant weights, e.g. alice=4,bob=1 (default $"+config.EnvServeTenants+")")
+	flag.Parse()
+
+	addr := config.String(*addrFlag, config.EnvServeAddr, ":8080")
+
+	slots := sched.Shared().Capacity()
+	if v := config.String(*slotsFlag, "", ""); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			log.Fatalf("repro-serve: -slots %q: want a positive integer", v)
+		}
+		slots = n
+	}
+
+	queueCap := 64
+	if v := config.String(*queueFlag, config.EnvServeQueue, ""); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			log.Fatalf("repro-serve: queue depth %q: want a non-negative integer", v)
+		}
+		queueCap = n
+	}
+
+	var weights map[string]int
+	if v := config.String(*tenantsFlag, config.EnvServeTenants, ""); v != "" {
+		w, err := config.ParseTenantWeights(v)
+		if err != nil {
+			log.Fatalf("repro-serve: %v", err)
+		}
+		weights = w
+	}
+
+	srv := newServer(slots, queueCap, weights)
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGTERM/SIGINT begin a graceful drain: stop admitting, let in-flight
+	// requests return their results, then exit 0. A second signal kills the
+	// process the default way (the NotifyContext registration is undone
+	// once the first fires).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("repro-serve: listening on %s (slots=%d queue=%d tenants=%s)",
+		addr, slots, queueCap, config.FormatTenantWeights(weights))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("repro-serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("repro-serve: draining")
+	srv.drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "repro-serve: drain: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "repro-serve: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("repro-serve: drained, exiting")
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,26 +34,19 @@ func main() {
 	}
 
 	var cfgs []*codegen.EngineConfig
-	switch *engine {
-	case "":
+	if *engine == "" {
 		cfgs = []*codegen.EngineConfig{codegen.Native(), codegen.Chrome()}
-	case "native":
-		cfgs = []*codegen.EngineConfig{codegen.Native()}
-	case "chrome":
-		cfgs = []*codegen.EngineConfig{codegen.Chrome()}
-	case "firefox":
-		cfgs = []*codegen.EngineConfig{codegen.Firefox()}
-	case "asmjs-chrome":
-		cfgs = []*codegen.EngineConfig{codegen.AsmJSChrome()}
-	case "asmjs-firefox":
-		cfgs = []*codegen.EngineConfig{codegen.AsmJSFirefox()}
-	default:
-		fmt.Fprintf(os.Stderr, "wasm2x86: unknown engine %q\n", *engine)
-		os.Exit(2)
+	} else {
+		cfg, err := codegen.Engine(*engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wasm2x86:", err)
+			os.Exit(2)
+		}
+		cfgs = []*codegen.EngineConfig{cfg}
 	}
 
 	for _, cfg := range cfgs {
-		cm, err := pipeline.Build(src, cfg)
+		cm, err := pipeline.Compile(context.Background(), &pipeline.Request{Module: src, Config: cfg})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wasm2x86:", err)
 			os.Exit(1)

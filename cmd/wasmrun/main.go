@@ -1,5 +1,7 @@
 // Command wasmrun compiles and runs a mini-C program under the Browsix-Wasm
-// kernel, printing its output and the perf counters of the run.
+// kernel, printing its output and the perf counters of the run. It is the
+// CLI face of the same pipeline.Request the repro-serve daemon accepts over
+// HTTP: flags resolve into one Request and pipeline.Do runs it.
 //
 // Usage:
 //
@@ -7,17 +9,19 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/codegen"
 	"repro/internal/pipeline"
 )
 
 func main() {
-	engine := flag.String("engine", "chrome", "engine: native, chrome, firefox, asmjs-chrome, asmjs-firefox")
+	engine := flag.String("engine", "chrome", "engine: "+strings.Join(codegen.EngineNames(), ", "))
 	fidelity := flag.String("fidelity", "", "simulation tier: exact, functional, sampled (default $REPRO_FIDELITY, else exact)")
 	counters := flag.Bool("counters", true, "print perf counters after the run")
 	flag.Parse()
@@ -30,20 +34,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wasmrun:", err)
 		os.Exit(1)
 	}
-	var cfg *codegen.EngineConfig
-	switch *engine {
-	case "native":
-		cfg = codegen.Native()
-	case "chrome":
-		cfg = codegen.Chrome()
-	case "firefox":
-		cfg = codegen.Firefox()
-	case "asmjs-chrome":
-		cfg = codegen.AsmJSChrome()
-	case "asmjs-firefox":
-		cfg = codegen.AsmJSFirefox()
-	default:
-		fmt.Fprintf(os.Stderr, "wasmrun: unknown engine %q\n", *engine)
+	cfg, err := codegen.Engine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wasmrun:", err)
 		os.Exit(2)
 	}
 	f, w, err := codegen.ResolveFidelity(*fidelity)
@@ -53,8 +46,11 @@ func main() {
 	}
 	cfg.ApplyFidelity(f, w)
 
-	argv := append([]string{flag.Arg(0)}, flag.Args()[1:]...)
-	res, err := pipeline.Run(string(src), cfg, argv, nil)
+	res, err := pipeline.Do(context.Background(), &pipeline.Request{
+		Module: string(src),
+		Config: cfg,
+		Argv:   append([]string{flag.Arg(0)}, flag.Args()[1:]...),
+	})
 	if err != nil {
 		var te *pipeline.TimeoutError
 		if errors.As(err, &te) {
@@ -68,7 +64,7 @@ func main() {
 	}
 	fmt.Print(res.Stdout)
 	if *counters {
-		c := res.Proc.Inst.Counters
+		c := res.Counters
 		fmt.Fprintf(os.Stderr, "---\nengine=%s exit=%d time=%.3fms\n%s\nbrowsix-share=%.3f%%\n",
 			cfg.Name, res.ExitCode, c.Seconds()*1000, c.String(), res.Proc.BrowsixShare()*100)
 	}

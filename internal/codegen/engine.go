@@ -8,6 +8,10 @@
 package codegen
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"repro/internal/x86"
 )
 
@@ -252,4 +256,37 @@ func (cfg *EngineConfig) calleeSavedSet() map[x86.Reg]bool {
 		m[r] = true
 	}
 	return m
+}
+
+// engineByName maps knob spellings to stock engine constructors — the one
+// registry behind every "-engine" flag and the serving wire format, so a
+// new configuration becomes addressable everywhere by being added here.
+var engineByName = map[string]func() *EngineConfig{
+	"native":        Native,
+	"chrome":        Chrome,
+	"firefox":       Firefox,
+	"asmjs-chrome":  AsmJSChrome,
+	"asmjs-firefox": AsmJSFirefox,
+}
+
+// EngineNames lists the stock engine spellings Engine accepts, sorted.
+func EngineNames() []string {
+	names := make([]string, 0, len(engineByName))
+	for n := range engineByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Engine returns a fresh stock configuration by its knob spelling, or an
+// error naming the accepted spellings (a user-facing message: it surfaces
+// on CLI flags and serving requests alike).
+func Engine(name string) (*EngineConfig, error) {
+	ctor, ok := engineByName[name]
+	if !ok {
+		return nil, fmt.Errorf("codegen: unknown engine %q (want one of %s)",
+			name, strings.Join(EngineNames(), ", "))
+	}
+	return ctor(), nil
 }

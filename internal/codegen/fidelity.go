@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+
+	"repro/internal/config"
 )
 
 // Fidelity selects how much of the microarchitecture the simulator models.
@@ -62,14 +64,14 @@ func ParseFidelity(s string) (Fidelity, error) {
 	return FidelityExact, fmt.Errorf("codegen: unknown fidelity %q (want exact, functional, or sampled)", s)
 }
 
-// Environment knobs. FidelityEnv selects the tier; the window knobs
-// override the sampled tier's schedule in retired instructions (0 or unset
-// keeps the cpu package's defaults).
+// Environment knobs (canonical names in internal/config). FidelityEnv
+// selects the tier; the window knobs override the sampled tier's schedule
+// in retired instructions (0 or unset keeps the cpu package's defaults).
 const (
-	FidelityEnv     = "REPRO_FIDELITY"
-	SamplePeriodEnv = "REPRO_SAMPLE_PERIOD"
-	SampleDetailEnv = "REPRO_SAMPLE_DETAIL"
-	SampleWarmupEnv = "REPRO_SAMPLE_WARMUP"
+	FidelityEnv     = config.EnvFidelity
+	SamplePeriodEnv = config.EnvSamplePeriod
+	SampleDetailEnv = config.EnvSampleDetail
+	SampleWarmupEnv = config.EnvSampleWarmup
 )
 
 // SampleWindows is a sampled-tier schedule override, in retired

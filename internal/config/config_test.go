@@ -1,0 +1,127 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestStringResolution pins the knob precedence: flag > env > default.
+func TestStringResolution(t *testing.T) {
+	const env = "REPRO_TEST_KNOB"
+	t.Setenv(env, "from-env")
+	if got := String("from-flag", env, "def"); got != "from-flag" {
+		t.Errorf("flag must win: got %q", got)
+	}
+	if got := String("", env, "def"); got != "from-env" {
+		t.Errorf("env must beat default: got %q", got)
+	}
+	t.Setenv(env, "")
+	if got := String("", env, "def"); got != "def" {
+		t.Errorf("default must apply last: got %q", got)
+	}
+}
+
+// TestDurationJSON pins both accepted wire spellings and the canonical
+// output form.
+func TestDurationJSON(t *testing.T) {
+	b, err := json.Marshal(Duration(300 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"300ms"` {
+		t.Errorf("marshal = %s, want \"300ms\"", b)
+	}
+	for _, in := range []string{`"300ms"`, `300000000`} {
+		var d Duration
+		if err := json.Unmarshal([]byte(in), &d); err != nil {
+			t.Fatalf("unmarshal %s: %v", in, err)
+		}
+		if d.Std() != 300*time.Millisecond {
+			t.Errorf("unmarshal %s = %v, want 300ms", in, d.Std())
+		}
+	}
+	var d Duration
+	if err := json.Unmarshal([]byte(`"yesterday"`), &d); err == nil {
+		t.Error("malformed duration must not unmarshal")
+	}
+	if err := json.Unmarshal([]byte(`true`), &d); err == nil {
+		t.Error("non-string non-number duration must not unmarshal")
+	}
+}
+
+// TestLimitsFromEnv pins the watchdog knob parsing, including the
+// warn-and-disable contract for malformed values.
+func TestLimitsFromEnv(t *testing.T) {
+	t.Setenv(EnvJobTimeout, "250ms")
+	t.Setenv(EnvJobMaxInsts, "1000000")
+	l, errs := LimitsFromEnv()
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if l.Timeout.Std() != 250*time.Millisecond || l.MaxInsts != 1000000 {
+		t.Errorf("limits = %+v", l)
+	}
+	if l.IsZero() {
+		t.Error("armed limits must not be zero")
+	}
+
+	t.Setenv(EnvJobTimeout, "soon")
+	t.Setenv(EnvJobMaxInsts, "")
+	l, errs = LimitsFromEnv()
+	if len(errs) != 1 {
+		t.Fatalf("want one error for the malformed timeout, got %v", errs)
+	}
+	if !l.IsZero() {
+		t.Errorf("malformed knob must leave its limit disabled, got %+v", l)
+	}
+}
+
+// TestParsePositiveKnobs pins the shared contract of the integer knobs:
+// empty selects the default (n == 0, no error), positives are honored,
+// everything else errors.
+func TestParsePositiveKnobs(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		{"", 0, false},
+		{"8", 8, false},
+		{"0", 0, true},
+		{"-3", 0, true},
+		{"many", 0, true},
+	}
+	for _, tc := range cases {
+		nb, err := ParseCacheMaxBytes(tc.in)
+		if (err != nil) != tc.wantErr || nb != tc.want {
+			t.Errorf("ParseCacheMaxBytes(%q) = %d, %v; want %d, err=%v", tc.in, nb, err, tc.want, tc.wantErr)
+		}
+		nt, err := ParseSchedTokens(tc.in)
+		if (err != nil) != tc.wantErr || int64(nt) != tc.want {
+			t.Errorf("ParseSchedTokens(%q) = %d, %v; want %d, err=%v", tc.in, nt, err, tc.want, tc.wantErr)
+		}
+	}
+}
+
+// TestTenantWeights pins the fairness-weight grammar and its round-trip.
+func TestTenantWeights(t *testing.T) {
+	w, err := ParseTenantWeights("alice=4, bob=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w["alice"] != 4 || w["bob"] != 1 || len(w) != 2 {
+		t.Errorf("weights = %v", w)
+	}
+	if got := FormatTenantWeights(w); got != "alice=4,bob=1" {
+		t.Errorf("round-trip = %q", got)
+	}
+	for _, bad := range []string{"alice", "alice=0", "alice=-1", "=4", "alice=fast"} {
+		if _, err := ParseTenantWeights(bad); err == nil {
+			t.Errorf("ParseTenantWeights(%q) must fail", bad)
+		}
+	}
+	if w, err := ParseTenantWeights(""); err != nil || w != nil {
+		t.Errorf("empty spec must be nil map, got %v, %v", w, err)
+	}
+}

@@ -41,10 +41,13 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/config"
 )
 
-// Env is the environment variable rules are parsed from at first use.
-const Env = "REPRO_FAULTS"
+// Env is the environment variable rules are parsed from at first use (the
+// canonical name lives in internal/config).
+const Env = config.EnvFaults
 
 // Canonical site names wired through the run pipeline. Sites are open-ended
 // (any string works); these constants exist so arming code and checking

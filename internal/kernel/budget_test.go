@@ -6,6 +6,7 @@ package kernel_test
 // out with sys_spawn cannot multiply the process-wide parallelism bound.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/codegen"
@@ -47,7 +48,7 @@ func TestSpawnChargesSchedBudget(t *testing.T) {
 	cfg := codegen.Native()
 	var bins [3]*codegen.CompiledModule
 	for i, src := range []string{rootSrc, midSrc, leafSrc} {
-		cm, err := pipeline.Build(src, cfg)
+		cm, err := pipeline.Compile(context.Background(), &pipeline.Request{Module: src, Config: cfg})
 		if err != nil {
 			t.Fatal(err)
 		}

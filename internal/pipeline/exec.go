@@ -1,104 +1,69 @@
 package pipeline
 
+// Pre-Request entry points. Each positional form below is a thin deprecated
+// wrapper over the canonical Request verbs in request.go (Compile, Execute,
+// Do) and survives one release so out-of-tree callers keep compiling; the
+// Build/BuildContext pair lives next to the cache in pipeline.go.
+
 import (
 	"context"
-	"errors"
-	"fmt"
-	"time"
 
 	"repro/internal/codegen"
-	"repro/internal/fault"
 	"repro/internal/kernel"
 )
 
-// RunResult captures one program execution under the kernel.
+// RunResult captures one program execution under the kernel — the
+// pre-Request result shape, kept for the deprecated wrappers. New code
+// receives a Result (which adds counters, cache traffic, and a typed error
+// class) from Execute and Do.
 type RunResult struct {
 	ExitCode int
 	Stdout   string
 	Proc     *kernel.Process
 }
 
-// Exec executes an already-built binary in a fresh kernel populated with
-// files, spawns it with argv, and waits for completion. This is the single
-// run path shared by the toolchain front-end, the workloads differential
-// tests, and the benchmarks.
+// runResult converts the canonical Result to the legacy shape.
+func runResult(res *Result) *RunResult {
+	return &RunResult{ExitCode: res.ExitCode, Stdout: res.Stdout, Proc: res.Proc}
+}
+
+// Exec executes an already-built binary in a fresh kernel.
+//
+// Deprecated: construct a Request and use Execute — this wrapper survives
+// one release so out-of-tree callers keep compiling.
 func Exec(cm *codegen.CompiledModule, argv []string, files map[string][]byte) (*RunResult, error) {
 	return ExecContext(context.Background(), cm, argv, files)
 }
 
-// ExecContext is Exec under a caller context. Every process in the run's
-// kernel polls ctx while executing, so cancellation preempts a simulation
-// mid-run — a hung workload does not outlive its scheduler. When the
-// per-job watchdog is armed (JobLimits), the same polling enforces a
-// wall-clock deadline and an instruction ceiling; a tripped limit returns a
-// TimeoutError carrying the partial counters.
+// ExecContext is Exec under a caller context.
+//
+// Deprecated: construct a Request and use Execute — this wrapper survives
+// one release so out-of-tree callers keep compiling.
 func ExecContext(ctx context.Context, cm *codegen.CompiledModule, argv []string, files map[string][]byte) (*RunResult, error) {
-	if len(argv) == 0 {
-		argv = []string{"prog"}
-	}
-	label := fault.LabelOf(ctx)
-	if label == "" {
-		label = argv[0]
-	}
-	timeout, maxInsts := JobLimits()
-	k := kernel.New(nil)
-	k.Ctx = ctx
-	if timeout > 0 {
-		k.Deadline = time.Now().Add(timeout)
-	}
-	k.MaxInsts = maxInsts
-	// The exec fault site sits after the deadline is armed, so an injected
-	// delay ("hang") burns the job's wall-clock budget and the watchdog
-	// kills the run at its first interrupt poll — the honest simulation of
-	// a hung workload, partial counters included.
-	if err := fault.Check(fault.SiteExec, label); err != nil {
-		return nil, fmt.Errorf("pipeline: %s: %w", label, err)
-	}
-	for p, data := range files {
-		if err := k.FS.WriteFileAll(p, data); err != nil {
-			return nil, fmt.Errorf("pipeline: populating %s: %w", p, err)
-		}
-	}
-	k.RegisterBinary("/bin/prog", cm)
-	p, err := k.Spawn(nil, "/bin/prog", argv, [3]*kernel.FD{})
+	res, err := Execute(ctx, cm, &Request{Argv: argv, Files: files})
 	if err != nil {
 		return nil, err
 	}
-	code, err := k.WaitPID(p.PID)
-	if err != nil {
-		var we *kernel.WatchdogError
-		if errors.As(err, &we) {
-			return nil, &TimeoutError{
-				Label:    label,
-				Wall:     we.Wall,
-				Timeout:  timeout,
-				MaxInsts: maxInsts,
-				Partial:  p.Inst.Counters,
-			}
-		}
-		return nil, fmt.Errorf("pipeline: process failed: %w", err)
-	}
-	return &RunResult{ExitCode: code, Stdout: string(k.Console), Proc: p}, nil
+	return runResult(res), nil
 }
 
 // Run builds src for cfg through the shared cache and executes it.
+//
+// Deprecated: construct a Request and use Do — this wrapper survives one
+// release so out-of-tree callers keep compiling.
 func Run(src string, cfg *codegen.EngineConfig, argv []string, files map[string][]byte) (*RunResult, error) {
 	return RunContext(context.Background(), src, cfg, argv, files)
 }
 
 // RunContext builds src for cfg through the shared cache and executes it
-// under ctx (see ExecContext; the build only uses ctx for scheduler-budget
-// accounting, see BuildContext).
+// under ctx.
+//
+// Deprecated: construct a Request and use Do — this wrapper survives one
+// release so out-of-tree callers keep compiling.
 func RunContext(ctx context.Context, src string, cfg *codegen.EngineConfig, argv []string, files map[string][]byte) (*RunResult, error) {
-	// When faults are armed, default the fault-site label to argv[0] (the
-	// workload name on suite paths) so compile/exec rules can target one
-	// workload without every caller threading WithLabel itself.
-	if fault.Enabled() && fault.LabelOf(ctx) == "" && len(argv) > 0 {
-		ctx = fault.WithLabel(ctx, argv[0])
-	}
-	cm, err := BuildContext(ctx, src, cfg)
+	res, err := Do(ctx, &Request{Module: src, Config: cfg, Argv: argv, Files: files})
 	if err != nil {
 		return nil, err
 	}
-	return ExecContext(ctx, cm, argv, files)
+	return runResult(res), nil
 }

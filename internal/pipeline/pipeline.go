@@ -12,6 +12,14 @@
 // differential tests, and the cmd/* binaries all build and execute through
 // this package, so builds are shared and suite parallelism is governed in
 // one place.
+//
+// The unit of work is the serializable Request (module, engine, argv,
+// files, fidelity, limits) and its Result (exit code, stdout, counters,
+// cache traffic, typed error class); the canonical verbs are Compile,
+// Execute, and Do in request.go. The same struct a test builds in-process
+// is what cmd/repro-serve accepts as an HTTP body, so there is exactly one
+// spelling of "run this program under that engine" across the repo and the
+// wire.
 package pipeline
 
 import (
@@ -57,6 +65,11 @@ type buildEntry struct {
 	once sync.Once
 	cm   *codegen.CompiledModule
 	err  error
+	// outcome is the cache traffic the winning requester generated (one
+	// disk hit or one miss); later requesters report a memory hit instead.
+	// Per-request Results carry it so a serving client can see whether its
+	// run compiled cold without racing other tenants for the global totals.
+	outcome CacheStats
 }
 
 var (
@@ -73,12 +86,14 @@ var (
 // many of those were successfully moved aside for inspection rather than
 // deleted. A nonzero Corrupt in a suite summary is a disk or encoder
 // problem worth chasing; silent deletion used to hide it.
+// The JSON spellings are part of the serving wire format (see Request) and
+// are pinned by golden fixtures; do not rename casually.
 type CacheStats struct {
-	MemHits     uint64
-	DiskHits    uint64
-	Misses      uint64
-	Corrupt     uint64
-	Quarantined uint64
+	MemHits     uint64 `json:"mem_hits"`
+	DiskHits    uint64 `json:"disk_hits"`
+	Misses      uint64 `json:"misses"`
+	Corrupt     uint64 `json:"corrupt,omitempty"`
+	Quarantined uint64 `json:"quarantined,omitempty"`
 }
 
 // Sub returns the per-interval delta s - prev; bracket a suite with Stats()
@@ -135,26 +150,28 @@ func countQuarantined() {
 	buildMu.Unlock()
 }
 
-// Build compiles src for cfg through the process-wide cache, layered over
+// build compiles src for cfg through the process-wide cache, layered over
 // the disk-backed artifact store. The returned module is shared (the same
 // pointer for the same content) and must be treated as immutable;
 // instantiation state lives in cpu.Machine, not here. Failed builds are
 // cached too (in memory only): identical inputs fail identically.
-func Build(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
-	return BuildContext(context.Background(), src, cfg)
-}
-
-// BuildContext is Build under a caller context. Cancellation is
-// deliberately stripped before the compile runs: a cache entry is shared by
-// every requester of the same content, so one caller's cancelled context
-// must never abort (or, worse, poison with its cancellation error) a
-// compile another caller is waiting on — and cached failures stay
-// input-deterministic. What survives is the context's values, in particular
-// the shared scheduler's pool marker: a build reached from inside a
-// RunJobs job (a suite shard) compiles without double-charging the worker
-// budget for the goroutine it is already running on.
-func BuildContext(ctx context.Context, src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
+//
+// Cancellation is deliberately stripped before the compile runs: a cache
+// entry is shared by every requester of the same content, so one caller's
+// cancelled context must never abort (or, worse, poison with its
+// cancellation error) a compile another caller is waiting on — and cached
+// failures stay input-deterministic. What survives is the context's values,
+// in particular the shared scheduler's pool marker: a build reached from
+// inside a RunJobs job (a suite shard) compiles without double-charging the
+// worker budget for the goroutine it is already running on.
+//
+// The returned CacheStats is this request's own traffic — exactly one of
+// {MemHits: 1}, {DiskHits: 1}, or {Misses: 1} on the non-fault paths — and
+// sums across requesters to the global Stats deltas: concurrent identical
+// requests singleflight into one disk hit or miss plus N-1 memory hits.
+func build(ctx context.Context, src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, CacheStats, error) {
 	k := Key(src, cfg)
+	var mine CacheStats
 	buildMu.Lock()
 	e, ok := buildCache[k]
 	if !ok {
@@ -162,6 +179,7 @@ func BuildContext(ctx context.Context, src string, cfg *codegen.EngineConfig) (*
 		buildCache[k] = e
 	} else {
 		stats.MemHits++
+		mine.MemHits++
 	}
 	buildMu.Unlock()
 	e.once.Do(func() {
@@ -175,11 +193,13 @@ func BuildContext(ctx context.Context, src string, cfg *codegen.EngineConfig) (*
 		if s := artifactStore(); s != nil {
 			if cm, ok := s.load(k, cfg); ok {
 				countDiskHit()
+				e.outcome.DiskHits++
 				e.cm = cm
 				return
 			}
 		}
 		countMiss()
+		e.outcome.Misses++
 		e.cm, e.err = buildUncached(context.WithoutCancel(ctx), src, cfg)
 		if e.err == nil {
 			if s := artifactStore(); s != nil {
@@ -187,15 +207,38 @@ func BuildContext(ctx context.Context, src string, cfg *codegen.EngineConfig) (*
 			}
 		}
 	})
+	if mine.MemHits == 0 {
+		// This requester created the entry: report the winner's outcome
+		// (its own, unless it lost the once race to a faster second
+		// requester — the counts still sum correctly either way).
+		mine = e.outcome
+	}
 	if e.cm == nil && e.err == nil {
 		// The entry's compile panicked: once.Do marks the entry done on the
 		// way out of the unwinding, leaving both fields nil. The panicking
 		// requester propagates the panic to its job boundary (JobPanicError);
 		// every later requester of the same content gets this deterministic
 		// error instead of a nil module.
-		return nil, fmt.Errorf("pipeline: build of %s panicked (poisoned cache entry)", k[:12])
+		return nil, mine, fmt.Errorf("pipeline: build of %s panicked (poisoned cache entry)", k[:12])
 	}
-	return e.cm, e.err
+	return e.cm, mine, e.err
+}
+
+// Build compiles src for cfg through the shared cache.
+//
+// Deprecated: construct a Request and use Compile — this wrapper survives
+// one release so out-of-tree callers keep compiling.
+func Build(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
+	return BuildContext(context.Background(), src, cfg)
+}
+
+// BuildContext is Build under a caller context.
+//
+// Deprecated: construct a Request and use Compile — this wrapper survives
+// one release so out-of-tree callers keep compiling.
+func BuildContext(ctx context.Context, src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
+	cm, _, err := build(ctx, src, cfg)
+	return cm, err
 }
 
 // buildLabel is the compile fault site's key: the fault.WithLabel value when

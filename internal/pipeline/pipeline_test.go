@@ -25,11 +25,12 @@ int main() {
 // identical (source, config) pairs share one compiled module, and a config
 // that differs in any field — even under the same name — gets its own build.
 func TestBuildContentAddressing(t *testing.T) {
-	a, err := pipeline.Build(addSrc, codegen.Chrome())
+	ctx := context.Background()
+	a, err := pipeline.Compile(ctx, &pipeline.Request{Module: addSrc, Config: codegen.Chrome()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := pipeline.Build(addSrc, codegen.Chrome())
+	b, err := pipeline.Compile(ctx, &pipeline.Request{Module: addSrc, Config: codegen.Chrome()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestBuildContentAddressing(t *testing.T) {
 	}
 	ablated := codegen.Chrome() // same Name, different content
 	ablated.StackCheck = false
-	c, err := pipeline.Build(addSrc, ablated)
+	c, err := pipeline.Compile(ctx, &pipeline.Request{Module: addSrc, Config: ablated})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,8 +58,9 @@ func TestBuildContentAddressing(t *testing.T) {
 // way each time.
 func TestBuildCachesFailures(t *testing.T) {
 	const bad = `int main() { return `
-	_, err1 := pipeline.Build(bad, codegen.Native())
-	_, err2 := pipeline.Build(bad, codegen.Native())
+	ctx := context.Background()
+	_, err1 := pipeline.Compile(ctx, &pipeline.Request{Module: bad, Config: codegen.Native()})
+	_, err2 := pipeline.Compile(ctx, &pipeline.Request{Module: bad, Config: codegen.Native()})
 	if err1 == nil || err2 == nil {
 		t.Fatal("truncated source must fail to build")
 	}
@@ -97,7 +99,7 @@ int main() {
 			defer wg.Done()
 			for _, src := range srcs {
 				for _, cfg := range cfgs {
-					cm, err := pipeline.Build(src, cfg)
+					cm, err := pipeline.Compile(context.Background(), &pipeline.Request{Module: src, Config: cfg})
 					if err != nil {
 						t.Error(err)
 						return
@@ -118,7 +120,7 @@ int main() {
 	jobs := make([]pipeline.Job, 8)
 	for i := range jobs {
 		jobs[i] = func(ctx context.Context) error {
-			res, err := pipeline.Run(addSrc, codegen.Firefox(), nil, nil)
+			res, err := pipeline.Do(ctx, &pipeline.Request{Module: addSrc, Config: codegen.Firefox()})
 			if err != nil {
 				return err
 			}
@@ -224,7 +226,7 @@ func TestCancelPreemptsInFlight(t *testing.T) {
 	defer cancel()
 	done := make(chan error, 1)
 	go func() {
-		_, err := pipeline.RunContext(ctx, hung, codegen.Native(), nil, nil)
+		_, err := pipeline.Do(ctx, &pipeline.Request{Module: hung, Config: codegen.Native()})
 		done <- err
 	}()
 	// Give the workload time to compile and enter its infinite loop, then
@@ -254,12 +256,50 @@ int main() {
   sys_write(1, buf, n);
   return 0;
 }`
-	res, err := pipeline.Run(src, codegen.Native(), nil,
-		map[string][]byte{"/data/sub/in.txt": []byte("pipelined")})
+	res, err := pipeline.Do(context.Background(), &pipeline.Request{
+		Module: src,
+		Config: codegen.Native(),
+		Files:  map[string][]byte{"/data/sub/in.txt": []byte("pipelined")},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.ExitCode != 0 || res.Stdout != "pipelined" {
 		t.Fatalf("exit %d stdout %q", res.ExitCode, res.Stdout)
+	}
+}
+
+// TestDeprecatedWrappers pins the compatibility contract of the pre-Request
+// API: Build/Exec/Run (and their Context forms) survive as thin wrappers so
+// out-of-tree callers keep compiling, and they must agree with the canonical
+// verbs — same cached module pointer, same output.
+func TestDeprecatedWrappers(t *testing.T) {
+	cm, err := pipeline.Build(addSrc, codegen.Chrome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := pipeline.Compile(context.Background(), &pipeline.Request{Module: addSrc, Config: codegen.Chrome()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm != canonical {
+		t.Error("Build and Compile must share one cache entry")
+	}
+	res, err := pipeline.Exec(cm, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != "42\n" || res.ExitCode != 0 {
+		t.Fatalf("Exec: exit %d stdout %q", res.ExitCode, res.Stdout)
+	}
+	res, err = pipeline.RunContext(context.Background(), addSrc, codegen.Chrome(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != "42\n" {
+		t.Fatalf("RunContext: stdout %q", res.Stdout)
+	}
+	if res.Proc == nil {
+		t.Error("legacy RunResult must keep exposing the process")
 	}
 }

@@ -11,12 +11,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/codegen"
+	"repro/internal/config"
 	"repro/internal/fault"
 )
 
@@ -33,17 +33,17 @@ import (
 // place, so readers only ever observe complete files, and concurrent writers
 // of one key (identical content by construction) just race renames.
 
-// Environment knobs.
+// Environment knobs (canonical names in internal/config).
 const (
 	// cacheDirEnv overrides the store location. The values "off", "0", and
 	// "none" disable the disk layer.
-	cacheDirEnv = "REPRO_CACHE_DIR"
+	cacheDirEnv = config.EnvCacheDir
 	// cacheMaxEnv overrides the store size budget in bytes.
-	cacheMaxEnv = "REPRO_CACHE_MAX_BYTES"
+	cacheMaxEnv = config.EnvCacheMaxBytes
 	// summaryEnv names a file that ReportTotals appends to, so CI can
 	// surface per-process summaries that `go test` elides for passing
 	// packages.
-	summaryEnv = "REPRO_CACHE_SUMMARY"
+	summaryEnv = config.EnvCacheSummary
 
 	// defaultMaxBytes bounds the store at 512 MB; the LRU sweep evicts
 	// oldest-read artifacts once the total exceeds it.
@@ -162,19 +162,12 @@ func openDefaultStore() *diskStore {
 
 var warnCacheMaxOnce sync.Once
 
-// parseCacheMax parses a $REPRO_CACHE_MAX_BYTES value. Empty selects the
-// default (ok with n == 0); anything that is not a positive integer is an
-// error — the caller decides whether to warn, but never silently treats a
-// typo as "use the default".
+// parseCacheMax parses a $REPRO_CACHE_MAX_BYTES value (the shared contract
+// lives in internal/config). Empty selects the default (ok with n == 0);
+// anything that is not a positive integer is an error — the caller decides
+// whether to warn, but never silently treats a typo as "use the default".
 func parseCacheMax(v string) (n int64, err error) {
-	if v == "" {
-		return 0, nil
-	}
-	n, err = strconv.ParseInt(v, 10, 64)
-	if err != nil || n < 1 {
-		return 0, fmt.Errorf("pipeline: %s=%q is not a positive byte count", cacheMaxEnv, v)
-	}
-	return n, nil
+	return config.ParseCacheMaxBytes(v)
 }
 
 // compilerFingerprint identifies the code that produced an artifact: a hash

@@ -1,32 +1,26 @@
 package pipeline
 
-// Per-job watchdog: every ExecContext run can carry a wall-clock deadline
-// and a retired-instruction ceiling, enforced inside the kernel's existing
+// Per-job watchdog: every execution can carry a wall-clock deadline and a
+// retired-instruction ceiling, enforced inside the kernel's existing
 // SetInterrupt polling (no extra goroutines, no timers racing the
 // simulation). A tripped watchdog kills the process tree and surfaces as a
 // typed TimeoutError carrying the counters accumulated up to the kill — the
 // partial result is real data (the machine flushes its cycle accounting on
 // the interrupt path), not garbage, so degraded suite rows can still report
 // how far a hung workload got.
+//
+// Limits resolve like every other knob (internal/config): a per-request
+// value on pipeline.Request wins, then the $REPRO_JOB_TIMEOUT /
+// $REPRO_JOB_MAX_INSTS environment, then "unbounded".
 
 import (
 	"fmt"
 	"os"
-	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/perf"
-)
-
-// Environment knobs for the per-job watchdog.
-const (
-	// jobTimeoutEnv is a time.Duration ("30s", "2m") bounding each job's
-	// wall-clock execution; unset or zero disables the deadline.
-	jobTimeoutEnv = "REPRO_JOB_TIMEOUT"
-	// jobMaxInstsEnv bounds each process's retired instructions; unset or
-	// zero disables the limit.
-	jobMaxInstsEnv = "REPRO_JOB_MAX_INSTS"
 )
 
 // TimeoutError reports a run killed by the per-job watchdog. Partial holds
@@ -56,10 +50,9 @@ func (e *TimeoutError) Error() string {
 }
 
 var (
-	limitsOnce  sync.Once
-	limitsMu    sync.Mutex
-	jobTimeout  time.Duration
-	jobMaxInsts uint64
+	limitsOnce sync.Once
+	limitsMu   sync.Mutex
+	jobLimits  config.Limits
 )
 
 // initLimitsFromEnv parses the watchdog knobs once per process, warning on
@@ -67,22 +60,11 @@ var (
 // armed a timeout and mistyped it should not discover that via a hung CI
 // job.
 func initLimitsFromEnv() {
-	if v := os.Getenv(jobTimeoutEnv); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d < 0 {
-			fmt.Fprintf(os.Stderr, "pipeline: %s=%q is not a duration; watchdog deadline disabled\n", jobTimeoutEnv, v)
-		} else {
-			jobTimeout = d
-		}
+	l, errs := config.LimitsFromEnv()
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "pipeline: %v; that watchdog limit is disabled\n", err)
 	}
-	if v := os.Getenv(jobMaxInstsEnv); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pipeline: %s=%q is not an instruction count; watchdog limit disabled\n", jobMaxInstsEnv, v)
-		} else {
-			jobMaxInsts = n
-		}
-	}
+	jobLimits = l
 }
 
 // JobLimits returns the armed per-job watchdog limits (zero = disabled).
@@ -90,7 +72,18 @@ func JobLimits() (timeout time.Duration, maxInsts uint64) {
 	limitsOnce.Do(initLimitsFromEnv)
 	limitsMu.Lock()
 	defer limitsMu.Unlock()
-	return jobTimeout, jobMaxInsts
+	return jobLimits.Timeout.Std(), jobLimits.MaxInsts
+}
+
+// effectiveLimits resolves one request's watchdog bounds: the request's own
+// Limits when any are set, else the process-wide JobLimits. A request that
+// sets only one field still overrides both — "this request's policy" is
+// atomic, not merged field-by-field with the environment.
+func effectiveLimits(req config.Limits) (timeout time.Duration, maxInsts uint64) {
+	if !req.IsZero() {
+		return req.Timeout.Std(), req.MaxInsts
+	}
+	return JobLimits()
 }
 
 // SetJobLimits overrides the watchdog limits process-wide and returns a
@@ -99,11 +92,11 @@ func SetJobLimits(timeout time.Duration, maxInsts uint64) (restore func()) {
 	limitsOnce.Do(initLimitsFromEnv)
 	limitsMu.Lock()
 	defer limitsMu.Unlock()
-	prevT, prevN := jobTimeout, jobMaxInsts
-	jobTimeout, jobMaxInsts = timeout, maxInsts
+	prev := jobLimits
+	jobLimits = config.Limits{Timeout: config.Duration(timeout), MaxInsts: maxInsts}
 	return func() {
 		limitsMu.Lock()
 		defer limitsMu.Unlock()
-		jobTimeout, jobMaxInsts = prevT, prevN
+		jobLimits = prev
 	}
 }

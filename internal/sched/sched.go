@@ -3,8 +3,9 @@
 // module compilation in internal/codegen. It owns two things — a bounded
 // job runner (RunJobs) and a weighted token Budget that caps how many extra
 // worker goroutines exist across *all* concurrent fan-outs at once, at any
-// nesting depth. It is a leaf package (no repro imports) so the compiler can
-// draw from the same budget the pipeline layers on top of it.
+// nesting depth. It is a leaf package (importing only internal/config, the
+// std-only knob registry) so the compiler can draw from the same budget the
+// pipeline layers on top of it.
 //
 // The token protocol: a goroutine that calls RunJobs always works through
 // the job list itself (its slot is "free" — it exists whether or not the
@@ -25,9 +26,10 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/config"
 )
 
 // Job is one unit of work. Jobs receive the scheduler's context and should
@@ -79,7 +81,7 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // TokensEnv overrides the shared budget's capacity (a positive integer;
 // anything else is ignored). The default is DefaultWorkers.
-const TokensEnv = "REPRO_SCHED_TOKENS"
+const TokensEnv = config.EnvSchedTokens
 
 // Budget is a weighted token pool bounding worker parallelism. Tokens are
 // borrowed with TryAcquire — never a blocking wait, which is what makes the
@@ -176,19 +178,12 @@ func (b *Budget) ResetPeak() {
 // $REPRO_SCHED_TOKENS or GOMAXPROCS.
 var sharedBudget = NewBudget(capacityFromEnv())
 
-// parseTokens parses a $REPRO_SCHED_TOKENS value. An empty value selects
-// the default (ok with n == 0); anything that is not a positive integer is
-// an error — the caller decides whether to warn, but never silently treats
-// a typo as "use the default".
+// parseTokens parses a $REPRO_SCHED_TOKENS value (the shared contract lives
+// in internal/config). An empty value selects the default (ok with n == 0);
+// anything that is not a positive integer is an error — the caller decides
+// whether to warn, but never silently treats a typo as "use the default".
 func parseTokens(v string) (n int, err error) {
-	if v == "" {
-		return 0, nil
-	}
-	n, err = strconv.Atoi(v)
-	if err != nil || n < 1 {
-		return 0, fmt.Errorf("sched: %s=%q is not a positive integer", TokensEnv, v)
-	}
-	return n, nil
+	return config.ParseSchedTokens(v)
 }
 
 func capacityFromEnv() int {

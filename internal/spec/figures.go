@@ -273,7 +273,7 @@ func Fig7() (string, error) {
 	var sb strings.Builder
 	sb.WriteString("Figure 7 — matmul code generation\n\n")
 	for _, cfg := range []*codegen.EngineConfig{codegen.Native(), codegen.Chrome()} {
-		cm, err := pipeline.Build(src, cfg)
+		cm, err := pipeline.Compile(context.Background(), &pipeline.Request{Module: src, Config: cfg})
 		if err != nil {
 			return "", err
 		}

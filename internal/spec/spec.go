@@ -176,9 +176,9 @@ func AsmJSEngines() []*codegen.EngineConfig {
 
 // build compiles src for cfg through the shared pipeline cache; key is only
 // used for error context, and ctx only for scheduler-budget accounting
-// (see pipeline.BuildContext).
+// (see pipeline.Compile).
 func (h *Harness) build(ctx context.Context, key, src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
-	cm, err := pipeline.BuildContext(ctx, src, cfg)
+	cm, err := pipeline.Compile(ctx, &pipeline.Request{Module: src, Config: cfg})
 	if err != nil {
 		return nil, fmt.Errorf("spec: building %s for %s: %w", key, cfg.Name, err)
 	}

@@ -22,7 +22,7 @@ func ABIFor(cfg *codegen.EngineConfig) minic.ABI { return pipeline.ABIFor(cfg) }
 // content-addressed cache; identical (source, config) pairs compile once
 // per process.
 func Build(src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
-	return pipeline.Build(src, cfg)
+	return pipeline.Compile(context.Background(), &pipeline.Request{Module: src, Config: cfg})
 }
 
 // BuildWasm compiles mini-C to a raw wasm module (browser ABI), for
@@ -37,16 +37,24 @@ type RunResult = pipeline.RunResult
 // Run builds src for cfg (cached), registers it in a fresh kernel over fs
 // contents, spawns it with argv, and waits for completion.
 func Run(src string, cfg *codegen.EngineConfig, argv []string, files map[string][]byte) (*RunResult, error) {
-	return pipeline.Run(src, cfg, argv, files)
+	return RunContext(context.Background(), src, cfg, argv, files)
 }
 
 // RunContext is Run under a caller context: cancellation preempts the
-// simulated processes mid-run (see pipeline.ExecContext).
+// simulated processes mid-run (see pipeline.Execute).
 func RunContext(ctx context.Context, src string, cfg *codegen.EngineConfig, argv []string, files map[string][]byte) (*RunResult, error) {
-	return pipeline.RunContext(ctx, src, cfg, argv, files)
+	res, err := pipeline.Do(ctx, &pipeline.Request{Module: src, Config: cfg, Argv: argv, Files: files})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{ExitCode: res.ExitCode, Stdout: res.Stdout, Proc: res.Proc}, nil
 }
 
 // RunCompiled executes an already-built binary in a fresh kernel.
 func RunCompiled(cm *codegen.CompiledModule, argv []string, files map[string][]byte) (*RunResult, error) {
-	return pipeline.Exec(cm, argv, files)
+	res, err := pipeline.Execute(context.Background(), cm, &pipeline.Request{Argv: argv, Files: files})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{ExitCode: res.ExitCode, Stdout: res.Stdout, Proc: res.Proc}, nil
 }

@@ -40,7 +40,12 @@ func MeasureFidelity(ctx context.Context, suite []*Workload, base *codegen.Engin
 func runCounters(ctx context.Context, w *Workload, base *codegen.EngineConfig, f codegen.Fidelity, sw codegen.SampleWindows) (perf.Counters, error) {
 	cfg := *base
 	cfg.ApplyFidelity(f, sw)
-	res, err := pipeline.RunContext(ctx, w.Source, &cfg, append([]string{w.Name}, w.Args...), w.Files)
+	res, err := pipeline.Do(ctx, &pipeline.Request{
+		Module: w.Source,
+		Config: &cfg,
+		Argv:   append([]string{w.Name}, w.Args...),
+		Files:  w.Files,
+	})
 	if err != nil {
 		return perf.Counters{}, err
 	}

@@ -139,14 +139,19 @@ func RunDifferential(ctx context.Context, suite []*Workload, cfgs []*codegen.Eng
 	return rep, err
 }
 
-// runContained is pipeline.RunContext with scheduler-style panic
-// containment, so a degraded suite can turn a panicking run into a failed
-// row instead of a failed job.
-func runContained(ctx context.Context, w *Workload, cfg *codegen.EngineConfig) (res *pipeline.RunResult, err error) {
+// runContained is pipeline.Do with scheduler-style panic containment, so a
+// degraded suite can turn a panicking run into a failed row instead of a
+// failed job.
+func runContained(ctx context.Context, w *Workload, cfg *codegen.EngineConfig) (res *pipeline.Result, err error) {
 	defer func() {
 		if pe := sched.CapturePanic(w.Name+" on "+cfg.Name, recover()); pe != nil {
 			res, err = nil, pe
 		}
 	}()
-	return pipeline.RunContext(ctx, w.Source, cfg, append([]string{w.Name}, w.Args...), w.Files)
+	return pipeline.Do(ctx, &pipeline.Request{
+		Module: w.Source,
+		Config: cfg,
+		Argv:   append([]string{w.Name}, w.Args...),
+		Files:  w.Files,
+	})
 }
