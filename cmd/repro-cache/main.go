@@ -11,14 +11,29 @@
 //	repro-cache list             # entries oldest-first: size, age, key
 //	repro-cache gc [-max bytes]  # explicit eviction pass down to the budget
 //	                             # (or -max) and stale temp-file reclamation
+//	repro-cache push [-remote URL]           # publish local artifacts to a
+//	                                         # shared remote cache
+//	repro-cache pull [-remote URL]           # fetch remote artifacts this
+//	                                         # store is missing
+//	repro-cache remote-totals [-remote URL]  # remote inventory per generation
+//
+// The remote subcommands talk to a repro-serve /artifact endpoint through
+// the same client the build path uses — per-call deadlines, retries,
+// sha256 verification of fetched bytes, and the circuit breaker all apply.
+// -remote defaults to $REPRO_REMOTE_CACHE. Push and pull sync every
+// compiler-fingerprint generation under the store root, not just this
+// binary's (the tool never compiles, so its own generation is empty).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/pipeline"
 )
 
@@ -36,6 +51,12 @@ func main() {
 		runList()
 	case "gc":
 		runGC(flag.Args()[1:])
+	case "push":
+		runPush(flag.Args()[1:])
+	case "pull":
+		runPull(flag.Args()[1:])
+	case "remote-totals":
+		runRemoteTotals(flag.Args()[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -43,7 +64,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: repro-cache [totals|list|gc [-max bytes]]\n")
+	fmt.Fprintf(os.Stderr, "usage: repro-cache [totals|list|gc [-max bytes]|push|pull|remote-totals [-remote URL]]\n")
 	flag.PrintDefaults()
 }
 
@@ -96,6 +117,115 @@ func runGC(args []string) {
 		fatal(err)
 	}
 	fmt.Printf("removed %d artifacts, freed %s\n", removed, human(freed))
+}
+
+// mustRemote resolves the remote cache URL (flag > $REPRO_REMOTE_CACHE)
+// and builds the shared verified client.
+func mustRemote(args []string, sub string) (*pipeline.Remote, []string) {
+	fs := flag.NewFlagSet(sub, flag.ExitOnError)
+	remote := fs.String("remote", "", "remote cache base URL (default $"+config.EnvRemoteCache+")")
+	fs.Parse(args)
+	base := config.String(*remote, config.EnvRemoteCache, "")
+	switch base {
+	case "", "off", "0", "none":
+		fmt.Fprintf(os.Stderr, "repro-cache %s: no remote cache (set -remote or $%s)\n", sub, config.EnvRemoteCache)
+		os.Exit(1)
+	}
+	return pipeline.NewRemote(base), fs.Args()
+}
+
+func runPush(args []string) {
+	r, _ := mustRemote(args, "push")
+	mustStore()
+	gens, err := pipeline.Generations()
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	var pushed, failed int
+	var bytes int64
+	for _, fp := range gens {
+		arts, err := pipeline.ListArtifactsFP(fp)
+		if err != nil {
+			fatal(err)
+		}
+		for _, a := range arts {
+			data, err := pipeline.ReadArtifact(fp, a.Key)
+			if err != nil {
+				failed++
+				continue
+			}
+			if err := r.Put(ctx, fp, a.Key, data); err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "repro-cache push: %s/%s: %v\n", fp, a.Key[:12], err)
+				continue
+			}
+			pushed++
+			bytes += a.Size
+		}
+	}
+	fmt.Printf("pushed %d artifacts (%s) across %d generations, %d failed (breaker=%s)\n",
+		pushed, human(bytes), len(gens), failed, r.Breaker())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runPull(args []string) {
+	r, _ := mustRemote(args, "pull")
+	mustStore()
+	ctx := context.Background()
+	inv, err := r.Totals(ctx, true)
+	if err != nil {
+		fatal(err)
+	}
+	var pulled, skipped, failed int
+	var bytes int64
+	for fp, info := range inv.Fingerprints {
+		for _, key := range info.Keys {
+			if pipeline.HasArtifact(fp, key) {
+				skipped++
+				continue
+			}
+			data, err := r.Get(ctx, fp, key)
+			if err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "repro-cache pull: %s/%s: %v\n", fp, key[:12], err)
+				continue
+			}
+			if err := pipeline.WriteArtifact(fp, key, data); err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "repro-cache pull: %s/%s: %v\n", fp, key[:12], err)
+				continue
+			}
+			pulled++
+			bytes += int64(len(data))
+		}
+	}
+	fmt.Printf("pulled %d artifacts (%s), %d already present, %d failed (breaker=%s)\n",
+		pulled, human(bytes), skipped, failed, r.Breaker())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runRemoteTotals(args []string) {
+	r, _ := mustRemote(args, "remote-totals")
+	inv, err := r.Totals(context.Background(), false)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("artifacts: %d\n", inv.Count)
+	fmt.Printf("size:      %s\n", human(inv.Bytes))
+	fps := make([]string, 0, len(inv.Fingerprints))
+	for fp := range inv.Fingerprints {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		info := inv.Fingerprints[fp]
+		fmt.Printf("  %s: %d artifacts, %s\n", fp, info.Count, human(info.Bytes))
+	}
 }
 
 // human renders a byte count with a binary-prefix unit.

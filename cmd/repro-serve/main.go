@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/pipeline"
 	"repro/internal/sched"
 )
 
@@ -94,6 +95,11 @@ func main() {
 	stop()
 	log.Printf("repro-serve: draining")
 	srv.drain()
+	// If this daemon is itself a worker against a remote cache, let its
+	// trailing artifact publishes reach the fleet before exiting.
+	if !pipeline.RemoteFlush(5 * time.Second) {
+		fmt.Fprintf(os.Stderr, "repro-serve: remote publish queue did not drain\n")
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

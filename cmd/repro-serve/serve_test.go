@@ -97,6 +97,49 @@ func TestWarmPath(t *testing.T) {
 	}
 }
 
+// TestArtifactRoutesMounted pins that the daemon serves the shared remote
+// cache next to /run: the artifact endpoints are routed (inventory answers
+// JSON, a bad address answers 400, a miss 404) on the same mux.
+func TestArtifactRoutesMounted(t *testing.T) {
+	t.Setenv("REPRO_CACHE_DIR", t.TempDir())
+	ts := httptest.NewServer(newServer(2, 8, nil).handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/artifacts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /artifacts = %d, want 200", resp.StatusCode)
+	}
+	var inv pipeline.RemoteTotals
+	if err := json.NewDecoder(resp.Body).Decode(&inv); err != nil {
+		t.Fatalf("inventory is not JSON: %v", err)
+	}
+	if inv.Count != 0 {
+		t.Errorf("fresh store inventory = %+v, want empty", inv)
+	}
+
+	if resp, err := ts.Client().Get(ts.URL + "/artifact/garbage/alsogarbage"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad artifact address = %d, want 400", resp.StatusCode)
+		}
+	}
+	miss := ts.URL + "/artifact/c-0123456789abcdef/" + strings.Repeat("ab", 32)
+	if resp, err := ts.Client().Get(miss); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("artifact miss = %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
 // TestSingleflightBatching is the other acceptance criterion: concurrent
 // identical requests trigger exactly one compile, observable as a global
 // Misses delta of 1 across the burst.

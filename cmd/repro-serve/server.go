@@ -50,6 +50,12 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
+	// The shared artifact cache: workers pointed at $REPRO_REMOTE_CACHE
+	// fetch and publish compiled modules here, namespaced by their
+	// compiler fingerprint. Served over the daemon's own store location.
+	artifacts := pipeline.ArtifactHandler()
+	mux.Handle("/artifact/", artifacts)
+	mux.Handle("GET /artifacts", artifacts)
 	return mux
 }
 
@@ -213,6 +219,7 @@ type statz struct {
 	Budget budgetStat           `json:"budget"`
 	Faults map[string]faultStat `json:"faults,omitempty"`
 	Serve  serveStat            `json:"serve"`
+	Remote *pipeline.RemoteInfo `json:"remote,omitempty"`
 }
 
 type budgetStat struct {
@@ -249,11 +256,15 @@ func (s *server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		for _, site := range []string{
 			fault.SiteCompile, fault.SiteExec, fault.SiteSyscall,
 			fault.SiteStoreRead, fault.SiteStoreWrite,
+			fault.SiteRemoteGet, fault.SiteRemotePut, fault.SiteRemoteVerify,
 		} {
 			if h, f := fault.Hits(site), fault.Fired(site); h > 0 || f > 0 {
 				st.Faults[site] = faultStat{Hits: h, Fired: f}
 			}
 		}
+	}
+	if info, ok := pipeline.RemoteState(); ok {
+		st.Remote = &info
 	}
 	tenants, queued, draining := s.adm.snapshot()
 	st.Serve = serveStat{

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/codegen"
 	"repro/internal/pipeline"
@@ -88,6 +89,10 @@ func main() {
 			exit = 1
 		}
 	}
+	// Let trailing async artifact publishes reach the shared remote cache
+	// (when one is armed) before the process exits; a non-drain only costs
+	// fleet warmth, never the suite verdict.
+	pipeline.RemoteFlush(5 * time.Second)
 	pipeline.ReportTotals("runsuite")
 	os.Exit(exit)
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/codegen"
 	"repro/internal/pipeline"
@@ -62,6 +63,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wasmrun:", err)
 		os.Exit(1)
 	}
+	// A one-shot CLI exits right after its single build: give the async
+	// remote publish (if a remote cache is armed) a moment to land.
+	pipeline.RemoteFlush(2 * time.Second)
 	fmt.Print(res.Stdout)
 	if *counters {
 		c := res.Counters

@@ -126,27 +126,41 @@ func EncodeModule(cm *CompiledModule) ([]byte, error) {
 	return append(e.b, sum[:]...), nil
 }
 
+// VerifyArtifact checks data is a structurally plausible artifact — magic,
+// current format version, and the sha256 integrity trailer — without
+// decoding it into a module. The remote cache tier calls it on every
+// fetched payload (and the serving side on every published one) so corrupt
+// bytes are rejected before any decoder state is built from them; a full
+// DecodeModule still re-verifies and bounds-checks everything.
+func VerifyArtifact(data []byte) error {
+	if len(data) < headerSize+trailerSize {
+		return fmt.Errorf("codegen: artifact truncated (%d bytes)", len(data))
+	}
+	for i := range artifactMagic {
+		if data[i] != artifactMagic[i] {
+			return fmt.Errorf("codegen: bad artifact magic")
+		}
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != ArtifactVersion {
+		return fmt.Errorf("codegen: artifact version %d, want %d", v, ArtifactVersion)
+	}
+	payload, trailer := data[:len(data)-trailerSize], data[len(data)-trailerSize:]
+	sum := sha256.Sum256(payload)
+	if subtle.ConstantTimeCompare(sum[:], trailer) != 1 {
+		return fmt.Errorf("codegen: artifact integrity check failed")
+	}
+	return nil
+}
+
 // DecodeModule deserializes an artifact produced by EncodeModule, verifying
 // the version header and the integrity trailer, and reattaches cfg as the
 // module's engine configuration. The caller is responsible for only handing
 // in artifacts stored under cfg's content address.
 func DecodeModule(data []byte, cfg *EngineConfig) (*CompiledModule, error) {
-	if len(data) < headerSize+trailerSize {
-		return nil, fmt.Errorf("codegen: artifact truncated (%d bytes)", len(data))
+	if err := VerifyArtifact(data); err != nil {
+		return nil, err
 	}
-	for i := range artifactMagic {
-		if data[i] != artifactMagic[i] {
-			return nil, fmt.Errorf("codegen: bad artifact magic")
-		}
-	}
-	if v := binary.LittleEndian.Uint32(data[4:8]); v != ArtifactVersion {
-		return nil, fmt.Errorf("codegen: artifact version %d, want %d", v, ArtifactVersion)
-	}
-	payload, trailer := data[:len(data)-trailerSize], data[len(data)-trailerSize:]
-	sum := sha256.Sum256(payload)
-	if subtle.ConstantTimeCompare(sum[:], trailer) != 1 {
-		return nil, fmt.Errorf("codegen: artifact integrity check failed")
-	}
+	payload := data[:len(data)-trailerSize]
 
 	d := &decBuf{b: payload[headerSize:]}
 	cm := &CompiledModule{Engine: cfg, Exports: map[string]int{}}

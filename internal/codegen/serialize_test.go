@@ -138,3 +138,43 @@ func TestArtifactRejectsDamage(t *testing.T) {
 		}
 	})
 }
+
+// TestVerifyArtifact pins the decode-free integrity check the remote cache
+// tier gates payloads with: a clean artifact verifies, and every damage
+// shape the decoder rejects is caught before any decoding happens.
+func TestVerifyArtifact(t *testing.T) {
+	cfg := codegen.Firefox()
+	cm := buildArtifactModule(t, cfg)
+	data, err := codegen.EncodeModule(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codegen.VerifyArtifact(data); err != nil {
+		t.Fatalf("clean artifact failed verification: %v", err)
+	}
+	mutations := map[string][]byte{
+		"empty":       {},
+		"short":       data[:8],
+		"truncated":   data[:len(data)/2],
+		"bad-magic":   append([]byte{'X'}, data[1:]...),
+		"missing-end": data[:len(data)-1],
+	}
+	flip := append([]byte(nil), data...)
+	flip[len(flip)/2] ^= 0x20
+	mutations["bit-flip"] = flip
+	stale := append([]byte(nil), data...)
+	stale[4] = byte(codegen.ArtifactVersion + 1)
+	mutations["stale-version"] = stale
+	for name, mut := range mutations {
+		if err := codegen.VerifyArtifact(mut); err == nil {
+			t.Errorf("%s artifact passed verification", name)
+		}
+	}
+	// Verification is the decoder's outer gate: anything VerifyArtifact
+	// rejects, DecodeModule must reject too.
+	for name, mut := range mutations {
+		if _, err := codegen.DecodeModule(mut, cfg); err == nil {
+			t.Errorf("%s artifact passed DecodeModule despite failing verification", name)
+		}
+	}
+}

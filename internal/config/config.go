@@ -64,6 +64,31 @@ const (
 	EnvServeAddr    = "REPRO_SERVE_ADDR"
 	EnvServeTenants = "REPRO_SERVE_TENANTS"
 	EnvServeQueue   = "REPRO_SERVE_QUEUE"
+
+	// EnvRemoteCache points the artifact store's remote tier at a shared
+	// cache (a repro-serve /artifact endpoint); empty or "off" disables it.
+	// EnvRemoteTimeout bounds each remote call; the breaker knobs tune the
+	// circuit breaker that contains a flaky or dead remote (consecutive
+	// failed calls before the breaker opens, and how long it stays open
+	// before admitting a half-open probe).
+	EnvRemoteCache           = "REPRO_REMOTE_CACHE"
+	EnvRemoteTimeout         = "REPRO_REMOTE_TIMEOUT"
+	EnvRemoteBreakerFails    = "REPRO_REMOTE_BREAKER_FAILS"
+	EnvRemoteBreakerCooldown = "REPRO_REMOTE_BREAKER_COOLDOWN"
+
+	// EnvRegenWeights gates the skipped-by-default test that re-measures
+	// the workloads.expectedInsts dispatch table on the functional tier.
+	EnvRegenWeights = "REPRO_REGEN_WEIGHTS"
+)
+
+// Remote-tier defaults. The timeout is deliberately short: a remote hit
+// saves a compile (tens of ms to seconds), so waiting longer than ~2s for
+// the network is already a loss, and a hung remote must never stall a
+// build longer than this per attempt.
+const (
+	DefaultRemoteTimeout         = 2 * time.Second
+	DefaultRemoteBreakerFails    = 3
+	DefaultRemoteBreakerCooldown = 15 * time.Second
 )
 
 // String resolves a string knob: an explicit flag value wins, then the
@@ -198,6 +223,45 @@ func ParseSchedTokens(v string) (n int, err error) {
 		return 0, fmt.Errorf("config: %s=%q is not a positive integer", EnvSchedTokens, v)
 	}
 	return n, nil
+}
+
+// ParseRemoteTimeout parses an EnvRemoteTimeout value: empty selects the
+// default (signaled as 0), otherwise a positive time.Duration string.
+func ParseRemoteTimeout(v string) (time.Duration, error) {
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("config: %s=%q is not a positive duration", EnvRemoteTimeout, v)
+	}
+	return d, nil
+}
+
+// ParseBreakerFails parses an EnvRemoteBreakerFails value: empty selects
+// the default (signaled as 0), otherwise a positive failure count.
+func ParseBreakerFails(v string) (int, error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("config: %s=%q is not a positive integer", EnvRemoteBreakerFails, v)
+	}
+	return n, nil
+}
+
+// ParseBreakerCooldown parses an EnvRemoteBreakerCooldown value: empty
+// selects the default (signaled as 0), otherwise a positive duration.
+func ParseBreakerCooldown(v string) (time.Duration, error) {
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("config: %s=%q is not a positive duration", EnvRemoteBreakerCooldown, v)
+	}
+	return d, nil
 }
 
 // ParseTenantWeights parses an EnvServeTenants value: a comma-separated

@@ -2,6 +2,7 @@ package config
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 )
@@ -100,6 +101,49 @@ func TestParsePositiveKnobs(t *testing.T) {
 		nt, err := ParseSchedTokens(tc.in)
 		if (err != nil) != tc.wantErr || int64(nt) != tc.want {
 			t.Errorf("ParseSchedTokens(%q) = %d, %v; want %d, err=%v", tc.in, nt, err, tc.want, tc.wantErr)
+		}
+	}
+}
+
+// TestParseRemoteKnobs pins the remote-tier tuning contract: empty selects
+// the default (signaled as zero), positive values are honored, and
+// non-positive or malformed values are errors naming the knob — the env
+// reader warns once and falls back to the default rather than disabling
+// the tier.
+func TestParseRemoteKnobs(t *testing.T) {
+	if d, err := ParseRemoteTimeout(""); err != nil || d != 0 {
+		t.Errorf("empty timeout: %v, %v", d, err)
+	}
+	if d, err := ParseRemoteTimeout("750ms"); err != nil || d != 750*time.Millisecond {
+		t.Errorf("ParseRemoteTimeout(750ms) = %v, %v", d, err)
+	}
+	for _, bad := range []string{"0", "-1s", "fast", "10"} {
+		if _, err := ParseRemoteTimeout(bad); err == nil {
+			t.Errorf("ParseRemoteTimeout(%q) must fail", bad)
+		} else if !strings.Contains(err.Error(), EnvRemoteTimeout) {
+			t.Errorf("error must name the knob: %v", err)
+		}
+	}
+	if n, err := ParseBreakerFails(""); err != nil || n != 0 {
+		t.Errorf("empty fails: %v, %v", n, err)
+	}
+	if n, err := ParseBreakerFails("5"); err != nil || n != 5 {
+		t.Errorf("ParseBreakerFails(5) = %v, %v", n, err)
+	}
+	for _, bad := range []string{"0", "-2", "lots"} {
+		if _, err := ParseBreakerFails(bad); err == nil {
+			t.Errorf("ParseBreakerFails(%q) must fail", bad)
+		}
+	}
+	if d, err := ParseBreakerCooldown(""); err != nil || d != 0 {
+		t.Errorf("empty cooldown: %v, %v", d, err)
+	}
+	if d, err := ParseBreakerCooldown("30s"); err != nil || d != 30*time.Second {
+		t.Errorf("ParseBreakerCooldown(30s) = %v, %v", d, err)
+	}
+	for _, bad := range []string{"0", "-5s", "soon"} {
+		if _, err := ParseBreakerCooldown(bad); err == nil {
+			t.Errorf("ParseBreakerCooldown(%q) must fail", bad)
 		}
 	}
 }

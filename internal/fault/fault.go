@@ -74,6 +74,17 @@ const (
 	// codegen.Compile; keyed by function name. Panics here land inside
 	// nested scheduler jobs, the deepest containment boundary.
 	SiteCodegenFunc = "codegen.func"
+	// SiteRemoteGet is the remote artifact tier's fetch path; keyed by
+	// artifact content address. Checked with the per-call deadline, so an
+	// injected hang simulates a stalled remote that the deadline contains.
+	SiteRemoteGet = "remote.get"
+	// SiteRemotePut is the remote artifact tier's publish path; keyed by
+	// artifact content address.
+	SiteRemotePut = "remote.put"
+	// SiteRemoteVerify is the remote tier's payload verification; an
+	// injected error simulates a corrupt fetched artifact (rejected,
+	// counted, negative-cached — never decoded into a build).
+	SiteRemoteVerify = "remote.verify"
 )
 
 // Kind is the failure a rule injects.
@@ -278,6 +289,16 @@ func Enabled() bool {
 // is consumed per fire; exhausted rules stay installed but inert (their
 // fire totals remain inspectable).
 func Check(site, key string) error {
+	return CheckCtx(context.Background(), site, key)
+}
+
+// CheckCtx is Check under a caller context: an injected delay sleeps until
+// the rule's duration elapses or ctx is done, whichever comes first, and a
+// cut-short delay returns ctx.Err(). Sites with a per-call deadline (the
+// remote artifact tier) use it so an injected hang is contained by the
+// deadline instead of stalling the caller for the full 30s — the honest
+// simulation of a stalled dependency behind a timeout.
+func CheckCtx(ctx context.Context, site, key string) error {
 	initFromEnv()
 	if armed.Load() == 0 {
 		return nil
@@ -307,8 +328,18 @@ func Check(site, key string) error {
 	case KindPanic:
 		panic(fmt.Sprintf("fault: injected panic at %s (key %q)", site, key))
 	case KindDelay:
-		time.Sleep(match.Delay)
-		return nil
+		if ctx.Done() == nil {
+			time.Sleep(match.Delay)
+			return nil
+		}
+		t := time.NewTimer(match.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	default:
 		return &InjectedError{Site: site, Key: key}
 	}

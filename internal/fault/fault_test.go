@@ -5,6 +5,7 @@ package fault
 // counters the containment tests assert against.
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -128,6 +129,44 @@ func TestDelayFaultSleeps(t *testing.T) {
 	}
 	if d := time.Since(start); d < 50*time.Millisecond {
 		t.Errorf("delay fault slept %v, want >= 50ms", d)
+	}
+}
+
+// TestCheckCtxDelayCutShortByDeadline pins the remote tier's hang
+// containment: a delay fault checked under a context deadline returns the
+// context's error as soon as the deadline passes, instead of sleeping the
+// rule's full duration.
+func TestCheckCtxDelayCutShortByDeadline(t *testing.T) {
+	disarm := Arm(&Rule{Site: "slow.ctx", Kind: KindDelay, Count: 1, Delay: 30 * time.Second})
+	defer disarm()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := CheckCtx(ctx, "slow.ctx", "")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cut-short delay returned %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("delay ignored the deadline: slept %v", d)
+	}
+	if got := Fired("slow.ctx"); got != 1 {
+		t.Errorf("cut-short delay must still count as fired: %d", got)
+	}
+}
+
+// TestCheckCtxDelayCompletesUnderLongDeadline: a delay shorter than the
+// deadline sleeps its full duration and passes, same as plain Check.
+func TestCheckCtxDelayCompletesUnderLongDeadline(t *testing.T) {
+	disarm := Arm(&Rule{Site: "slow.ok", Kind: KindDelay, Count: 1, Delay: 30 * time.Millisecond})
+	defer disarm()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := CheckCtx(ctx, "slow.ok", ""); err != nil {
+		t.Fatalf("completed delay returned error: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("delay slept only %v, want >= 30ms", d)
 	}
 }
 

@@ -2,10 +2,14 @@ package pipeline
 
 import (
 	"fmt"
+	"io/fs"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/codegen"
 )
 
 // Store inspection and explicit GC, the API under cmd/repro-cache. All
@@ -71,6 +75,111 @@ func ListArtifacts() ([]ArtifactInfo, error) {
 		}
 	}
 	return out, nil
+}
+
+// Generations lists every compiler-fingerprint generation directory under
+// the store root (the parent of the active store). cmd/repro-cache's
+// push/pull sync all of them: the tool's own generation is scoped to its
+// own binary and is empty (the tool never compiles), so syncing only the
+// active store would sync nothing.
+func Generations() ([]string, error) {
+	s := artifactStore()
+	if s == nil {
+		return nil, fmt.Errorf("pipeline: artifact store disabled")
+	}
+	root := filepath.Dir(s.dir)
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: reading store root: %w", err)
+	}
+	var out []string
+	for _, ent := range ents {
+		if ent.IsDir() && fpRe.MatchString(ent.Name()) {
+			out = append(out, ent.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// generationStore opens generation fp's store under the active store's
+// root, with the active store's budget.
+func generationStore(fp string) (*diskStore, error) {
+	s := artifactStore()
+	if s == nil {
+		return nil, fmt.Errorf("pipeline: artifact store disabled")
+	}
+	if !fpRe.MatchString(fp) {
+		return nil, fmt.Errorf("pipeline: %q is not a compiler fingerprint", fp)
+	}
+	g := openStore(filepath.Join(filepath.Dir(s.dir), fp), s.maxBytes)
+	if g == nil {
+		return nil, fmt.Errorf("pipeline: cannot open generation %s", fp)
+	}
+	return g, nil
+}
+
+// ListArtifactsFP enumerates one fingerprint generation's artifacts,
+// least-recently-used first.
+func ListArtifactsFP(fp string) ([]ArtifactInfo, error) {
+	g, err := generationStore(fp)
+	if err != nil {
+		return nil, err
+	}
+	g.evictMu.Lock()
+	files, err := g.scan(time.Now())
+	g.evictMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: scanning generation %s: %w", fp, err)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	out := make([]ArtifactInfo, len(files))
+	for i, f := range files {
+		out[i] = ArtifactInfo{
+			Key:     strings.TrimSuffix(filepath.Base(f.path), artifactExt),
+			Size:    f.size,
+			ModTime: f.mtime,
+			Path:    f.path,
+		}
+	}
+	return out, nil
+}
+
+// ReadArtifact reads the raw encoded bytes of one artifact in generation
+// fp. A missing artifact is an fs.ErrNotExist-wrapping error.
+func ReadArtifact(fp, key string) ([]byte, error) {
+	g, err := generationStore(fp)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := g.loadBytes(key)
+	if !ok {
+		return nil, fmt.Errorf("pipeline: artifact %s/%s: %w", fp, key[:12], fs.ErrNotExist)
+	}
+	return data, nil
+}
+
+// WriteArtifact verifies and atomically publishes encoded artifact bytes
+// into generation fp; the write path cmd/repro-cache pull uses.
+func WriteArtifact(fp, key string, data []byte) error {
+	if err := codegen.VerifyArtifact(data); err != nil {
+		return fmt.Errorf("pipeline: artifact %s rejected: %w", key[:12], err)
+	}
+	g, err := generationStore(fp)
+	if err != nil {
+		return err
+	}
+	return g.saveBytes(key, data)
+}
+
+// HasArtifact reports whether generation fp already stores key.
+func HasArtifact(fp, key string) bool {
+	g, err := generationStore(fp)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(g.path(key))
+	return err == nil
 }
 
 // GCStore runs an explicit eviction pass on the active store, removing

@@ -80,31 +80,49 @@ var (
 
 // CacheStats counts build-cache traffic since process start (or a snapshot,
 // via Sub). A memory hit found the module already resident; a disk hit
-// loaded it from the cross-process artifact store; a miss ran the compiler.
+// loaded it from the cross-process artifact store; a remote hit fetched a
+// verified artifact from the shared remote tier; a miss ran the compiler.
 // Corrupt counts artifacts that read back undecodable (truncation, bit
 // flips, version skew) — each is also a miss — and Quarantined counts how
 // many of those were successfully moved aside for inspection rather than
 // deleted. A nonzero Corrupt in a suite summary is a disk or encoder
 // problem worth chasing; silent deletion used to hide it.
+//
+// The Remote* counters make remote-tier degradation observable without ever
+// making it a failure: RemotePuts counts successful async publishes,
+// RemoteErrors counts remote calls that exhausted their retries (each one
+// silently fell back to the local tiers), and RemoteRejects counts fetched
+// payloads that failed sha256 verification (rejected, never decoded, and
+// negative-cached for the process). A local-only run reports all four as
+// zero, and they are omitted from the wire when zero, so a run that never
+// touched a remote serializes exactly as it did before the tier existed.
 // The JSON spellings are part of the serving wire format (see Request) and
 // are pinned by golden fixtures; do not rename casually.
 type CacheStats struct {
-	MemHits     uint64 `json:"mem_hits"`
-	DiskHits    uint64 `json:"disk_hits"`
-	Misses      uint64 `json:"misses"`
-	Corrupt     uint64 `json:"corrupt,omitempty"`
-	Quarantined uint64 `json:"quarantined,omitempty"`
+	MemHits       uint64 `json:"mem_hits"`
+	DiskHits      uint64 `json:"disk_hits"`
+	Misses        uint64 `json:"misses"`
+	Corrupt       uint64 `json:"corrupt,omitempty"`
+	Quarantined   uint64 `json:"quarantined,omitempty"`
+	RemoteHits    uint64 `json:"remote_hits,omitempty"`
+	RemotePuts    uint64 `json:"remote_puts,omitempty"`
+	RemoteErrors  uint64 `json:"remote_errors,omitempty"`
+	RemoteRejects uint64 `json:"remote_rejects,omitempty"`
 }
 
 // Sub returns the per-interval delta s - prev; bracket a suite with Stats()
 // calls to get its traffic.
 func (s CacheStats) Sub(prev CacheStats) CacheStats {
 	return CacheStats{
-		MemHits:     s.MemHits - prev.MemHits,
-		DiskHits:    s.DiskHits - prev.DiskHits,
-		Misses:      s.Misses - prev.Misses,
-		Corrupt:     s.Corrupt - prev.Corrupt,
-		Quarantined: s.Quarantined - prev.Quarantined,
+		MemHits:       s.MemHits - prev.MemHits,
+		DiskHits:      s.DiskHits - prev.DiskHits,
+		Misses:        s.Misses - prev.Misses,
+		Corrupt:       s.Corrupt - prev.Corrupt,
+		Quarantined:   s.Quarantined - prev.Quarantined,
+		RemoteHits:    s.RemoteHits - prev.RemoteHits,
+		RemotePuts:    s.RemotePuts - prev.RemotePuts,
+		RemoteErrors:  s.RemoteErrors - prev.RemoteErrors,
+		RemoteRejects: s.RemoteRejects - prev.RemoteRejects,
 	}
 }
 
@@ -115,6 +133,10 @@ func (s CacheStats) String() string {
 	out := fmt.Sprintf("mem=%d disk=%d miss=%d", s.MemHits, s.DiskHits, s.Misses)
 	if s.Corrupt != 0 || s.Quarantined != 0 {
 		out += fmt.Sprintf(" corrupt=%d quarantined=%d", s.Corrupt, s.Quarantined)
+	}
+	if s.RemoteHits != 0 || s.RemotePuts != 0 || s.RemoteErrors != 0 || s.RemoteRejects != 0 {
+		out += fmt.Sprintf(" remote: hits=%d puts=%d errors=%d rejects=%d",
+			s.RemoteHits, s.RemotePuts, s.RemoteErrors, s.RemoteRejects)
 	}
 	return out
 }
@@ -147,6 +169,30 @@ func countCorrupt() {
 func countQuarantined() {
 	buildMu.Lock()
 	stats.Quarantined++
+	buildMu.Unlock()
+}
+
+func countRemoteHit() {
+	buildMu.Lock()
+	stats.RemoteHits++
+	buildMu.Unlock()
+}
+
+func countRemotePut() {
+	buildMu.Lock()
+	stats.RemotePuts++
+	buildMu.Unlock()
+}
+
+func countRemoteError() {
+	buildMu.Lock()
+	stats.RemoteErrors++
+	buildMu.Unlock()
+}
+
+func countRemoteReject() {
+	buildMu.Lock()
+	stats.RemoteRejects++
 	buildMu.Unlock()
 }
 
@@ -190,7 +236,8 @@ func build(ctx context.Context, src string, cfg *codegen.EngineConfig) (*codegen
 			e.err = ferr
 			return
 		}
-		if s := artifactStore(); s != nil {
+		s := artifactStore()
+		if s != nil {
 			if cm, ok := s.load(k, cfg); ok {
 				countDiskHit()
 				e.outcome.DiskHits++
@@ -198,12 +245,42 @@ func build(ctx context.Context, src string, cfg *codegen.EngineConfig) (*codegen
 				return
 			}
 		}
+		// Disk missed: try the shared remote tier before paying for a
+		// compile. Cancellation is stripped for the same reason it is for
+		// the compile below — the fetched artifact is shared state. Any
+		// remote failure (timeout, breaker open, bad payload) lands here as
+		// a miss; the remote tier is an accelerator, never a dependency.
+		if rc := remoteCache(); rc != nil {
+			if data, ok := rc.fetch(context.WithoutCancel(ctx), k); ok {
+				if cm, derr := codegen.DecodeModule(data, cfg); derr == nil {
+					countRemoteHit()
+					e.outcome.RemoteHits++
+					e.cm = cm
+					if s != nil {
+						// Backfill the local store so the next process on
+						// this host hits disk instead of the network. A
+						// write failure only costs that future hit.
+						s.saveBytes(k, data)
+					}
+					return
+				}
+				// Verified bytes that still fail to decode mean version skew
+				// between fleets (trailer ok, format drift): reject and
+				// negative-cache like a corrupt payload.
+				rc.reject(k)
+			}
+		}
 		countMiss()
 		e.outcome.Misses++
 		e.cm, e.err = buildUncached(context.WithoutCancel(ctx), src, cfg)
-		if e.err == nil {
-			if s := artifactStore(); s != nil {
-				s.save(k, e.cm)
+		if e.err == nil && (s != nil || remoteCache() != nil) {
+			if data, eerr := codegen.EncodeModule(e.cm); eerr == nil {
+				if s != nil {
+					s.saveBytes(k, data)
+				}
+				if rc := remoteCache(); rc != nil {
+					rc.enqueuePut(k, data)
+				}
 			}
 		}
 	})

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -13,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/codegen"
@@ -59,6 +61,9 @@ const (
 // memory/disk hit-miss summary regardless of verbosity.
 func ReportTotals(label string) {
 	line := fmt.Sprintf("[pipeline] %s cache totals: %v\n", label, Stats())
+	if info, ok := RemoteState(); ok {
+		line = fmt.Sprintf("[pipeline] %s cache totals: %v breaker=%s\n", label, Stats(), info.Breaker)
+	}
 	fmt.Print(line)
 	if p := os.Getenv(summaryEnv); p != "" {
 		if f, err := os.OpenFile(p, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
@@ -259,34 +264,84 @@ func (s *diskStore) path(key string) string {
 // backoff; a missing artifact is the normal miss path and never retried.
 const ioAttempts = 3
 
+// retryClock is the backoff loop's time source, swappable so tests can pin
+// attempt counts and backoff schedules without wall-clock sleeps or a live
+// math/rand stream. It is held in an atomic so a swap never races a
+// background reader (the remote tier's publish worker retries off-thread);
+// sleep returns early when ctx is done (best-effort; the loop re-checks
+// ctx after every sleep).
+type retryClock struct {
+	sleep  func(ctx context.Context, d time.Duration)
+	jitter func(n int64) int64
+}
+
+var retryTime atomic.Pointer[retryClock]
+
+func init() {
+	retryTime.Store(&retryClock{
+		sleep: func(ctx context.Context, d time.Duration) {
+			if ctx.Done() == nil {
+				time.Sleep(d)
+				return
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+		},
+		jitter: func(n int64) int64 { return rand.Int63n(n) },
+	})
+}
+
 // retryIO runs op up to ioAttempts times, sleeping a capped jittered backoff
 // between attempts (5–10ms, 10–20ms). fs.ErrNotExist is returned immediately:
 // an absent artifact is a cache miss, not a transient fault. The fault check
 // sits inside the loop so count-limited injected errors exercise the retries.
 func retryIO(site, key string, op func() error) error {
+	return retryIOCtx(context.Background(), site, key, ioAttempts, 0,
+		func(context.Context) error { return op() })
+}
+
+// retryIOCtx is the retry loop shared by the disk store and the remote
+// tier: up to attempts tries of op, capped jittered backoff between them,
+// fs.ErrNotExist passed through untried (a miss is not a fault). When
+// attemptTimeout is nonzero each attempt — including its fault check — runs
+// under its own deadline, so an injected or real hang costs one timeout,
+// not the rule's full delay; a done parent ctx stops the loop.
+func retryIOCtx(ctx context.Context, site, key string, attempts int, attemptTimeout time.Duration, op func(context.Context) error) error {
 	var err error
-	for attempt := 0; attempt < ioAttempts; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			clock := retryTime.Load()
 			backoff := time.Duration(1<<attempt) * 5 * time.Millisecond / 2
-			backoff += time.Duration(rand.Int63n(int64(backoff) + 1))
-			time.Sleep(backoff)
+			backoff += time.Duration(clock.jitter(int64(backoff) + 1))
+			clock.sleep(ctx, backoff)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 		}
-		if err = fault.Check(site, key); err == nil {
-			err = op()
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if attemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, attemptTimeout)
 		}
-		if err == nil || errors.Is(err, fs.ErrNotExist) {
+		if err = fault.CheckCtx(actx, site, key); err == nil {
+			err = op(actx)
+		}
+		cancel()
+		if err == nil || errors.Is(err, fs.ErrNotExist) || ctx.Err() != nil {
 			return err
 		}
 	}
 	return err
 }
 
-// load reads and decodes the artifact for key, reattaching cfg. A read error
-// is retried (retryIO); decode failure — truncation, corruption, version
-// mismatch — quarantines the artifact (so the subsequent recompile
-// republishes a clean one, and the corrupt bytes stay inspectable) and
-// reports a miss via ok=false. Successful reads refresh the LRU position.
-func (s *diskStore) load(key string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, bool) {
+// loadBytes reads the raw artifact bytes for key. A read error is retried
+// (retryIO); a missing artifact is a plain miss. Successful reads refresh
+// the LRU position. No decoding or verification happens here — load and the
+// artifact-serving endpoint layer their own checks on top.
+func (s *diskStore) loadBytes(key string) ([]byte, bool) {
 	p := s.path(key)
 	var data []byte
 	err := retryIO(fault.SiteStoreRead, key, func() error {
@@ -297,37 +352,49 @@ func (s *diskStore) load(key string, cfg *codegen.EngineConfig) (*codegen.Compil
 	if err != nil {
 		return nil, false
 	}
-	cm, err := codegen.DecodeModule(data, cfg)
-	if err != nil {
-		s.quarantine(p)
-		return nil, false
-	}
 	now := time.Now()
 	os.Chtimes(p, now, now) // LRU touch; best-effort
+	return data, true
+}
+
+// load reads and decodes the artifact for key, reattaching cfg. A read error
+// is retried (retryIO); decode failure — truncation, corruption, version
+// mismatch — quarantines the artifact (so the subsequent recompile
+// republishes a clean one, and the corrupt bytes stay inspectable) and
+// reports a miss via ok=false.
+func (s *diskStore) load(key string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, bool) {
+	data, ok := s.loadBytes(key)
+	if !ok {
+		return nil, false
+	}
+	cm, err := codegen.DecodeModule(data, cfg)
+	if err != nil {
+		s.quarantine(s.path(key))
+		return nil, false
+	}
 	return cm, true
 }
 
-// save encodes and atomically publishes cm under key, then sweeps the store
-// back under its size budget. Publication is retried like reads; persistent
-// failure leaves the store without the artifact, which only costs a future
-// recompile.
-func (s *diskStore) save(key string, cm *codegen.CompiledModule) {
-	data, err := codegen.EncodeModule(cm)
-	if err != nil {
-		return
-	}
+// saveBytes atomically publishes already-encoded artifact bytes under key,
+// then sweeps the store back under its size budget. Publication is retried
+// like reads; persistent failure leaves the store without the artifact,
+// which only costs a future recompile. The caller is responsible for the
+// bytes being a valid artifact for key (build encodes its own output; the
+// remote paths verify before saving).
+func (s *diskStore) saveBytes(key string, data []byte) error {
 	p := s.path(key)
 	dir := filepath.Dir(p)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return
+		return err
 	}
-	err = retryIO(fault.SiteStoreWrite, key, func() error {
+	err := retryIO(fault.SiteStoreWrite, key, func() error {
 		return s.publish(dir, p, data)
 	})
 	if err != nil {
-		return
+		return err
 	}
 	s.evict(int64(len(data)))
+	return nil
 }
 
 // publish writes data to a temp file in dir and renames it over p. Atomic

@@ -8,7 +8,9 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -647,6 +649,145 @@ func TestQuarantineKeepsCorruptArtifact(t *testing.T) {
 	s.reclaimQuarantine(time.Now().Add(staleQuarantineAge + time.Hour))
 	if _, err := os.Stat(qpath); !os.IsNotExist(err) {
 		t.Error("stale quarantined artifact must be reclaimed")
+	}
+}
+
+// sleepLog collects the backoffs a hooked retry clock would have slept.
+// Mutex-guarded: the remote tier's publish worker retries off-thread, so
+// the recorder can be hit concurrently with the test body.
+type sleepLog struct {
+	mu    sync.Mutex
+	slept []time.Duration
+}
+
+func (l *sleepLog) add(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.slept = append(l.slept, d)
+}
+
+func (l *sleepLog) all() []time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]time.Duration(nil), l.slept...)
+}
+
+// hookRetryClock replaces the retry loop's sleep and jitter sources with
+// deterministic recorders for the test's duration: sleeps are logged, not
+// slept, and jitter is pinned to jit(n).
+func hookRetryClock(t *testing.T, jit func(int64) int64) *sleepLog {
+	t.Helper()
+	log := &sleepLog{}
+	prev := retryTime.Load()
+	retryTime.Store(&retryClock{
+		sleep:  func(ctx context.Context, d time.Duration) { log.add(d) },
+		jitter: jit,
+	})
+	t.Cleanup(func() { retryTime.Store(prev) })
+	return log
+}
+
+// TestRetryIODeterministicBackoff pins the retry loop's schedule without
+// wall-clock sleeps: with jitter pinned to zero the backoffs are exactly
+// 5ms then 10ms, the op is attempted ioAttempts times on persistent
+// failure, and a transient failure recovers on the attempt it stops
+// failing.
+func TestRetryIODeterministicBackoff(t *testing.T) {
+	slept := hookRetryClock(t, func(int64) int64 { return 0 })
+
+	calls := 0
+	err := retryIO("test.site", "k", func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("transient failure did not recover: err=%v calls=%d", err, calls)
+	}
+	want := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond}
+	if got := slept.all(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("backoff schedule = %v, want %v", got, want)
+	}
+
+	before := len(slept.all())
+	calls = 0
+	err = retryIO("test.site", "k", func() error {
+		calls++
+		return fmt.Errorf("persistent")
+	})
+	if err == nil || calls != ioAttempts {
+		t.Errorf("persistent failure: err=%v calls=%d, want error after %d attempts", err, calls, ioAttempts)
+	}
+	if got := len(slept.all()) - before; got != ioAttempts-1 {
+		t.Errorf("%d sleeps for %d attempts, want %d", got, ioAttempts, ioAttempts-1)
+	}
+}
+
+// TestRetryIOJitterCapsBackoff pins the jitter bound: with jitter pinned to
+// its maximum (n-1) each backoff at most doubles — 5ms base jitters to
+// <10ms, never beyond.
+func TestRetryIOJitterCapsBackoff(t *testing.T) {
+	slept := hookRetryClock(t, func(n int64) int64 { return n - 1 })
+
+	retryIO("test.site", "k", func() error { return fmt.Errorf("always") })
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if got := slept.all(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("max-jitter backoff schedule = %v, want %v", got, want)
+	}
+}
+
+// TestRetryIONotExistShortCircuits: a missing artifact is the normal miss
+// path — one attempt, no sleeps, error passed through.
+func TestRetryIONotExistShortCircuits(t *testing.T) {
+	slept := hookRetryClock(t, func(int64) int64 { return 0 })
+	calls := 0
+	err := retryIO("test.site", "k", func() error {
+		calls++
+		return fmt.Errorf("wrapped: %w", fs.ErrNotExist)
+	})
+	if got := slept.all(); !errors.Is(err, fs.ErrNotExist) || calls != 1 || len(got) != 0 {
+		t.Errorf("miss retried: err=%v calls=%d sleeps=%v", err, calls, got)
+	}
+}
+
+// TestRetryIOCtxStopsOnDoneParent: a canceled parent context ends the loop
+// at the next backoff boundary instead of burning the remaining attempts.
+func TestRetryIOCtxStopsOnDoneParent(t *testing.T) {
+	hookRetryClock(t, func(int64) int64 { return 0 })
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := retryIOCtx(ctx, "test.site", "k", ioAttempts, 0, func(context.Context) error {
+		calls++
+		cancel()
+		return fmt.Errorf("transient")
+	})
+	// The op's own error survives (more informative than context.Canceled),
+	// but the loop must not burn the remaining attempts.
+	if err == nil || calls != 1 {
+		t.Errorf("canceled parent did not stop the loop: err=%v calls=%d", err, calls)
+	}
+}
+
+// TestRetryIOCtxPerAttemptDeadline: with an attempt timeout armed, each
+// attempt gets its own deadline — an op that waits on its context times out
+// per attempt, and the loop still runs every attempt.
+func TestRetryIOCtxPerAttemptDeadline(t *testing.T) {
+	hookRetryClock(t, func(int64) int64 { return 0 })
+	calls := 0
+	start := time.Now()
+	err := retryIOCtx(context.Background(), "test.site", "k", ioAttempts, 20*time.Millisecond,
+		func(actx context.Context) error {
+			calls++
+			<-actx.Done()
+			return actx.Err()
+		})
+	if !errors.Is(err, context.DeadlineExceeded) || calls != ioAttempts {
+		t.Errorf("per-attempt deadline: err=%v calls=%d", err, calls)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("attempts did not run under their own deadlines: took %v", elapsed)
 	}
 }
 

@@ -115,6 +115,17 @@ func TestCacheStatsWireGolden(t *testing.T) {
 	if string(b) != goldenFail {
 		t.Errorf("cache stats with failures:\n got %s\nwant %s", b, goldenFail)
 	}
+	// The remote-tier counters ride the same struct, omitted when zero (so
+	// a local-only run serializes exactly as before the tier existed) and
+	// spelled remote_* when not.
+	b, err = json.Marshal(pipeline.CacheStats{Misses: 1, RemoteHits: 2, RemotePuts: 3, RemoteErrors: 4, RemoteRejects: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goldenRemote = `{"mem_hits":0,"disk_hits":0,"misses":1,"remote_hits":2,"remote_puts":3,"remote_errors":4,"remote_rejects":5}`
+	if string(b) != goldenRemote {
+		t.Errorf("cache stats with remote traffic:\n got %s\nwant %s", b, goldenRemote)
+	}
 }
 
 // TestUnknownFieldTolerance: decoding skips fields this version does not

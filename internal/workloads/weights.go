@@ -1,7 +1,15 @@
 package workloads
 
-// Expected simulated-instruction counts per workload, measured once on the
-// functional tier (native codegen) and rounded. They feed weighted suite
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/codegen"
+)
+
+// Expected simulated-instruction counts per workload, measured on the
+// functional tier (native codegen, rounded to 100k — regenerate with the
+// $REPRO_REGEN_WEIGHTS-gated TestRegenWeights). They feed weighted suite
 // dispatch: jobs are claimed longest-first so a heavy SPEC program (429.mcf
 // retires ~30x the instructions of trisolv) starts before the cheap
 // Polybench kernels instead of serializing behind them at the tail of the
@@ -60,4 +68,22 @@ func (w *Workload) ExpectedInstructions() uint64 {
 		return n
 	}
 	return defaultWeight
+}
+
+// MeasureWeights re-measures every workload's retired-instruction count on
+// the functional tier under native codegen — the same conditions the
+// expectedInsts table was built from. It backs the $REPRO_REGEN_WEIGHTS
+// regen test; results are exact counts, rounding to table granularity is
+// the caller's job.
+func MeasureWeights(ctx context.Context, suite []*Workload) (map[string]uint64, error) {
+	out := make(map[string]uint64, len(suite))
+	base := codegen.Native()
+	for _, w := range suite {
+		c, err := runCounters(ctx, w, base, codegen.FidelityFunctional, codegen.SampleWindows{})
+		if err != nil {
+			return nil, fmt.Errorf("workloads: %s: %w", w.Name, err)
+		}
+		out[w.Name] = c.Instructions
+	}
+	return out, nil
 }

@@ -1,0 +1,98 @@
+package workloads_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workloads"
+)
+
+// roundWeight rounds an exact instruction count to the table's 100k
+// granularity — dispatch ordering is insensitive to anything finer.
+func roundWeight(n uint64) uint64 {
+	const g = 100_000
+	return (n + g/2) / g * g
+}
+
+// TestWeightTableFresh cross-checks the committed expectedInsts table
+// against a live functional-tier measurement of the short suites. A weight
+// is a dispatch hint, so the bar is loose — within 2x — but a workload whose
+// problem size changed by an order of magnitude (stale table) fails here
+// rather than silently serializing the suite tail.
+func TestWeightTableFresh(t *testing.T) {
+	suite := append(workloads.ShortPolybench(), workloads.ShortSPEC()...)
+	got, err := workloads.MeasureWeights(context.Background(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range suite {
+		want := w.ExpectedInstructions()
+		g := got[w.Name]
+		if g > 2*want || want > 2*g {
+			t.Errorf("%s: table says %d insts, functional tier retired %d — regenerate with %s=1",
+				w.Name, want, g, config.EnvRegenWeights)
+		}
+	}
+}
+
+// TestRegenWeights re-measures the full dispatch-weight table on the
+// functional tier and prints it in Go source form, ready to paste into
+// weights.go. Skipped unless $REPRO_REGEN_WEIGHTS is set — the full suite
+// is too slow for every test run, and regeneration is only needed when a
+// workload's problem size changes.
+func TestRegenWeights(t *testing.T) {
+	if os.Getenv(config.EnvRegenWeights) == "" {
+		t.Skipf("set %s=1 to re-measure the dispatch weight table", config.EnvRegenWeights)
+	}
+	suite := append(workloads.Polybench(), workloads.SPECCPU()...)
+	got, err := workloads.MeasureWeights(context.Background(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(got))
+	for n := range got {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString("var expectedInsts = map[string]uint64{\n")
+	for _, n := range names {
+		fmt.Fprintf(&sb, "\t%q: %s,\n", n, groupDigits(roundWeight(got[n])))
+	}
+	sb.WriteString("}\n")
+	t.Logf("refreshed weight table:\n%s", sb.String())
+	for _, n := range names {
+		rounded := roundWeight(got[n])
+		if cur, ok := currentWeight(suite, n); ok && cur != rounded {
+			t.Logf("drift: %s %d -> %d", n, cur, rounded)
+		}
+	}
+}
+
+// currentWeight looks up the committed table value via the public accessor.
+func currentWeight(suite []*workloads.Workload, name string) (uint64, bool) {
+	for _, w := range suite {
+		if w.Name == name {
+			return w.ExpectedInstructions(), true
+		}
+	}
+	return 0, false
+}
+
+// groupDigits renders n with Go's underscore digit separators, matching the
+// committed table's style (13_200_000).
+func groupDigits(n uint64) string {
+	s := fmt.Sprintf("%d", n)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	return strings.Join(parts, "_")
+}
