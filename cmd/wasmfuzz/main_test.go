@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+func TestParseEngines(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"native", []string{"native"}},
+		{"native, chrome ,firefox", []string{"native", "chrome", "firefox"}},
+		{",,", nil},
+	}
+	for _, tc := range cases {
+		if got := parseEngines(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseEngines(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// A tiny end-to-end run: two seeds through the real oracle must agree and
+// exit 0. This keeps the CLI's flag resolution and loop wired under plain
+// `go test ./...` without the cost of a full fuzz-smoke range.
+func TestRunTwoSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full oracle matrix is not short")
+	}
+	if code := run([]string{"-seeds", "2", "-seed", "1"}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("run exited %d, want 0", code)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if code := run([]string{"-seeds", "nope"}, os.Stdout, os.Stderr); code != 2 {
+		t.Fatalf("bad -seeds exited %d, want 2", code)
+	}
+	if code := run([]string{"-seed", "0"}, os.Stdout, os.Stderr); code != 2 {
+		t.Fatalf("-seed 0 exited %d, want 2", code)
+	}
+}

@@ -31,6 +31,38 @@ type emitter struct {
 	rmwAt      map[*ir.Ins]*rmwInfo
 	fusedMem   map[*ir.Ins]x86.Mem
 	loopHead   []bool
+	constVals  map[ir.VReg]int64 // single-def Const vregs; built lazily by constOf
+}
+
+// constOf reports the compile-time constant value of v: v must have exactly
+// one definition in the function, and that definition must be a Const.
+func (e *emitter) constOf(v ir.VReg) (int64, bool) {
+	if e.constVals == nil {
+		defs := map[ir.VReg]int{}
+		vals := map[ir.VReg]int64{}
+		for _, b := range e.f.Blocks {
+			for i := range b.Ins {
+				in := &b.Ins[i]
+				if in.Dst == ir.NoV {
+					continue
+				}
+				defs[in.Dst]++
+				if in.Op == ir.Const {
+					vals[in.Dst] = in.Imm
+				}
+			}
+		}
+		e.constVals = map[ir.VReg]int64{}
+		for dst, n := range defs {
+			if n == 1 {
+				if imm, ok := vals[dst]; ok {
+					e.constVals[dst] = imm
+				}
+			}
+		}
+	}
+	imm, ok := e.constVals[v]
+	return imm, ok
 }
 
 type rmwInfo struct {

@@ -482,10 +482,11 @@ func (e *emitter) emitShift(in *ir.Ins) {
 		op = x86.ORor
 	}
 	d, flush := e.dstGP(in.Dst)
-	a := e.readGP(in.A, d, in.W)
 
 	if in.B == ir.NoV {
-		// Constant shift amount.
+		// Constant shift amount: no other operand can alias d, so a
+		// spilled value may reload straight into it.
+		a := e.readGP(in.A, d, in.W)
 		if a != d {
 			e.emit(x86.Inst{Op: x86.OMov, W: 8, Dst: x86.R(d), Src: x86.R(a)})
 		}
@@ -500,8 +501,11 @@ func (e *emitter) emitShift(in *ir.Ins) {
 
 	// Variable shift: the count must be in CL. Compute the value into a
 	// scratch, save rcx into the reserved frame slot, load the count,
-	// shift, and restore.
+	// shift, and restore. The value must NOT stage through d: the count
+	// vreg often dies at the shift, so the allocator may give B's register
+	// to Dst, and writing d before B is read would corrupt the count.
 	val := e.s0()
+	a := e.readGP(in.A, val, in.W)
 	if a != val {
 		e.emit(x86.Inst{Op: x86.OMov, W: 8, Dst: x86.R(val), Src: x86.R(a)})
 	}
@@ -531,10 +535,22 @@ func (e *emitter) emitDiv(in *ir.Ins) {
 	e.emit(x86.Inst{Op: x86.OMov, W: 8, Dst: e.spillMem(e.divSlot(0)), Src: x86.R(x86.RAX), Comment: "save rax"})
 	e.emit(x86.Inst{Op: x86.OMov, W: 8, Dst: e.spillMem(e.divSlot(1)), Src: x86.R(x86.RDX), Comment: "save rdx"})
 
-	// Divisor into scratch first (it might live in rax/rdx).
+	// wasm defines INT_MIN rem -1 as 0, but idiv faults on it, so a signed
+	// rem guards the divisor — unless it is a compile-time constant that
+	// cannot be -1, which keeps the emitted code (and thus the pinned
+	// counter goldens) unchanged for the common `x % const` case.
+	needGuard := signed && wantRem
+	if needGuard {
+		if v, ok := e.constOf(in.B); ok && v != -1 && v != int64(^uint32(0)) {
+			needGuard = false
+		}
+	}
+
+	// Divisor into scratch first (it might live in rax/rdx). A guarded rem
+	// also always copies: it rewrites the divisor below.
 	bsrc := e.readGPOperand(in.B, e.s1())
 	div := e.s1()
-	if bsrc.Kind == x86.KReg {
+	if bsrc.Kind == x86.KReg && !needGuard {
 		if bsrc.Reg == x86.RAX || bsrc.Reg == x86.RDX {
 			e.emit(x86.Inst{Op: x86.OMov, W: 8, Dst: x86.R(div), Src: bsrc})
 		} else {
@@ -542,6 +558,14 @@ func (e *emitter) emitDiv(in *ir.Ins) {
 		}
 	} else {
 		e.emit(x86.Inst{Op: x86.OMov, W: 8, Dst: x86.R(div), Src: bsrc})
+	}
+	if needGuard {
+		// A divisor of 1 has the same remainder as -1 for every dividend
+		// (always 0), so rewriting -1 → 1 fixes the faulting case without
+		// branching.
+		e.emit(x86.Inst{Op: x86.OMov, W: 8, Dst: x86.R(e.s0()), Src: x86.Imm(1)})
+		e.emit(x86.Inst{Op: x86.OCmp, W: in.W, Dst: x86.R(div), Src: x86.Imm(-1), Comment: "rem -1 guard"})
+		e.emit(x86.Inst{Op: x86.OCmov, CC: x86.CCE, W: 8, Dst: x86.R(div), Src: x86.R(e.s0())})
 	}
 
 	// Dividend into rax.

@@ -79,6 +79,12 @@ const (
 	// EnvRegenWeights gates the skipped-by-default test that re-measures
 	// the workloads.expectedInsts dispatch table on the functional tier.
 	EnvRegenWeights = "REPRO_REGEN_WEIGHTS"
+
+	// EnvFuzzSeeds / EnvFuzzSeed configure the differential wasm fuzzer
+	// (cmd/wasmfuzz and the CI fuzz-smoke job): how many seeds one run
+	// covers and the first seed of the range.
+	EnvFuzzSeeds = "REPRO_FUZZ_SEEDS"
+	EnvFuzzSeed  = "REPRO_FUZZ_SEED"
 )
 
 // Remote-tier defaults. The timeout is deliberately short: a remote hit
@@ -287,6 +293,33 @@ func ParseTenantWeights(v string) (map[string]int, error) {
 		out[name] = w
 	}
 	return out, nil
+}
+
+// ParseFuzzSeeds parses an EnvFuzzSeeds value: empty selects the default
+// (signaled as 0), otherwise a positive seed count.
+func ParseFuzzSeeds(v string) (int, error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("config: %s=%q is not a positive seed count", EnvFuzzSeeds, v)
+	}
+	return n, nil
+}
+
+// ParseFuzzSeed parses an EnvFuzzSeed value: empty selects the default
+// (signaled as 0), otherwise a positive starting seed. Seed 0 is reserved
+// as the "unset" sentinel so flag/env/default resolution can distinguish it.
+func ParseFuzzSeed(v string) (uint64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("config: %s=%q is not a positive seed", EnvFuzzSeed, v)
+	}
+	return n, nil
 }
 
 // FormatTenantWeights renders a weight map back to the knob syntax in

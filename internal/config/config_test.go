@@ -169,3 +169,36 @@ func TestTenantWeights(t *testing.T) {
 		t.Errorf("empty spec must be nil map, got %v, %v", w, err)
 	}
 }
+
+// TestParseFuzzKnobs pins the fuzzer knob contract: empty selects the
+// default (signaled as zero), positive values are honored, and zero,
+// negative, or malformed values are errors naming the knob.
+func TestParseFuzzKnobs(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    uint64
+		wantErr bool
+	}{
+		{"", 0, false},
+		{"300", 300, false},
+		{"1", 1, false},
+		{"0", 0, true},
+		{"-2", 0, true},
+		{"lots", 0, true},
+	}
+	for _, tc := range cases {
+		n, err := ParseFuzzSeeds(tc.in)
+		if (err != nil) != tc.wantErr || uint64(n) != tc.want {
+			t.Errorf("ParseFuzzSeeds(%q) = %d, %v; want %d, err=%v", tc.in, n, err, tc.want, tc.wantErr)
+		}
+		s, err := ParseFuzzSeed(tc.in)
+		if (err != nil) != tc.wantErr || s != tc.want {
+			t.Errorf("ParseFuzzSeed(%q) = %d, %v; want %d, err=%v", tc.in, s, err, tc.want, tc.wantErr)
+		}
+		if tc.wantErr {
+			if err == nil || !strings.Contains(err.Error(), EnvFuzzSeed) {
+				t.Errorf("ParseFuzzSeed(%q) error %v does not name the knob", tc.in, err)
+			}
+		}
+	}
+}

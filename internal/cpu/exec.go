@@ -585,27 +585,27 @@ func (m *Machine) runExact() error {
 
 		case uCvtSD2SSR:
 			m.qacc += qCvt
-			m.Xmm[u.dst] = uint64(math.Float32bits(float32(math.Float64frombits(m.Xmm[u.src]))))
+			m.Xmm[u.dst] = cvtSD2SS(m.Xmm[u.src])
 			m.rip++
 
 		case uCvtSD2SSM:
 			var bv uint64
 			if bv, err = m.load(m.uea(u), 8); err == nil {
 				m.qacc += qCvt
-				m.Xmm[u.dst] = uint64(math.Float32bits(float32(math.Float64frombits(bv))))
+				m.Xmm[u.dst] = cvtSD2SS(bv)
 				m.rip++
 			}
 
 		case uCvtSS2SDR:
 			m.qacc += qCvt
-			m.Xmm[u.dst] = math.Float64bits(float64(math.Float32frombits(uint32(m.Xmm[u.src]))))
+			m.Xmm[u.dst] = cvtSS2SD(m.Xmm[u.src])
 			m.rip++
 
 		case uCvtSS2SDM:
 			var bv uint64
 			if bv, err = m.load(m.uea(u), 4); err == nil {
 				m.qacc += qCvt
-				m.Xmm[u.dst] = math.Float64bits(float64(math.Float32frombits(uint32(bv))))
+				m.Xmm[u.dst] = cvtSS2SD(bv)
 				m.rip++
 			}
 

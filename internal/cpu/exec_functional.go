@@ -725,7 +725,7 @@ loop:
 			rip++
 
 		case uCvtSD2SSR:
-			m.Xmm[u.dst] = uint64(math.Float32bits(float32(math.Float64frombits(m.Xmm[u.src]))))
+			m.Xmm[u.dst] = cvtSD2SS(m.Xmm[u.src])
 			rip++
 
 		case uCvtSD2SSM:
@@ -734,11 +734,11 @@ loop:
 			if bv, err = m.load(m.uea(u), 8); err != nil {
 				break loop
 			}
-			m.Xmm[u.dst] = uint64(math.Float32bits(float32(math.Float64frombits(bv))))
+			m.Xmm[u.dst] = cvtSD2SS(bv)
 			rip++
 
 		case uCvtSS2SDR:
-			m.Xmm[u.dst] = math.Float64bits(float64(math.Float32frombits(uint32(m.Xmm[u.src]))))
+			m.Xmm[u.dst] = cvtSS2SD(m.Xmm[u.src])
 			rip++
 
 		case uCvtSS2SDM:
@@ -747,7 +747,7 @@ loop:
 			if bv, err = m.load(m.uea(u), 4); err != nil {
 				break loop
 			}
-			m.Xmm[u.dst] = math.Float64bits(float64(math.Float32frombits(uint32(bv))))
+			m.Xmm[u.dst] = cvtSS2SD(bv)
 			rip++
 
 		case uMovqXR:

@@ -490,7 +490,7 @@ func (m *Machine) execSSE(in *x86.Inst) error {
 			return err
 		}
 		m.q(qCvt)
-		m.Xmm[in.Dst.Reg-x86.XMM0] = uint64(math.Float32bits(float32(math.Float64frombits(bv))))
+		m.Xmm[in.Dst.Reg-x86.XMM0] = cvtSD2SS(bv)
 		m.rip++
 
 	case x86.OCvtss2sd:
@@ -499,7 +499,7 @@ func (m *Machine) execSSE(in *x86.Inst) error {
 			return err
 		}
 		m.q(qCvt)
-		m.Xmm[in.Dst.Reg-x86.XMM0] = math.Float64bits(float64(math.Float32frombits(uint32(bv))))
+		m.Xmm[in.Dst.Reg-x86.XMM0] = cvtSS2SD(bv)
 		m.rip++
 
 	case x86.OMovq:

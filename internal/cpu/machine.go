@@ -730,10 +730,48 @@ func f64of(bits uint64, w uint8) float64 {
 	return math.Float64frombits(bits)
 }
 
-// bitsOf converts a float64 back to xmm bits at width w.
+// Canonical quiet-NaN bit patterns. Wasm leaves NaN payload bits
+// nondeterministic, and Go inherits whatever the hardware happens to
+// propagate — which can differ between two compilations of the same
+// a+b expression. Any NaN that escapes into the integer domain (stored to
+// memory, reinterpreted) would then diverge between engines, so every
+// arithmetic result is canonicalized to one fixed pattern. The reference
+// interpreter applies the same rule; abs/neg stay raw in both because they
+// compile to pure sign-bit operations.
+const (
+	canonNaN64 = uint64(0x7ff8000000000000)
+	canonNaN32 = uint64(0x7fc00000)
+)
+
+// bitsOf converts a float64 back to xmm bits at width w, canonicalizing
+// NaN payloads.
 func bitsOf(v float64, w uint8) uint64 {
+	if v != v {
+		if w == 4 {
+			return canonNaN32
+		}
+		return canonNaN64
+	}
 	if w == 4 {
 		return uint64(math.Float32bits(float32(v)))
 	}
 	return math.Float64bits(v)
+}
+
+// cvtSD2SS demotes f64 bits to f32 bits (cvtsd2ss), canonicalizing NaN.
+func cvtSD2SS(bits uint64) uint64 {
+	f := float32(math.Float64frombits(bits))
+	if f != f {
+		return canonNaN32
+	}
+	return uint64(math.Float32bits(f))
+}
+
+// cvtSS2SD promotes f32 bits to f64 bits (cvtss2sd), canonicalizing NaN.
+func cvtSS2SD(bits uint64) uint64 {
+	f := float64(math.Float32frombits(uint32(bits)))
+	if f != f {
+		return canonNaN64
+	}
+	return math.Float64bits(f)
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package cpu
+
+// raceEnabled reports whether the race detector is active (see pool_test).
+const raceEnabled = false

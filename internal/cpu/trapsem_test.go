@@ -1,0 +1,299 @@
+// Package cpu_test pins trap semantics across the whole engine matrix: for
+// every trap family the reference interpreter, the legacy dispatcher, and
+// the predecode dispatcher must agree — per engine configuration — on
+// whether a program traps and which normalized kind it traps with. This is
+// the hand-written complement to internal/fuzzgen's generated oracle: each
+// row is one precisely-aimed program (division by zero, INT_MIN/-1, a load
+// one byte past the page boundary, an out-of-range indirect call, ...)
+// instead of a random one.
+package cpu_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/fuzzgen"
+	"repro/internal/pipeline"
+	"repro/internal/wasm"
+)
+
+// startSig is the kernel's entry signature: _start(argc, argv) -> exit.
+var startSig = wasm.FuncType{
+	Params:  []wasm.ValType{wasm.I32, wasm.I32},
+	Results: []wasm.ValType{wasm.I32},
+}
+
+// buildStart assembles a one-page module whose _start body is produced by
+// body; the builder tops up the function frame's End.
+func buildStart(body func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder)) *wasm.Module {
+	b := wasm.NewModuleBuilder()
+	b.Memory(1, 1)
+	f := b.Func("_start", startSig)
+	body(b, f)
+	b.Export("_start", wasm.ExternFunc, f.Index())
+	return b.Module()
+}
+
+// addIndirectTarget defines a leaf of signature sig returning 5, and a table
+// of the given size with the leaf in slot 0 (further slots stay null).
+func addIndirectTarget(b *wasm.ModuleBuilder, sig wasm.FuncType, tableSize uint32) {
+	leaf := b.Func("leaf", sig)
+	for _, t := range sig.Results {
+		switch t {
+		case wasm.I64:
+			leaf.I64Const(5)
+		default:
+			leaf.I32Const(5)
+		}
+	}
+	b.Table(tableSize)
+	b.Elem(0, []uint32{leaf.Index()})
+}
+
+var i32Sig = wasm.FuncType{Results: []wasm.ValType{wasm.I32}}
+
+// trapCases is the semantics table. Engines nil means the full wasm matrix
+// (native, chrome, firefox); rows whose behavior is engine-defined restrict
+// themselves to the configurations that pin it (the paper's JIT configs
+// insert indirect-call signature checks, the native config does not).
+var trapCases = []struct {
+	name    string
+	engines []string
+	build   func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder)
+	want    fuzzgen.TrapKind
+	exit    int // checked only when want == TrapNone
+}{
+	{
+		name:  "clean-exit",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) { f.I32Const(42) },
+		want:  fuzzgen.TrapNone, exit: 42,
+	},
+	{
+		name: "i32-div-zero",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.I32Const(7).I32Const(0).Op(wasm.OpI32DivS)
+		},
+		want: fuzzgen.TrapDivZero,
+	},
+	{
+		name: "i64-div-zero",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.I64Const(7).I64Const(0).Op(wasm.OpI64DivS).Op(wasm.OpI32WrapI64)
+		},
+		want: fuzzgen.TrapDivZero,
+	},
+	{
+		name: "i32-rem-zero",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.I32Const(7).I32Const(0).Op(wasm.OpI32RemS)
+		},
+		want: fuzzgen.TrapDivZero,
+	},
+	{
+		name: "i32-overflow-intmin-div-minus1",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.I32Const(math.MinInt32).I32Const(-1).Op(wasm.OpI32DivS)
+		},
+		want: fuzzgen.TrapOverflow,
+	},
+	{
+		name: "i64-overflow-intmin-div-minus1",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.I64Const(math.MinInt64).I64Const(-1).Op(wasm.OpI64DivS).Op(wasm.OpI32WrapI64)
+		},
+		want: fuzzgen.TrapOverflow,
+	},
+	{
+		// wasm defines INT_MIN rem -1 as 0 — it must NOT trap anywhere.
+		name: "i32-rem-intmin-minus1-defined",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.I32Const(math.MinInt32).I32Const(-1).Op(wasm.OpI32RemS)
+		},
+		want: fuzzgen.TrapNone, exit: 0,
+	},
+	{
+		// The last fully in-bounds 4-byte load of a one-page memory.
+		name: "load-last-word-in-bounds",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.I32Const(wasm.PageSize-4).Load(wasm.OpI32Load, 0)
+		},
+		want: fuzzgen.TrapNone, exit: 0,
+	},
+	{
+		// First byte past the page boundary.
+		name: "oob-load-page-boundary",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.I32Const(wasm.PageSize).Load(wasm.OpI32Load8U, 0)
+		},
+		want: fuzzgen.TrapOOB,
+	},
+	{
+		// A 4-byte access straddling the boundary: 3 bytes in, 1 byte out.
+		name: "oob-load-straddles-boundary",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.I32Const(wasm.PageSize-3).Load(wasm.OpI32Load, 0)
+		},
+		want: fuzzgen.TrapOOB,
+	},
+	{
+		name: "oob-store-page-boundary",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.I32Const(wasm.PageSize-1).I32Const(0).Store(wasm.OpI32Store, 0)
+			f.I32Const(9)
+		},
+		want: fuzzgen.TrapOOB,
+	},
+	{
+		name: "oob-load-huge-address",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.I32Const(0x7ffffff0).Load(wasm.OpI32Load, 0)
+		},
+		want: fuzzgen.TrapOOB,
+	},
+	{
+		// Offset pushes an otherwise in-bounds address past the boundary.
+		name: "oob-load-via-offset",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.I32Const(wasm.PageSize-4).Load(wasm.OpI32Load, 8)
+		},
+		want: fuzzgen.TrapOOB,
+	},
+	{
+		name: "indirect-call-out-of-table-bounds",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			addIndirectTarget(b, i32Sig, 2)
+			f.I32Const(9).CallIndirect(i32Sig)
+		},
+		want: fuzzgen.TrapIndirect,
+	},
+	{
+		name: "indirect-call-null-entry",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			addIndirectTarget(b, i32Sig, 2)
+			f.I32Const(1).CallIndirect(i32Sig)
+		},
+		want: fuzzgen.TrapIndirect,
+	},
+	{
+		// Signature checks are engine-inserted: the chrome and firefox
+		// configurations arm IndirectCheck, the native one does not, so only
+		// the checked engines pin this row.
+		name:    "indirect-call-signature-mismatch",
+		engines: []string{"chrome", "firefox"},
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			i64Sig := wasm.FuncType{Results: []wasm.ValType{wasm.I64}}
+			addIndirectTarget(b, i64Sig, 2)
+			f.I32Const(0).CallIndirect(i32Sig)
+		},
+		want: fuzzgen.TrapIndirect,
+	},
+	{
+		name: "unreachable",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.Op(wasm.OpUnreachable)
+			f.I32Const(1)
+		},
+		want: fuzzgen.TrapUnreachable,
+	},
+	{
+		name: "trunc-f64-nan",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.F64Const(math.NaN()).Op(wasm.OpI32TruncF64S)
+		},
+		want: fuzzgen.TrapConversion,
+	},
+	{
+		name: "trunc-f64-out-of-range",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.F64Const(1e300).Op(wasm.OpI32TruncF64S)
+		},
+		want: fuzzgen.TrapConversion,
+	},
+	{
+		name: "trunc-f64-negative-out-of-range",
+		build: func(b *wasm.ModuleBuilder, f *wasm.FuncBuilder) {
+			f.F64Const(-1e300).Op(wasm.OpI64TruncF64S).Op(wasm.OpI32WrapI64)
+		},
+		want: fuzzgen.TrapConversion,
+	},
+}
+
+// interpretStart runs _start on the reference interpreter and returns its
+// normalized outcome.
+func interpretStart(t *testing.T, m *wasm.Module) (fuzzgen.TrapKind, int) {
+	t.Helper()
+	inst, err := wasm.Instantiate(m, nil)
+	if err != nil {
+		t.Fatalf("instantiating: %v", err)
+	}
+	inst.MaxSteps = 1_000_000
+	ret, err := inst.Invoke("_start", 0, 0)
+	if err != nil {
+		var tr *wasm.Trap
+		if errors.As(err, &tr) {
+			return fuzzgen.TrapKindOf(tr.Msg), 128
+		}
+		t.Fatalf("interpreter: %v", err)
+	}
+	return fuzzgen.TrapNone, int(int32(ret[0]))
+}
+
+func TestTrapSemanticsAcrossEngines(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range trapCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := buildStart(tc.build)
+			if err := wasm.Validate(m); err != nil {
+				t.Fatalf("table module invalid: %v", err)
+			}
+			refKind, refExit := interpretStart(t, m)
+			if refKind != tc.want {
+				t.Fatalf("reference interpreter: trap kind %q, table says %q", refKind, tc.want)
+			}
+			if tc.want == fuzzgen.TrapNone && refExit != tc.exit {
+				t.Fatalf("reference interpreter: exit %d, table says %d", refExit, tc.exit)
+			}
+
+			engines := tc.engines
+			if engines == nil {
+				engines = fuzzgen.DefaultEngines()
+			}
+			bytes := wasm.Encode(m)
+			for _, eng := range engines {
+				for _, dispatch := range []string{"predecode", "legacy"} {
+					variant := eng + "/" + dispatch
+					res, err := pipeline.Do(ctx, &pipeline.Request{
+						Wasm:     bytes,
+						Engine:   eng,
+						Dispatch: dispatch,
+						Fidelity: "exact",
+						Argv:     []string{"trapsem"},
+					})
+					if err != nil {
+						var te *cpu.TrapError
+						if !errors.As(err, &te) {
+							t.Errorf("%s: non-trap error: %v", variant, err)
+							continue
+						}
+						got := fuzzgen.TrapKindOf(te.Msg)
+						if tc.want == fuzzgen.TrapNone {
+							t.Errorf("%s: trapped %q (%s), want clean exit %d", variant, got, te.Msg, tc.exit)
+						} else if !fuzzgen.TrapMatches(got, tc.want) {
+							t.Errorf("%s: trap kind %q (%s), want %q", variant, got, te.Msg, tc.want)
+						}
+						continue
+					}
+					if tc.want != fuzzgen.TrapNone {
+						t.Errorf("%s: exited %d, want trap %q", variant, res.ExitCode, tc.want)
+					} else if res.ExitCode != tc.exit {
+						t.Errorf("%s: exit %d, want %d", variant, res.ExitCode, tc.exit)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,35 @@
+package fuzzgen
+
+// The regression corpus. When the fuzzing loop finds a divergence, the
+// shrunken module is written under internal/fuzzgen/testdata/corpus/ and
+// committed; TestCorpusReplay then re-oracles every entry on plain `go
+// test ./...` forever after, so a fixed engine bug cannot quietly return.
+// Entry names are content-addressed, so the same divergence found twice
+// lands on the same file.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+)
+
+// CorpusName is the canonical file name for a corpus module: the first 12
+// hex digits of its content hash.
+func CorpusName(moduleBytes []byte) string {
+	sum := sha256.Sum256(moduleBytes)
+	return hex.EncodeToString(sum[:6]) + ".wasm"
+}
+
+// WriteCorpus writes an encoded module into dir under its content-addressed
+// name, creating dir as needed, and returns the path.
+func WriteCorpus(dir string, moduleBytes []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, CorpusName(moduleBytes))
+	if err := os.WriteFile(path, moduleBytes, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

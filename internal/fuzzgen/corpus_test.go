@@ -1,0 +1,79 @@
+package fuzzgen
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wasm"
+)
+
+func TestCorpusName(t *testing.T) {
+	n := CorpusName([]byte("\x00asm\x01\x00\x00\x00"))
+	if filepath.Ext(n) != ".wasm" || len(n) != 12+len(".wasm") {
+		t.Fatalf("unexpected corpus name %q", n)
+	}
+	if n != CorpusName([]byte("\x00asm\x01\x00\x00\x00")) {
+		t.Fatal("corpus name not content-stable")
+	}
+}
+
+func TestWriteCorpus(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "corpus")
+	b := wasm.Encode(Generate(1, Options{}))
+	p, err := WriteCorpus(dir, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(b) {
+		t.Fatal("corpus file does not round-trip module bytes")
+	}
+	if filepath.Base(p) != CorpusName(b) {
+		t.Fatalf("corpus path %q not content-addressed", p)
+	}
+}
+
+// TestCorpusReplay re-oracles every committed corpus module on plain
+// `go test ./...`: once a divergence is minimized and committed, the fixed
+// engine bug cannot quietly return. The corpus must never be empty — it is
+// seeded with generator output covering clean runs and each trap family.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.wasm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("regression corpus is empty; reseed testdata/corpus/")
+	}
+	for _, path := range entries {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := CorpusName(raw); filepath.Base(path) != want {
+				t.Errorf("corpus entry misnamed: want %s", want)
+			}
+			m, err := wasm.Decode(raw)
+			if err != nil {
+				t.Fatalf("corpus entry does not decode: %v", err)
+			}
+			if err := wasm.Validate(m); err != nil {
+				t.Fatalf("corpus entry does not validate: %v", err)
+			}
+			v, err := Diff(context.Background(), m, DiffConfig{})
+			if err != nil {
+				t.Fatalf("oracle infrastructure error: %v", err)
+			}
+			if !v.OK() {
+				t.Errorf("corpus entry diverges: %s", v)
+			}
+		})
+	}
+}

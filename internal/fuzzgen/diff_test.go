@@ -1,0 +1,110 @@
+package fuzzgen
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTrapKindOf(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want TrapKind
+	}{
+		{"", TrapNone},
+		{"integer divide by zero", TrapDivZero},
+		{"integer overflow", TrapOverflow},
+		// The machine words INT_MIN/-1 and bad float→int both with
+		// "overflow"; "conversion" must win classification.
+		{"integer overflow in conversion to integer", TrapConversion},
+		{"invalid conversion to integer", TrapConversion},
+		{"out-of-bounds memory access", TrapOOB},
+		{"undefined element: call_indirect out of range", TrapIndirect},
+		{"indirect call type mismatch", TrapIndirect},
+		{"null table entry", TrapIndirect},
+		{"unreachable executed (ud2)", TrapUnreachable},
+		{"unreachable", TrapUnreachable},
+		{"call stack exhausted", TrapStack},
+		{"out of fuel", TrapFuel},
+		{"some novel failure", TrapOther},
+	}
+	for _, c := range cases {
+		if got := TrapKindOf(c.msg); got != c.want {
+			t.Errorf("TrapKindOf(%q) = %s, want %s", c.msg, got, c.want)
+		}
+	}
+}
+
+func TestTrapMatches(t *testing.T) {
+	if !TrapMatches(TrapOOB, TrapOOB) {
+		t.Error("identical kinds must match")
+	}
+	// Engine-inserted table and stack checks funnel to a shared ud2 stub.
+	if !TrapMatches(TrapUnreachable, TrapIndirect) {
+		t.Error("machine ud2 must match reference indirect-call trap")
+	}
+	if !TrapMatches(TrapUnreachable, TrapStack) {
+		t.Error("machine ud2 must match reference stack trap")
+	}
+	if TrapMatches(TrapIndirect, TrapUnreachable) {
+		t.Error("the ud2 tolerance must not apply in reverse")
+	}
+	if TrapMatches(TrapOOB, TrapDivZero) {
+		t.Error("distinct kinds must not match")
+	}
+}
+
+// A slice of the fuzzing loop runs under plain `go test`: every seed must
+// agree across the full engine × dispatch × fidelity matrix. The CI
+// fuzz-smoke job pushes the same loop to 300 seeds.
+func TestDiffAgreesOnSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full oracle matrix is not short")
+	}
+	for seed := uint64(1); seed <= 30; seed++ {
+		v, err := RunSeed(context.Background(), seed, Options{Traps: seed%2 == 0}, DiffConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: oracle infrastructure error: %v", seed, err)
+		}
+		if v.Skipped != "" {
+			t.Errorf("seed %d unexpectedly skipped: %s", seed, v.Skipped)
+			continue
+		}
+		if !v.OK() {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+}
+
+// Same seed ⇒ the same verdict, run to run: the oracle must be as
+// deterministic as the generator, or CI divergence reports would not
+// reproduce locally. Run under -race -count=2 in CI.
+func TestDiffDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full oracle matrix is not short")
+	}
+	for _, seed := range []uint64{3, 12, 20} {
+		opt := Options{Traps: seed%2 == 0}
+		a, err := RunSeed(context.Background(), seed, opt, DiffConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := RunSeed(context.Background(), seed, opt, DiffConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("seed %d: verdict not deterministic:\n  first:  %s\n  second: %s", seed, a, b)
+		}
+		for variant, oa := range a.Runs {
+			ob := b.Runs[variant]
+			if ob == nil {
+				t.Errorf("seed %d: variant %s missing from second run", seed, variant)
+				continue
+			}
+			if oa.String() != ob.String() || oa.Counters != ob.Counters {
+				t.Errorf("seed %d %s: outcomes differ between runs:\n  first:  %s %+v\n  second: %s %+v",
+					seed, variant, oa, oa.Counters, ob, ob.Counters)
+			}
+		}
+	}
+}

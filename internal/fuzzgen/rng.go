@@ -1,0 +1,31 @@
+package fuzzgen
+
+// rng is a splitmix64 stream. The generator deliberately does not use
+// math/rand: the corpus and the determinism tests pin "same seed ⇒
+// byte-identical module" across Go releases, so the stream must be owned by
+// this package, not by the standard library's evolving generators.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rangen returns a value in [lo, hi] inclusive.
+func (r *rng) rangen(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// chance reports true pct% of the time.
+func (r *rng) chance(pct int) bool { return r.intn(100) < pct }
+
+func (r *rng) i32() int32 { return int32(r.next()) }
+func (r *rng) i64() int64 { return int64(r.next()) }

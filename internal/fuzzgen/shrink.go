@@ -1,0 +1,207 @@
+package fuzzgen
+
+// The shrinker. Given a diverging module and a predicate that re-runs the
+// oracle, Shrink greedily minimizes while the predicate holds, in three
+// stages iterated to a fixed point:
+//
+//	1. stub whole function bodies (indices stay stable, so no remapping)
+//	2. delete single instructions and whole block spans
+//	3. simplify constants toward 0/1 and memory offsets toward 0
+//
+// Every candidate is re-validated before the predicate sees it, so keep is
+// only ever called on modules the engines are required to handle, and the
+// committed corpus never contains an invalid module.
+
+import "repro/internal/wasm"
+
+// Shrink returns the smallest module it can reach from m for which keep
+// still returns true. keep is called only on validated candidates; m itself
+// is never mutated. The result is a fixed point: re-shrinking it with the
+// same predicate is a no-op (pinned by TestShrinkFixedPoint).
+func Shrink(m *wasm.Module, keep func(*wasm.Module) bool) *wasm.Module {
+	cur := cloneModule(m)
+	for changed := true; changed; {
+		changed = false
+		if shrinkStubFuncs(cur, keep) {
+			changed = true
+		}
+		if shrinkDropSegments(cur, keep) {
+			changed = true
+		}
+		if shrinkDeleteInstrs(cur, keep) {
+			changed = true
+		}
+		if shrinkConsts(cur, keep) {
+			changed = true
+		}
+	}
+	return cur
+}
+
+// cloneModule deep-copies via the binary format: Decode(Encode(m)) is the
+// one deep copy the round-trip fuzz harness already pins as faithful.
+func cloneModule(m *wasm.Module) *wasm.Module {
+	c, err := wasm.Decode(wasm.Encode(m))
+	if err != nil {
+		// Shrink's inputs come from Generate or the corpus, both of which
+		// round-trip; reaching here means the encoder itself regressed.
+		panic("fuzzgen: module failed to round-trip: " + err.Error())
+	}
+	return c
+}
+
+// accept validates cand and asks keep; on acceptance the caller adopts it.
+func accept(cand *wasm.Module, keep func(*wasm.Module) bool) bool {
+	if wasm.Validate(cand) != nil {
+		return false
+	}
+	return keep(cand)
+}
+
+// stubBody is the minimal valid body for a signature: one zero constant per
+// result, then the frame's end.
+func stubBody(ft wasm.FuncType) []wasm.Instr {
+	var body []wasm.Instr
+	for _, t := range ft.Results {
+		switch t {
+		case wasm.I32:
+			body = append(body, wasm.Instr{Op: wasm.OpI32Const})
+		case wasm.I64:
+			body = append(body, wasm.Instr{Op: wasm.OpI64Const})
+		case wasm.F32:
+			body = append(body, wasm.Instr{Op: wasm.OpF32Const})
+		default:
+			body = append(body, wasm.Instr{Op: wasm.OpF64Const})
+		}
+	}
+	return append(body, wasm.Instr{Op: wasm.OpEnd})
+}
+
+func isStub(f *wasm.Func, ft wasm.FuncType) bool {
+	return len(f.Locals) == 0 && len(f.Body) == len(ft.Results)+1
+}
+
+func shrinkStubFuncs(cur *wasm.Module, keep func(*wasm.Module) bool) bool {
+	changed := false
+	for fi := range cur.Funcs {
+		ft := cur.Types[cur.Funcs[fi].TypeIdx]
+		if isStub(&cur.Funcs[fi], ft) {
+			continue
+		}
+		cand := cloneModule(cur)
+		cand.Funcs[fi].Locals = nil
+		cand.Funcs[fi].Body = stubBody(ft)
+		if accept(cand, keep) {
+			*cur = *cand
+			changed = true
+		}
+	}
+	return changed
+}
+
+func shrinkDropSegments(cur *wasm.Module, keep func(*wasm.Module) bool) bool {
+	changed := false
+	for di := 0; di < len(cur.Data); {
+		cand := cloneModule(cur)
+		cand.Data = append(cand.Data[:di:di], cand.Data[di+1:]...)
+		if accept(cand, keep) {
+			*cur = *cand
+			changed = true
+		} else {
+			di++
+		}
+	}
+	return changed
+}
+
+// blockSpan returns the index one past the End matching the block opener at
+// i (which must be Block, Loop, or If), or -1 on malformed nesting.
+func blockSpan(body []wasm.Instr, i int) int {
+	depth := 0
+	for j := i; j < len(body); j++ {
+		switch body[j].Op {
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+			depth++
+		case wasm.OpEnd:
+			depth--
+			if depth == 0 {
+				return j + 1
+			}
+		}
+	}
+	return -1
+}
+
+func shrinkDeleteInstrs(cur *wasm.Module, keep func(*wasm.Module) bool) bool {
+	changed := false
+	for fi := range cur.Funcs {
+		for i := 0; i < len(cur.Funcs[fi].Body); {
+			in := cur.Funcs[fi].Body[i]
+			end := i + 1
+			switch in.Op {
+			case wasm.OpEnd, wasm.OpElse:
+				// Structural; only removable as part of their block span.
+				i++
+				continue
+			case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+				end = blockSpan(cur.Funcs[fi].Body, i)
+				if end < 0 {
+					i++
+					continue
+				}
+			}
+			cand := cloneModule(cur)
+			b := cand.Funcs[fi].Body
+			cand.Funcs[fi].Body = append(b[:i:i], b[end:]...)
+			if accept(cand, keep) {
+				*cur = *cand
+				changed = true
+			} else {
+				i++
+			}
+		}
+	}
+	return changed
+}
+
+func shrinkConsts(cur *wasm.Module, keep func(*wasm.Module) bool) bool {
+	changed := false
+	try := func(mutate func(m *wasm.Module)) {
+		cand := cloneModule(cur)
+		mutate(cand)
+		if accept(cand, keep) {
+			*cur = *cand
+			changed = true
+		}
+	}
+	for fi := range cur.Funcs {
+		for i := range cur.Funcs[fi].Body {
+			in := cur.Funcs[fi].Body[i]
+			switch in.Op {
+			case wasm.OpI32Const, wasm.OpI64Const:
+				// 0 and 1 are terminal: a constant already there is never
+				// touched again, so the stage cannot oscillate 0↔1.
+				if in.I64 == 0 || in.I64 == 1 {
+					break
+				}
+				for _, v := range []int64{0, 1} {
+					fi, i, v := fi, i, v
+					try(func(m *wasm.Module) { m.Funcs[fi].Body[i].I64 = v })
+					if cur.Funcs[fi].Body[i].I64 == v {
+						break
+					}
+				}
+			case wasm.OpF32Const, wasm.OpF64Const:
+				if in.F64 != 0 {
+					fi, i := fi, i
+					try(func(m *wasm.Module) { m.Funcs[fi].Body[i].F64 = 0 })
+				}
+			}
+			if in.Op.IsMemAccess() && in.Offset != 0 {
+				fi, i := fi, i
+				try(func(m *wasm.Module) { m.Funcs[fi].Body[i].Offset = 0 })
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,118 @@
+package fuzzgen
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/wasm"
+)
+
+// countInstrs is the shrinker's size metric for tests.
+func countInstrs(m *wasm.Module) int {
+	n := 0
+	for fi := range m.Funcs {
+		n += len(m.Funcs[fi].Body)
+	}
+	return n
+}
+
+// Shrinking against a behavioral predicate (the reference interpreter still
+// traps with the same kind) must preserve the predicate, only ever remove
+// code, and leave the input untouched.
+func TestShrinkPreservesPredicate(t *testing.T) {
+	// Seed 20 generates a trapping module (pinned by the corpus smoke runs);
+	// scan a few in case the grammar shifts.
+	var m *wasm.Module
+	var kind TrapKind
+	for seed := uint64(2); seed <= 40; seed += 2 {
+		cand := Generate(seed, Options{Traps: true})
+		o, err := runReference(cand)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if o.TrapKind != TrapNone && o.TrapKind != TrapFuel {
+			m, kind = cand, o.TrapKind
+			break
+		}
+	}
+	if m == nil {
+		t.Fatal("no trapping module found in 20 trap-enabled seeds")
+	}
+
+	keep := func(c *wasm.Module) bool {
+		o, err := runReference(c)
+		return err == nil && o.TrapKind == kind
+	}
+	before := wasm.Encode(m)
+	small := Shrink(m, keep)
+
+	if !bytes.Equal(before, wasm.Encode(m)) {
+		t.Error("Shrink mutated its input module")
+	}
+	if err := wasm.Validate(small); err != nil {
+		t.Fatalf("shrunken module invalid: %v", err)
+	}
+	if !keep(small) {
+		t.Fatalf("shrunken module no longer satisfies the predicate")
+	}
+	if countInstrs(small) > countInstrs(m) {
+		t.Errorf("shrink grew the module: %d -> %d instrs", countInstrs(m), countInstrs(small))
+	}
+	t.Logf("shrunk %d -> %d instrs, %d -> %d bytes",
+		countInstrs(m), countInstrs(small), len(before), len(wasm.Encode(small)))
+
+	// Fixed point: shrinking the result again changes nothing.
+	again := Shrink(small, keep)
+	if !bytes.Equal(wasm.Encode(small), wasm.Encode(again)) {
+		t.Error("Shrink output is not a fixed point")
+	}
+}
+
+// With an always-true predicate the shrinker must collapse a generated
+// module to stubs — the lower bound on its aggressiveness.
+func TestShrinkCollapsesUnderTruePredicate(t *testing.T) {
+	m := Generate(7, Options{})
+	small := Shrink(m, func(*wasm.Module) bool { return true })
+	if err := wasm.Validate(small); err != nil {
+		t.Fatalf("shrunken module invalid: %v", err)
+	}
+	for fi := range small.Funcs {
+		ft := small.Types[small.Funcs[fi].TypeIdx]
+		if !isStub(&small.Funcs[fi], ft) {
+			t.Errorf("func %d not reduced to a stub (%d instrs)", fi, len(small.Funcs[fi].Body))
+		}
+	}
+	if len(small.Data) != 0 {
+		t.Errorf("%d data segments survived an always-true predicate", len(small.Data))
+	}
+}
+
+// The end-to-end loop a real divergence would take: shrink against the full
+// oracle verdict for a trapping module, then confirm the minimized module
+// still exercises every engine identically (what TestCorpusReplay does for
+// committed entries).
+func TestShrinkThenDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full oracle matrix is not short")
+	}
+	m := Generate(20, Options{Traps: true})
+	ref, err := runReference(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.TrapKind == TrapNone {
+		t.Skip("seed 20 no longer traps; grammar changed")
+	}
+	small := Shrink(m, func(c *wasm.Module) bool {
+		o, err := runReference(c)
+		return err == nil && o.TrapKind == ref.TrapKind
+	})
+	v, err := Diff(context.Background(), small, DiffConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK() {
+		t.Errorf("shrunken module diverges: %s", v)
+	}
+}

@@ -117,6 +117,14 @@ type Kernel struct {
 	// is at most one poll interval). Per process, not per tree: it bounds a
 	// runaway loop, while Deadline bounds a forking tree.
 	MaxInsts uint64
+
+	// Legacy selects the pre-predecode instruction-at-a-time dispatch loop
+	// for every process this kernel spawns. Architectural behavior and perf
+	// counters are identical to the default micro-op engine (that is pinned
+	// by the differential suites); the knob exists so oracles can run the
+	// same compiled code under both dispatchers. Set it before the first
+	// Spawn.
+	Legacy bool
 }
 
 // New creates a kernel over the given filesystem.
@@ -266,6 +274,7 @@ func (k *Kernel) Spawn(parent *Process, path string, argv []string, stdio [3]*FD
 	if err != nil {
 		return nil, err
 	}
+	inst.Machine.NoPredecode = k.Legacy
 	if ctx, deadline, maxInsts := k.Ctx, k.Deadline, k.MaxInsts; ctx != nil || !deadline.IsZero() || maxInsts > 0 {
 		every := k.PollInterval
 		if every == 0 {

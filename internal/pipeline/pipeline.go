@@ -28,11 +28,13 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 
 	"repro/internal/codegen"
 	"repro/internal/fault"
 	"repro/internal/minic"
+	"repro/internal/wasm"
 )
 
 // ABIFor returns the data model an engine compiles: x86-64 for the native
@@ -327,8 +329,34 @@ func buildLabel(ctx context.Context, cfg *codegen.EngineConfig) string {
 	return cfg.Name
 }
 
-// buildUncached is the raw mini-C → engine pipeline with no caching.
+// wasmSrcPrefix tags a raw wasm binary travelling through the string-keyed
+// build path (Request.Wasm). The NUL bytes cannot appear in mini-C source,
+// so wasm modules and source programs can never collide on a content
+// address, and the cache, store, and singleflight layers need no second
+// code path.
+const wasmSrcPrefix = "\x00wasm\x00"
+
+// buildUncached is the raw mini-C → engine pipeline with no caching. A
+// wasmSrcPrefix-tagged src is a raw wasm binary instead: decoded,
+// validated, and compiled directly, skipping the mini-C front-end.
 func buildUncached(ctx context.Context, src string, cfg *codegen.EngineConfig) (*codegen.CompiledModule, error) {
+	if raw, ok := strings.CutPrefix(src, wasmSrcPrefix); ok {
+		m, err := wasm.Decode([]byte(raw))
+		if err != nil {
+			return nil, fmt.Errorf("decoding wasm module: %w", err)
+		}
+		if err := wasm.Validate(m); err != nil {
+			return nil, fmt.Errorf("validating wasm module: %w", err)
+		}
+		cm, err := codegen.CompileContext(ctx, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Raw wasm is always the wasm32 data model, whatever the engine's
+		// ABI for mini-C would be: pointers handed to _start are i32.
+		cm.PtrSize = 4
+		return cm, nil
+	}
 	abi := ABIFor(cfg)
 	m, err := minic.Compile(src, abi)
 	if err != nil {

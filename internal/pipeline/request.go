@@ -38,6 +38,19 @@ type Request struct {
 	// according to the engine configuration).
 	Module string `json:"module"`
 
+	// Wasm is an alternative program form: a raw wasm binary module
+	// (base64 on the wire), decoded and validated instead of going through
+	// the mini-C front-end. Exactly one of Module and Wasm may be set. The
+	// fuzzing oracle feeds generated modules through this field so they
+	// share the build cache and kernel policy with every other run path.
+	Wasm []byte `json:"wasm,omitempty"`
+
+	// Dispatch selects the simulator's dispatch loop: "" or "predecode"
+	// (the default micro-op engine) or "legacy" (the retained
+	// instruction-at-a-time interpreter). An execution property, not a
+	// build property: it does not enter the build's content address.
+	Dispatch string `json:"dispatch,omitempty"`
+
 	// Engine names a stock engine configuration ("native", "chrome",
 	// "firefox", "asmjs-chrome", "asmjs-firefox"). It is the wire-friendly
 	// way to pick an engine; Config overrides it when both are set.
@@ -228,11 +241,30 @@ func compileCounted(ctx context.Context, req *Request) (*codegen.CompiledModule,
 	if err != nil {
 		return nil, CacheStats{}, err
 	}
-	cm, delta, err := build(ctx, req.Module, cfg)
+	src := req.Module
+	if len(req.Wasm) > 0 {
+		if req.Module != "" {
+			return nil, CacheStats{}, badRequestf("request sets both mini-C module and raw wasm; pick one")
+		}
+		src = wasmSrcPrefix + string(req.Wasm)
+	}
+	cm, delta, err := build(ctx, src, cfg)
 	if err != nil {
 		return nil, delta, &classedError{ClassCompile, err}
 	}
 	return cm, delta, nil
+}
+
+// legacyDispatch maps Request.Dispatch to the kernel's Legacy flag. The
+// error is ClassBadRequest.
+func legacyDispatch(d string) (bool, error) {
+	switch d {
+	case "", "predecode":
+		return false, nil
+	case "legacy":
+		return true, nil
+	}
+	return false, badRequestf("unknown dispatch %q (want \"predecode\" or \"legacy\")", d)
 }
 
 // Execute runs an already-built module under req's policy — argv, files,
@@ -250,8 +282,13 @@ func Execute(ctx context.Context, cm *codegen.CompiledModule, req *Request) (*Re
 	if label == "" {
 		label = argv[0]
 	}
+	legacy, err := legacyDispatch(req.Dispatch)
+	if err != nil {
+		return nil, err
+	}
 	timeout, maxInsts := effectiveLimits(req.Limits)
 	k := kernel.New(nil)
+	k.Legacy = legacy
 	k.Ctx = ctx
 	if timeout > 0 {
 		k.Deadline = time.Now().Add(timeout)

@@ -65,6 +65,33 @@ func TestRequestMinimalOmitsDefaults(t *testing.T) {
 	}
 }
 
+// TestRequestWasmWireGolden pins the raw-wasm request form: Wasm rides the
+// wire base64-encoded under "wasm", Dispatch under "dispatch", and both
+// stay off the wire entirely for mini-C requests (omitempty — pinned by
+// TestRequestMinimalOmitsDefaults above).
+func TestRequestWasmWireGolden(t *testing.T) {
+	req := &pipeline.Request{
+		Wasm:     []byte{0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00},
+		Engine:   "native",
+		Dispatch: "legacy",
+	}
+	const golden = `{"module":"","wasm":"AGFzbQEAAAA=","dispatch":"legacy","engine":"native"}`
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != golden {
+		t.Errorf("wasm request wire format drifted:\n got %s\nwant %s", b, golden)
+	}
+	var back pipeline.Request
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if string(back.Wasm) != string(req.Wasm) || back.Dispatch != "legacy" {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
 // TestResultWireGolden pins the Result wire spelling: snake_case cache
 // counters, the nested error object, and that the in-process Proc handle
 // never leaks onto the wire.

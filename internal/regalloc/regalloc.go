@@ -196,14 +196,19 @@ func (s *Scratch) buildIntervals(f *ir.Func, lv *ir.Liveness) []interval {
 		s.blockEnd[bi] = pos - 1
 	}
 	// Extend intervals over live ranges: a vreg live-in at a block lives
-	// from the block start; live-out lives to the block end.
+	// from just before the block start; live-out lives to the block end.
+	// The -1 matters when the block's first instruction is a call: a vreg
+	// live-in there is live THROUGH that call (its defs are in predecessor
+	// blocks), unlike a vreg the call itself defines, and the strict
+	// cp > start in the crossesCall scan below must see it as crossing —
+	// same reason parameter intervals begin at -1.
 	for bi := range f.Blocks {
 		lv.In[bi].ForEach(func(v ir.VReg) {
 			if !s.seen[v] {
 				return
 			}
-			if s.blockStart[bi] < s.starts[v] {
-				s.starts[v] = s.blockStart[bi]
+			if s.blockStart[bi]-1 < s.starts[v] {
+				s.starts[v] = s.blockStart[bi] - 1
 			}
 			if s.blockEnd[bi] > s.ends[v] {
 				s.ends[v] = s.blockEnd[bi]

@@ -84,7 +84,7 @@ func (b *ModuleBuilder) Func(name string, ft FuncType, locals ...ValType) *FuncB
 	if name != "" {
 		b.m.Names[idx] = name
 	}
-	return &FuncBuilder{mod: b, fidx: idx, f: &b.m.Funcs[len(b.m.Funcs)-1], nparams: len(ft.Params)}
+	return &FuncBuilder{mod: b, fidx: idx, slot: len(b.m.Funcs) - 1, nparams: len(ft.Params)}
 }
 
 // Module seals and returns the built module. Function bodies missing a
@@ -113,7 +113,7 @@ func (b *ModuleBuilder) Module() *Module {
 // FuncBuilder appends instructions to one function body.
 type FuncBuilder struct {
 	mod     *ModuleBuilder
-	f       *Func
+	slot    int // index into mod.m.Funcs — the slice reallocates as functions are added, so no pointer
 	fidx    uint32
 	nparams int
 	depth   int // open blocks
@@ -122,15 +122,22 @@ type FuncBuilder struct {
 // Index returns the function's index in the import-prefixed function space.
 func (fb *FuncBuilder) Index() uint32 { return fb.fidx }
 
+// fn resolves the function record. Looked up on every access rather than
+// held as a pointer: interleaving Func calls reallocates mod.m.Funcs, which
+// would orphan any builder created earlier.
+func (fb *FuncBuilder) fn() *Func { return &fb.mod.m.Funcs[fb.slot] }
+
 // AddLocal appends a new local of type t and returns its index.
 func (fb *FuncBuilder) AddLocal(t ValType) uint32 {
-	fb.f.Locals = append(fb.f.Locals, t)
-	return uint32(fb.nparams + len(fb.f.Locals) - 1)
+	f := fb.fn()
+	f.Locals = append(f.Locals, t)
+	return uint32(fb.nparams + len(f.Locals) - 1)
 }
 
 // Emit appends a raw instruction.
 func (fb *FuncBuilder) Emit(in Instr) *FuncBuilder {
-	fb.f.Body = append(fb.f.Body, in)
+	f := fb.fn()
+	f.Body = append(f.Body, in)
 	return fb
 }
 
@@ -256,5 +263,5 @@ func (fb *FuncBuilder) Depth() int { return fb.depth }
 
 // String summarizes the builder state for debugging.
 func (fb *FuncBuilder) String() string {
-	return fmt.Sprintf("func %d: %d instrs, %d open blocks", fb.fidx, len(fb.f.Body), fb.depth)
+	return fmt.Sprintf("func %d: %d instrs, %d open blocks", fb.fidx, len(fb.fn().Body), fb.depth)
 }

@@ -1,0 +1,102 @@
+package wasm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedModules builds a few representative modules with the builder —
+// the same surface internal/fuzzgen generates through — so both fuzz
+// targets start from structurally interesting corpora even before the
+// fuzzing engine mutates anything.
+func fuzzSeedModules() [][]byte {
+	var seeds [][]byte
+
+	// Minimal valid module: magic + version only.
+	seeds = append(seeds, []byte("\x00asm\x01\x00\x00\x00"))
+
+	// One exported function with arithmetic, a block, and a memory access.
+	{
+		b := NewModuleBuilder()
+		b.Memory(1, 2)
+		g := b.GlobalI32(7)
+		f := b.Func("f", FuncType{Params: []ValType{I32}, Results: []ValType{I32}})
+		f.Block(BlockOf(I32))
+		f.LocalGet(0)
+		f.I32Const(3)
+		f.Op(OpI32Add)
+		f.End()
+		f.GlobalGet(g)
+		f.Op(OpI32Add)
+		f.I32Const(16)
+		f.Load(OpI32Load, 4)
+		f.Op(OpI32Add)
+		b.Export("f", ExternFunc, f.Index())
+		seeds = append(seeds, Encode(b.Module()))
+	}
+
+	// An indirect call through a table plus a data segment.
+	{
+		b := NewModuleBuilder()
+		b.Memory(1, 1)
+		b.Data(8, []byte{1, 2, 3, 4})
+		sig := FuncType{Results: []ValType{I32}}
+		leaf := b.Func("leaf", sig)
+		leaf.I32Const(42)
+		start := b.Func("_start", sig)
+		b.Table(1)
+		b.Elem(0, []uint32{leaf.Index()})
+		start.I32Const(0)
+		start.CallIndirect(sig)
+		b.Export("_start", ExternFunc, start.Index())
+		seeds = append(seeds, Encode(b.Module()))
+	}
+
+	return seeds
+}
+
+// FuzzValidate throws arbitrary bytes at the decoder and the validator:
+// whatever the input, they must return an error or a module — never panic.
+// Hostile inputs reach Decode through the pipeline's raw-wasm request path,
+// so "garbage in, error out" is a load-bearing contract, not hygiene.
+func FuzzValidate(f *testing.F) {
+	for _, s := range fuzzSeedModules() {
+		f.Add(s)
+	}
+	// Truncations and corruptions of a valid header.
+	f.Add([]byte("\x00asm"))
+	f.Add([]byte("\x00asm\x01\x00\x00\x00\x01\xff"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		m, err := Decode(p)
+		if err != nil {
+			return
+		}
+		_ = Validate(m) // must not panic either way
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip pins the binary codec: any bytes that decode
+// must re-encode to something that decodes to the same encoding — i.e.
+// Encode∘Decode is a projection onto a canonical form, and the canonical
+// form is a fixed point byte for byte. The committed fuzzgen corpus and the
+// shrinker's cloneModule both rely on exactly this.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeedModules() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, p []byte) {
+		m, err := Decode(p)
+		if err != nil {
+			return
+		}
+		enc := Encode(m)
+		m2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if enc2 := Encode(m2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n first: %x\nsecond: %x", enc, enc2)
+		}
+	})
+}

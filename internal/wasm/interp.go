@@ -805,7 +805,11 @@ func evalNumeric(op Opcode, stack *[]uint64) error {
 		case OpF32Sqrt:
 			r = math.Sqrt(x)
 		}
-		push(uint64(math.Float32bits(float32(r))))
+		if op == OpF32Abs || op == OpF32Neg {
+			push(uint64(math.Float32bits(float32(r))))
+		} else {
+			push(canonF32(float32(r)))
+		}
 	case OpF32Add, OpF32Sub, OpF32Mul, OpF32Div, OpF32Min, OpF32Max, OpF32Copysign:
 		y := math.Float32frombits(uint32(pop()))
 		x := math.Float32frombits(uint32(pop()))
@@ -826,7 +830,11 @@ func evalNumeric(op Opcode, stack *[]uint64) error {
 		case OpF32Copysign:
 			r = float32(math.Copysign(float64(x), float64(y)))
 		}
-		push(uint64(math.Float32bits(r)))
+		if op == OpF32Copysign {
+			push(uint64(math.Float32bits(r)))
+		} else {
+			push(canonF32(r))
+		}
 
 	// ---- f64 ----
 	case OpF64Eq, OpF64Ne, OpF64Lt, OpF64Gt, OpF64Le, OpF64Ge:
@@ -867,7 +875,11 @@ func evalNumeric(op Opcode, stack *[]uint64) error {
 		case OpF64Sqrt:
 			r = math.Sqrt(x)
 		}
-		push(math.Float64bits(r))
+		if op == OpF64Abs || op == OpF64Neg {
+			push(math.Float64bits(r))
+		} else {
+			push(canonF64(r))
+		}
 	case OpF64Add, OpF64Sub, OpF64Mul, OpF64Div, OpF64Min, OpF64Max, OpF64Copysign:
 		y := math.Float64frombits(pop())
 		x := math.Float64frombits(pop())
@@ -888,7 +900,11 @@ func evalNumeric(op Opcode, stack *[]uint64) error {
 		case OpF64Copysign:
 			r = math.Copysign(x, y)
 		}
-		push(math.Float64bits(r))
+		if op == OpF64Copysign {
+			push(math.Float64bits(r))
+		} else {
+			push(canonF64(r))
+		}
 
 	// ---- conversions ----
 	case OpI32WrapI64:
@@ -966,7 +982,7 @@ func evalNumeric(op Opcode, stack *[]uint64) error {
 	case OpF32ConvertI64U:
 		push(uint64(math.Float32bits(float32(pop()))))
 	case OpF32DemoteF64:
-		push(uint64(math.Float32bits(float32(math.Float64frombits(pop())))))
+		push(canonF32(float32(math.Float64frombits(pop()))))
 	case OpF64ConvertI32S:
 		push(math.Float64bits(float64(int32(uint32(pop())))))
 	case OpF64ConvertI32U:
@@ -976,7 +992,7 @@ func evalNumeric(op Opcode, stack *[]uint64) error {
 	case OpF64ConvertI64U:
 		push(math.Float64bits(float64(pop())))
 	case OpF64PromoteF32:
-		push(math.Float64bits(float64(math.Float32frombits(uint32(pop())))))
+		push(canonF64(float64(math.Float32frombits(uint32(pop())))))
 	case OpI32ReinterpretF32, OpF32ReinterpretI32:
 		// Raw bits are already the representation; for i32<->f32 keep low 32.
 		push(uint64(uint32(pop())))
@@ -987,6 +1003,28 @@ func evalNumeric(op Opcode, stack *[]uint64) error {
 	}
 	*stack = s
 	return nil
+}
+
+// canonF64 returns v's bits with NaN canonicalized to one quiet pattern.
+// Wasm leaves NaN payloads nondeterministic and Go inherits whatever the
+// hardware propagates — which may differ between two compilations of the
+// same expression — so every arithmetic, rounding, and width-conversion
+// result pins the payload. The cpu engines apply the identical rule (see
+// cpu.bitsOf); abs/neg/copysign stay raw everywhere because they compile
+// to pure sign-bit operations.
+func canonF64(v float64) uint64 {
+	if v != v {
+		return 0x7ff8000000000000
+	}
+	return math.Float64bits(v)
+}
+
+// canonF32 is canonF64 at float32 width.
+func canonF32(v float32) uint64 {
+	if v != v {
+		return 0x7fc00000
+	}
+	return uint64(math.Float32bits(v))
 }
 
 // wasmMin implements Wasm min semantics: NaN-propagating, -0 < +0.

@@ -553,3 +553,38 @@ func indexOf(s, sub string) int {
 	}
 	return -1
 }
+
+// TestBuilderInterleavedFuncs pins a former footgun: a FuncBuilder created
+// before later Func calls kept a pointer into the module's function slice,
+// so the append's reallocation orphaned it and its instructions went to a
+// stale copy. Builders must stay usable in any interleaving.
+func TestBuilderInterleavedFuncs(t *testing.T) {
+	b := NewModuleBuilder()
+	sig := FuncType{Results: []ValType{I32}}
+	first := b.Func("first", sig)
+	// Force the Funcs slice to reallocate several times.
+	for i := 0; i < 9; i++ {
+		f := b.Func("", sig)
+		f.I32Const(int32(i))
+	}
+	first.I32Const(77)
+	b.Export("first", ExternFunc, first.Index())
+	m := b.Module()
+	if err := Validate(m); err != nil {
+		t.Fatalf("module invalid: %v", err)
+	}
+	if len(m.Funcs[0].Body) != 2 { // i32.const 77, end
+		t.Fatalf("first function body has %d instrs, want 2", len(m.Funcs[0].Body))
+	}
+	inst, err := Instantiate(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := inst.Invoke("first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(ret[0]) != 77 {
+		t.Fatalf("first() = %d, want 77", int32(ret[0]))
+	}
+}
